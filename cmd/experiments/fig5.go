@@ -1,0 +1,27 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+)
+
+func init() {
+	register("fig5", "dataset table (paper Figure 5), scaled versions", runFig5)
+}
+
+// runFig5 regenerates the Figure-5 dataset table for the scaled stand-ins:
+// the generated |V|, |E| and density next to the paper's originals. Density
+// is the column the substitution preserves.
+func runFig5(config) {
+	bench.Section(os.Stdout, "FIG5", "scaled datasets vs paper originals")
+	tab := bench.NewTable("dataset", "N(scaled)", "M(scaled)", "density", "paper N", "paper M", "paper density")
+	for _, p := range dataset.Presets {
+		g := p.Build()
+		tab.Add(p.Name, g.N(), g.M(), fmt.Sprintf("%.1f", g.Density()),
+			p.PaperN, p.PaperM, fmt.Sprintf("%.1f", p.Density))
+	}
+	tab.Render(os.Stdout)
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dense"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/prank"
+	"repro/internal/rwr"
+	"repro/internal/simrank"
+)
+
+func init() {
+	register("fig6a", "semantic effectiveness: Kendall/Spearman/NDCG vs ground truth", runFig6a)
+}
+
+// measure is a named all-pairs similarity computation.
+type measure struct {
+	name string
+	run  func(g *graph.Graph) *dense.Matrix
+}
+
+// paperMeasures returns the five Exp-1 contenders at the paper's defaults
+// (C = 0.6, K = 5).
+func paperMeasures() []measure {
+	const c, k = 0.6, 5
+	return []measure{
+		{"eSR*", func(g *graph.Graph) *dense.Matrix {
+			return core.ExponentialMemo(g, core.Options{C: c, K: k})
+		}},
+		{"gSR*", func(g *graph.Graph) *dense.Matrix {
+			return core.GeometricMemo(g, core.Options{C: c, K: k})
+		}},
+		{"RWR", func(g *graph.Graph) *dense.Matrix {
+			return rwr.AllPairs(g, rwr.Options{C: c, K: k})
+		}},
+		{"SR", func(g *graph.Graph) *dense.Matrix {
+			return simrank.PSum(g, simrank.Options{C: c, K: k})
+		}},
+		{"PR", func(g *graph.Graph) *dense.Matrix {
+			return prank.AllPairs(g, prank.Options{C: c, K: k})
+		}},
+	}
+}
+
+// semanticAccuracy runs the Exp-1 protocol on one corpus: stratified
+// single-node queries, rankings of all other nodes by each measure, scored
+// against the planted-topic oracle with Kendall's τ, Spearman's ρ and
+// NDCG@50.
+func semanticAccuracy(g *graph.Graph, corpus *dataset.Corpus, queries []int) *bench.Table {
+	n := g.N()
+	// Deterministic Kendall subsample keeps the O(N²) tie-aware τ tractable.
+	const kendallSample = 250
+	sample := make([]int, 0, kendallSample)
+	for i := 0; i < kendallSample && i < n; i++ {
+		sample = append(sample, i*n/min(kendallSample, n))
+	}
+
+	tab := bench.NewTable("measure", "Kendall", "Spearman", "NDCG@50")
+	for _, m := range paperMeasures() {
+		s := m.run(g)
+		var kSum, rSum, nSum float64
+		for _, q := range queries {
+			truth := make([]float64, n)
+			for j := 0; j < n; j++ {
+				truth[j] = corpus.TrueSim(q, j)
+			}
+			got := rowOf(s, q)
+			// Exclude the query itself (its self-score is degenerate).
+			got[q] = 0
+			truth[q] = 0
+
+			gs := make([]float64, len(sample))
+			ts := make([]float64, len(sample))
+			for si, node := range sample {
+				gs[si] = got[node]
+				ts[si] = truth[node]
+			}
+			kSum += eval.KendallTau(gs, ts)
+			rSum += eval.SpearmanRho(got, truth)
+			rel := make([]float64, n)
+			for j := range rel {
+				rel[j] = 4 * truth[j] // grade in [0,4] for NDCG contrast
+			}
+			nSum += eval.NDCGOfScores(got, rel, 50)
+		}
+		q := float64(len(queries))
+		tab.Add(m.name, kSum/q, rSum/q, nSum/q)
+	}
+	return tab
+}
+
+func runFig6a(cfg config) {
+	bench.Section(os.Stdout, "FIG6a", "semantic effectiveness on CitHepTh-s (directed) and DBLP-s (undirected)")
+	nCit, nDblp, perGroup := 1200, 1000, 100
+	if cfg.quick {
+		nCit, nDblp, perGroup = 300, 250, 10
+	}
+
+	// CitHepTh-s: directed planted-topic citation corpus.
+	cit := dataset.TopicCitation(dataset.TopicCitationOptions{N: nCit, AvgOut: 12, Seed: 101})
+	inDeg := make([]int, cit.G.N())
+	for i := range inDeg {
+		inDeg[i] = cit.G.InDeg(i)
+	}
+	queries := eval.StratifiedQueries(inDeg, 5, perGroup)
+	fmt.Printf("CitHepTh-s: n=%d m=%d (density %.1f), %d queries\n",
+		cit.G.N(), cit.G.M(), cit.G.Density(), len(queries))
+	semanticAccuracy(cit.G, cit, queries).Render(os.Stdout)
+
+	// DBLP-s: the same corpus family symmetrised — undirected collaboration
+	// shape. The paper's claim: on undirected data RWR matches SimRank* and
+	// PR matches SR, because edge direction is what separates them.
+	dblp := dataset.TopicCitation(dataset.TopicCitationOptions{N: nDblp, AvgOut: 3, Seed: 102})
+	und := dblp.G.AsUndirected()
+	inDeg = make([]int, und.N())
+	for i := range inDeg {
+		inDeg[i] = und.InDeg(i)
+	}
+	queries = eval.StratifiedQueries(inDeg, 5, perGroup)
+	fmt.Printf("\nDBLP-s (undirected): n=%d m=%d (density %.1f), %d queries\n",
+		und.N(), und.M(), und.Density(), len(queries))
+	semanticAccuracy(und, dblp, queries).Render(os.Stdout)
+
+	fmt.Println("\npaper shape: SR* variants highest on directed data (Spearman ≈ 0.91 vs")
+	fmt.Println("SR 0.29, RWR 0.12, PR 0.42); on undirected data RWR ties SR* and PR ties SR.")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/graph"
+)
+
+func init() {
+	register("fig6b", "role difference of top-ranked node pairs", runFig6b)
+}
+
+// runFig6b reproduces Fig. 6(b): for the top x% most-similar pairs under
+// each measure, the average difference in role proxy (#-citations on the
+// citation corpus, H-index on the coauthor corpus), against the random-pair
+// baseline RAN. Reliable measures keep the difference low as x grows;
+// measures that degenerate to noise approach RAN.
+func runFig6b(cfg config) {
+	bench.Section(os.Stdout, "FIG6b", "avg role difference of top-x% similar pairs (lower = more reliable)")
+	nCit, nAuth := 1200, 800
+	if cfg.quick {
+		nCit, nAuth = 300, 200
+	}
+
+	// CitHepTh-s with #-citations = in-degree.
+	cit := dataset.TopicCitation(dataset.TopicCitationOptions{N: nCit, AvgOut: 12, Seed: 201})
+	role := make([]int, cit.G.N())
+	for i := range role {
+		role[i] = cit.G.InDeg(i)
+	}
+	fmt.Printf("CitHepTh-s (role = #-citations): n=%d m=%d\n", cit.G.N(), cit.G.M())
+	roleDiffTable(cit.G, role, []float64{0.02, 0.2, 2, 20}).Render(os.Stdout)
+
+	// DBLP-s with H-index role; productive authors (6 papers each on
+	// average) give the H-index distribution enough spread to discriminate.
+	net := dataset.Coauthor(dataset.CoauthorOptions{Authors: nAuth, Papers: 6 * nAuth, Seed: 202})
+	hrole := make([]int, nAuth)
+	for a := range hrole {
+		hrole[a] = net.HIndex(a)
+	}
+	fmt.Printf("\nDBLP-s (role = H-index): n=%d m=%d\n", net.G.N(), net.G.M())
+	roleDiffTable(net.G, hrole, []float64{0.1, 0.5, 1, 5, 10}).Render(os.Stdout)
+
+	fmt.Println("\npaper shape: SR* keeps the smallest difference at every cutoff;")
+	fmt.Println("SR converges to random scoring as the cutoff grows; RWR is worst on directed data.")
+}
+
+func roleDiffTable(g *graph.Graph, role []int, cutoffs []float64) *bench.Table {
+	n := g.N()
+	totalPairs := n * (n - 1) / 2
+
+	// RAN: the expected |role(A) − role(B)| of a uniform random pair.
+	rng := rand.New(rand.NewSource(7))
+	var ranSum float64
+	const ranSamples = 20000
+	for s := 0; s < ranSamples; s++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		d := role[i] - role[j]
+		if d < 0 {
+			d = -d
+		}
+		ranSum += float64(d)
+	}
+	ran := ranSum / ranSamples
+
+	header := []string{"measure"}
+	for _, c := range cutoffs {
+		header = append(header, fmt.Sprintf("top %.3g%%", c))
+	}
+	tab := bench.NewTable(header...)
+	for _, m := range paperMeasures() {
+		s := m.run(g)
+		// Symmetrise asymmetric measures (RWR) by max, matching how a
+		// retrieval system would treat a pair.
+		at := func(i, j int) float64 {
+			a, b := s.At(i, j), s.At(j, i)
+			if a > b {
+				return a
+			}
+			return b
+		}
+		maxCount := int(cutoffs[len(cutoffs)-1]/100*float64(totalPairs)) + 1
+		pairs := eval.TopPairs(n, at, maxCount)
+		row := []interface{}{m.name}
+		for _, c := range cutoffs {
+			count := int(c / 100 * float64(totalPairs))
+			if count < 1 {
+				count = 1
+			}
+			if count > len(pairs) {
+				count = len(pairs)
+			}
+			row = append(row, fmt.Sprintf("%.1f", eval.AvgRoleDiff(pairs[:count], role)))
+		}
+		tab.Add(row...)
+	}
+	row := []interface{}{"RAN"}
+	for range cutoffs {
+		row = append(row, fmt.Sprintf("%.1f", ran))
+	}
+	tab.Add(row...)
+	return tab
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/paths"
+)
+
+func init() {
+	register("fig6d", "% of zero-similarity node pairs (SimRank and RWR)", runFig6d)
+}
+
+// runFig6d reproduces Fig. 6(d): on three datasets, the share of node pairs
+// afflicted by the zero-similarity issue, split into "completely dissimilar"
+// (score identically zero: no symmetric in-link path for SimRank, no
+// directed walk for RWR) and "partially missing" (score non-zero but
+// contributions of other in-link paths ignored). Percentages are over pairs
+// with at least one in-link path within the horizon.
+func runFig6d(cfg config) {
+	bench.Section(os.Stdout, "FIG6d", "% of pairs with zero-similarity issues (horizon K=5)")
+	names := []string{"CitHepTh-s", "DBLP-s", "WebGoogle-s"}
+	horizon := 5
+
+	srTab := bench.NewTable("dataset", "zero-SR %", "completely %", "partially %", "paper zero-SR %")
+	rwTab := bench.NewTable("dataset", "zero-RWR %", "completely %", "partially %", "paper zero-RWR %")
+	paperSR := map[string]string{"CitHepTh-s": "99.92", "DBLP-s": "69.91", "WebGoogle-s": "97.13"}
+	paperRW := map[string]string{"CitHepTh-s": "99.84", "DBLP-s": "69.91", "WebGoogle-s": "96.42"}
+
+	for _, name := range names {
+		p, err := dataset.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		if cfg.quick {
+			p.ScaledN /= 4
+		}
+		g := p.Build()
+		st := paths.Analyze(g, horizon).Stats()
+		fmt.Printf("%s: n=%d m=%d, %d/%d pairs have an in-link path\n",
+			name, g.N(), g.M(), st.PairsWithPath, st.TotalPairs)
+		srTab.Add(name,
+			fmt.Sprintf("%.2f", st.SRZeroIssuePct()),
+			fmt.Sprintf("%.2f", st.SRCompletelyPct()),
+			fmt.Sprintf("%.2f", st.SRPartialPct()),
+			paperSR[name])
+		rwTab.Add(name,
+			fmt.Sprintf("%.2f", st.RWRZeroIssuePct()),
+			fmt.Sprintf("%.2f", st.RWRCompletelyPct()),
+			fmt.Sprintf("%.2f", st.RWRPartialPct()),
+			paperRW[name])
+	}
+	fmt.Println("\nSimRank column:")
+	srTab.Render(os.Stdout)
+	fmt.Println("\nRWR column:")
+	rwTab.Render(os.Stdout)
+	fmt.Println("\npaper shape: the issue afflicts the vast majority of pairs on directed")
+	fmt.Println("graphs, less on collaboration graphs; both 'completely' and 'partially'")
+	fmt.Println("components are substantial — the motivation for SimRank*.")
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/biclique"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/simrank"
+)
+
+func init() {
+	register("fig6e", "time efficiency of the five algorithms", runFig6e)
+}
+
+// timedAlgo runs one competitor at a fixed iteration count K (derived from
+// the accuracy ε where the experiment calls for it). The memo variants take
+// a pre-mined compression: edge concentration is one-off preprocessing
+// (amortised across runs and K values, exactly as the paper treats it);
+// its cost is reported separately in Fig. 6(f).
+type timedAlgo struct {
+	name string
+	// kFor maps the shared accuracy target to this algorithm's iteration
+	// count (the exponential form needs far fewer iterations for equal ε —
+	// that is the paper's Exp-2 headline).
+	kFor func(eps float64) int
+	run  func(g *graph.Graph, comp *biclique.Compressed, k int)
+}
+
+func competitorSuite() []timedAlgo {
+	const c = 0.6
+	geoK := func(eps float64) int { return core.Options{C: c, Eps: eps}.IterationsGeometric() }
+	expK := func(eps float64) int { return core.Options{C: c, Eps: eps}.IterationsExponential() }
+	return []timedAlgo{
+		{"memo-eSR*", expK, func(g *graph.Graph, comp *biclique.Compressed, k int) {
+			core.ExponentialWithCompressed(g, comp, core.Options{C: c, K: k})
+		}},
+		{"memo-gSR*", geoK, func(g *graph.Graph, comp *biclique.Compressed, k int) {
+			core.GeometricWithCompressed(g, comp, core.Options{C: c, K: k})
+		}},
+		{"iter-gSR*", geoK, func(g *graph.Graph, _ *biclique.Compressed, k int) {
+			core.Geometric(g, core.Options{C: c, K: k})
+		}},
+		{"psum-SR", geoK, func(g *graph.Graph, _ *biclique.Compressed, k int) {
+			simrank.PSum(g, simrank.Options{C: c, K: k})
+		}},
+	}
+}
+
+func runFig6e(cfg config) {
+	bench.Section(os.Stdout, "FIG6e", "elapsed time (ε=.001 on DBLP snapshots; K sweeps on webgraph/patents)")
+	const eps = 0.001
+
+	// Panel 1: D05/D08/D11 at fixed accuracy, including mtx-SR.
+	fmt.Println("DBLP snapshots at ε=.001 (C=0.6):")
+	tab := bench.NewTable("dataset", "n", "m", "m̃", "memo-eSR*", "memo-gSR*", "iter-gSR*", "psum-SR", "mtx-SR")
+	for _, name := range []string{"D05-s", "D08-s", "D11-s"} {
+		p, _ := dataset.ByName(name)
+		if cfg.quick {
+			p.ScaledN /= 2
+		}
+		g := p.Build()
+		comp := biclique.Compress(g, biclique.Options{})
+		row := []interface{}{name, g.N(), g.M(), comp.MCompressed}
+		for _, a := range competitorSuite() {
+			k := a.kFor(eps)
+			d := bench.Timed(func() { a.run(g, comp, k) })
+			row = append(row, d)
+		}
+		// mtx-SR: rank-15 SVD solver. The paper reports 1457s / 1672s on
+		// D08/D11 — cost-inhibitive; we run it everywhere at this scale but
+		// it is reliably the slowest.
+		dm := bench.Timed(func() {
+			if _, err := simrank.MtxSR(g, simrank.MtxOptions{C: 0.6, Rank: 15}); err != nil {
+				panic(err)
+			}
+		})
+		row = append(row, dm)
+		tab.Add(row...)
+	}
+	tab.Render(os.Stdout)
+
+	// Panels 2–3: K sweeps.
+	sweeps := []struct {
+		preset string
+		ks     []int
+	}{
+		{"WebGoogle-s", []int{5, 10, 15, 20}},
+		{"CitPatent-s", []int{3, 6, 9, 12}},
+	}
+	for _, sw := range sweeps {
+		p, _ := dataset.ByName(sw.preset)
+		if cfg.quick {
+			p.ScaledN /= 2
+		}
+		g := p.Build()
+		comp := biclique.Compress(g, biclique.Options{})
+		fmt.Printf("\n%s (n=%d m=%d d=%.1f, m̃=%d), time per #iterations K:\n",
+			sw.preset, g.N(), g.M(), g.Density(), comp.MCompressed)
+		header := []string{"algorithm"}
+		for _, k := range sw.ks {
+			header = append(header, fmt.Sprintf("K=%d", k))
+		}
+		tab := bench.NewTable(header...)
+		for _, a := range competitorSuite() {
+			row := []interface{}{a.name}
+			for _, k := range sw.ks {
+				d := bench.Timed(func() { a.run(g, comp, k) })
+				row = append(row, d)
+			}
+			tab.Add(row...)
+		}
+		tab.Render(os.Stdout)
+	}
+
+	fmt.Println("\npaper shape: memo-eSR* fastest (fewest iterations at equal ε),")
+	fmt.Println("memo-gSR* > iter-gSR* > psum-SR (one vs two summations per iteration,")
+	fmt.Println("plus fine-grained sharing); mtx-SR slowest on the snapshot panel.")
+}

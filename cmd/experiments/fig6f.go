@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/biclique"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func init() {
+	register("fig6f", "amortised time of the two memo phases", runFig6f)
+}
+
+// runFig6f reproduces Fig. 6(f): for memo-eSR* and memo-gSR* at ε=.001, the
+// split between the one-off "Compress Bigraph" preprocessing and the
+// per-run "Share Sums" iterations. The paper's claims: compression is one
+// or more orders of magnitude cheaper than iterating, and occupies a larger
+// *fraction* of memo-eSR*'s total because its iteration phase is shorter.
+func runFig6f(cfg config) {
+	bench.Section(os.Stdout, "FIG6f", "amortised phase time at ε=.001 (C=0.6)")
+	const c, eps = 0.6, 0.001
+	kGeo := core.Options{C: c, Eps: eps}.IterationsGeometric()
+	kExp := core.Options{C: c, Eps: eps}.IterationsExponential()
+
+	tab := bench.NewTable("dataset", "algorithm", "compress", "share sums", "compress %")
+	for _, name := range []string{"WebGoogle-s", "CitPatent-s"} {
+		p, _ := dataset.ByName(name)
+		if cfg.quick {
+			p.ScaledN /= 2
+		}
+		g := p.Build()
+		var comp *biclique.Compressed
+		dCompress := bench.Timed(func() { comp = biclique.Compress(g, biclique.Options{}) })
+
+		dShareG := bench.Timed(func() {
+			core.GeometricWithCompressed(g, comp, core.Options{C: c, K: kGeo})
+		})
+		dShareE := bench.Timed(func() {
+			core.ExponentialWithCompressed(g, comp, core.Options{C: c, K: kExp})
+		})
+		pctG := 100 * dCompress.Seconds() / (dCompress + dShareG).Seconds()
+		pctE := 100 * dCompress.Seconds() / (dCompress + dShareE).Seconds()
+		tab.Add(name, fmt.Sprintf("memo-gSR* (K=%d)", kGeo), dCompress, dShareG, fmt.Sprintf("%.1f%%", pctG))
+		tab.Add(name, fmt.Sprintf("memo-eSR* (K=%d)", kExp), dCompress, dShareE, fmt.Sprintf("%.1f%%", pctE))
+	}
+	tab.Render(os.Stdout)
+	fmt.Println("\npaper shape: compress ≪ share-sums (preprocessing is cheap); the")
+	fmt.Println("compress share is larger for memo-eSR* (13% vs 4% on Web-Google).")
+}

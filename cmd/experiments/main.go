@@ -1,0 +1,69 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Sec. 5) on the scaled datasets described in DESIGN.md.
+//
+// Usage:
+//
+//	experiments [-exp id] [-quick]
+//
+// where id is one of: fig1, fig5, fig6a, fig6b, fig6c, fig6d, fig6e, fig6f,
+// fig6g, fig6h, ablation, all (default all). -quick shrinks workloads for
+// smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/dense"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(cfg config)
+}
+
+type config struct {
+	quick bool
+}
+
+var registry []experiment
+
+func register(id, title string, run func(cfg config)) {
+	registry = append(registry, experiment{id: id, title: title, run: run})
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1, fig5, fig6a..fig6h, ablation, all)")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	flag.Parse()
+
+	sort.Slice(registry, func(i, j int) bool { return registry[i].id < registry[j].id })
+	cfg := config{quick: *quick}
+	if *exp == "all" {
+		for _, e := range registry {
+			e.run(cfg)
+		}
+		return
+	}
+	for _, e := range registry {
+		if e.id == *exp {
+			e.run(cfg)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q; have:\n", *exp)
+	for _, e := range registry {
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.id, e.title)
+	}
+	os.Exit(2)
+}
+
+// rowOf extracts row q of a score matrix as a fresh slice.
+func rowOf(m *dense.Matrix, q int) []float64 {
+	out := make([]float64, m.Cols)
+	copy(out, m.Row(q))
+	return out
+}

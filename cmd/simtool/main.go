@@ -1,0 +1,240 @@
+// Command simtool is the general-purpose CLI over the library: compute
+// all-pairs similarities, answer single-source top-k queries, inspect graph
+// statistics, and report edge-concentration compression — the operations a
+// downstream user of SimRank* needs day to day.
+//
+// Usage:
+//
+//	simtool stats    -graph g.txt
+//	simtool compress -graph g.txt
+//	simtool topk     -graph g.txt -query <node> [-k 10] [-measure gsimrank*]
+//	simtool pairs    -graph g.txt [-measure gsimrank*] [-top 20]
+//	simtool explain  -graph g.txt -query <a> -other <b> [-len 5] [-top 10]
+//
+// Graphs are SNAP-style edge lists (see internal/graph). Measures:
+// gsimrank* (default), esimrank*, simrank, prank, rwr, cocitation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/bench"
+	"repro/internal/biclique"
+	"repro/internal/classic"
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/prank"
+	"repro/internal/rwr"
+	"repro/internal/simrank"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	graphPath := fs.String("graph", "", "edge-list file (required)")
+	measureName := fs.String("measure", "gsimrank*", "gsimrank*, esimrank*, simrank, prank, rwr, cocitation")
+	c := fs.Float64("c", 0.6, "damping factor")
+	k := fs.Int("k", 10, "top-k size")
+	iters := fs.Int("iters", 5, "iterations")
+	query := fs.String("query", "", "query node (label or id) for topk/explain")
+	other := fs.String("other", "", "second node (label or id) for explain")
+	maxLen := fs.Int("len", 5, "max total in-link path length for explain")
+	top := fs.Int("top", 20, "number of pairs for pairs / paths for explain")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if *graphPath == "" {
+		fatal("missing -graph")
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := graph.ReadEdgeList(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "stats":
+		runStats(g)
+	case "compress":
+		runCompress(g)
+	case "topk":
+		runTopK(g, *measureName, *query, *c, *iters, *k)
+	case "pairs":
+		runPairs(g, *measureName, *c, *iters, *top)
+	case "explain":
+		runExplain(g, *query, *other, *c, *maxLen, *top)
+	default:
+		usage()
+	}
+}
+
+// runExplain prints the top in-link path pairs behind a SimRank* score —
+// the Sec. 3.2 contribution analysis as a tool.
+func runExplain(g *graph.Graph, query, other string, c float64, maxLen, top int) {
+	if query == "" || other == "" {
+		fatal("explain needs -query and -other")
+	}
+	a, err := resolveNode(g, query)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := resolveNode(g, other)
+	if err != nil {
+		fatal(err)
+	}
+	exps := core.ExplainGeometric(g, a, b, c, maxLen, 0)
+	fmt.Printf("SimRank*(%s, %s) ≈ %.6f from %d in-link path pairs (length <= %d)\n\n",
+		g.Label(a), g.Label(b), core.ExplainedScore(exps), len(exps), maxLen)
+	tab := bench.NewTable("contribution", "kind", "source", "walk to "+g.Label(a), "walk to "+g.Label(b))
+	for i, e := range exps {
+		if i >= top {
+			break
+		}
+		kind := "dissymmetric"
+		if e.Symmetric() {
+			kind = "symmetric"
+		}
+		tab.Add(fmt.Sprintf("%.6f", e.Contribution), kind, g.Label(e.Source),
+			walkString(g, e.WalkToA), walkString(g, e.WalkToB))
+	}
+	tab.Render(os.Stdout)
+}
+
+func walkString(g *graph.Graph, nodes []int) string {
+	if len(nodes) == 1 {
+		return g.Label(nodes[0]) + " (source itself)"
+	}
+	s := ""
+	for i, n := range nodes {
+		if i > 0 {
+			s += "→"
+		}
+		s += g.Label(n)
+	}
+	return s
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: simtool {stats|compress|topk|pairs} -graph FILE [flags]")
+	os.Exit(2)
+}
+
+func fatal(v interface{}) {
+	fmt.Fprintln(os.Stderr, "simtool:", v)
+	os.Exit(1)
+}
+
+func runStats(g *graph.Graph) {
+	st := g.ComputeStats()
+	tab := bench.NewTable("stat", "value")
+	tab.Add("nodes", st.N)
+	tab.Add("edges", st.M)
+	tab.Add("density (m/n)", fmt.Sprintf("%.2f", st.Density))
+	tab.Add("max in-degree", st.MaxInDeg)
+	tab.Add("max out-degree", st.MaxOutDeg)
+	tab.Add("sources (no in-links)", st.Sources)
+	tab.Add("sinks (no out-links)", st.Sinks)
+	tab.Add("self-loops", st.SelfLoops)
+	tab.Add("symmetric (undirected)", st.SymmetricShape)
+	tab.Render(os.Stdout)
+}
+
+func runCompress(g *graph.Graph) {
+	var comp *biclique.Compressed
+	d := bench.Timed(func() { comp = biclique.Compress(g, biclique.Options{}) })
+	tab := bench.NewTable("stat", "value")
+	tab.Add("edges m", comp.MOriginal)
+	tab.Add("compressed edges m̃", comp.MCompressed)
+	tab.Add("compression ratio", fmt.Sprintf("%.1f%%", comp.CompressionRatio()))
+	tab.Add("concentration nodes", comp.NumConcentration())
+	tab.Add("mining time", d)
+	tab.Render(os.Stdout)
+}
+
+func resolveNode(g *graph.Graph, s string) (int, error) {
+	if id, ok := g.NodeByLabel(s); ok {
+		return id, nil
+	}
+	id, err := strconv.Atoi(s)
+	if err != nil || id < 0 || id >= g.N() {
+		return 0, fmt.Errorf("unknown node %q", s)
+	}
+	return id, nil
+}
+
+func runTopK(g *graph.Graph, measure, query string, c float64, iters, k int) {
+	if query == "" {
+		fatal("missing -query")
+	}
+	q, err := resolveNode(g, query)
+	if err != nil {
+		fatal(err)
+	}
+	var scores []float64
+	opt := core.Options{C: c, K: iters}
+	switch measure {
+	case "gsimrank*":
+		scores = core.SingleSourceGeometric(g, q, opt)
+	case "esimrank*":
+		scores = core.SingleSourceExponential(g, q, opt)
+	case "rwr":
+		scores = rwr.SingleSource(g, q, rwr.Options{C: c, K: iters})
+	default:
+		m := allPairsOf(g, measure, c, iters)
+		scores = make([]float64, g.N())
+		copy(scores, m.Row(q))
+	}
+	tab := bench.NewTable("rank", "node", "score")
+	for i, r := range core.TopK(scores, k, q) {
+		tab.Add(i+1, g.Label(r.Node), fmt.Sprintf("%.6f", r.Score))
+	}
+	tab.Render(os.Stdout)
+}
+
+func runPairs(g *graph.Graph, measure string, c float64, iters, top int) {
+	m := allPairsOf(g, measure, c, iters)
+	at := func(i, j int) float64 {
+		a, b := m.At(i, j), m.At(j, i)
+		if a > b {
+			return a
+		}
+		return b
+	}
+	tab := bench.NewTable("rank", "pair", "score")
+	for i, p := range eval.TopPairs(g.N(), at, top) {
+		tab.Add(i+1, fmt.Sprintf("(%s, %s)", g.Label(p.A), g.Label(p.B)), fmt.Sprintf("%.6f", p.Score))
+	}
+	tab.Render(os.Stdout)
+}
+
+func allPairsOf(g *graph.Graph, measure string, c float64, iters int) *dense.Matrix {
+	switch measure {
+	case "gsimrank*":
+		return core.GeometricMemo(g, core.Options{C: c, K: iters})
+	case "esimrank*":
+		return core.ExponentialMemo(g, core.Options{C: c, K: iters})
+	case "simrank":
+		return simrank.PSum(g, simrank.Options{C: c, K: iters})
+	case "prank":
+		return prank.AllPairs(g, prank.Options{C: c, K: iters})
+	case "rwr":
+		return rwr.AllPairs(g, rwr.Options{C: c, K: iters})
+	case "cocitation":
+		return classic.CoCitation(g)
+	default:
+		fatal(fmt.Sprintf("unknown measure %q", measure))
+		return nil
+	}
+}

@@ -1,0 +1,73 @@
+// Citations: related-paper search on a synthetic arXiv-like corpus — the
+// paper's motivating CitHepTh scenario. Generates a planted-topic citation
+// DAG, answers "papers related to q" with four measures, and scores each
+// against the planted ground truth, showing why aggregating all in-link
+// paths (SimRank*) recovers topical relatedness that SimRank and RWR miss.
+//
+//	go run ./examples/citations
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/rwr"
+	"repro/internal/simrank"
+)
+
+func main() {
+	corpus := dataset.TopicCitation(dataset.TopicCitationOptions{
+		N: 500, Topics: 6, AvgOut: 8, Seed: 42,
+	})
+	g := corpus.G
+	fmt.Printf("corpus: %d papers, %d citations, %d planted topics\n\n",
+		g.N(), g.M(), corpus.NumTopics)
+
+	// A mid-corpus paper as the query: enough older papers to cite and
+	// enough newer papers citing it.
+	q := 250
+	fmt.Printf("query: paper %d (topic %d, %d citations received)\n\n",
+		q, corpus.Dominant[q], corpus.CitationCount(q))
+
+	opt := core.Options{C: 0.6, K: 8}
+	results := map[string][]float64{
+		"SimRank* (geometric)": core.SingleSourceGeometric(g, q, opt),
+		"SimRank* (exponent.)": core.SingleSourceExponential(g, q, opt),
+		"RWR":                  rwr.SingleSource(g, q, rwr.Options{C: 0.6, K: 8}),
+	}
+	// SimRank needs the all-pairs run (no cheap single-source form — one of
+	// SimRank*'s practical advantages).
+	sr := simrank.PSum(g, simrank.Options{C: 0.6, K: 8})
+	srRow := make([]float64, g.N())
+	copy(srRow, sr.Row(q))
+	results["SimRank"] = srRow
+
+	truth := make([]float64, g.N())
+	for j := range truth {
+		truth[j] = corpus.TrueSim(q, j)
+	}
+	truth[q] = 0
+
+	for _, name := range []string{"SimRank* (geometric)", "SimRank* (exponent.)", "SimRank", "RWR"} {
+		scores := results[name]
+		scores[q] = 0
+		top := core.TopK(scores, 5, q)
+		sameTopic := 0
+		for _, r := range top {
+			if corpus.Dominant[r.Node] == corpus.Dominant[q] {
+				sameTopic++
+			}
+		}
+		rho := eval.SpearmanRho(scores, truth)
+		fmt.Printf("%-22s Spearman-vs-truth %+.3f, top-5 same-topic %d/5:", name, rho, sameTopic)
+		for _, r := range top {
+			fmt.Printf("  %d(%.3f)", r.Node, r.Score)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nnote: SimRank scores many related papers exactly 0 (no equal-length")
+	fmt.Println("common ancestor); RWR sees only papers the query can reach by citing.")
+}

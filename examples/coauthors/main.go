@@ -1,0 +1,67 @@
+// Coauthors: collaborator recommendation on a synthetic DBLP-like network.
+// Builds a community-structured coauthorship graph, recommends collaborators
+// for an author with SimRank*, and verifies recommendations respect the
+// planted community structure and similar H-index roles — the paper's DBLP
+// evaluation in miniature.
+//
+//	go run ./examples/coauthors
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/biclique"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func main() {
+	net := dataset.Coauthor(dataset.CoauthorOptions{
+		Authors: 400, Papers: 1200, Communities: 8, Seed: 7,
+	})
+	g := net.G
+	fmt.Printf("network: %d authors, %d coauthorship edges, density %.1f\n",
+		g.N(), g.M(), g.Density())
+
+	// Edge concentration is what makes repeated queries cheap: compress
+	// once, reuse for every computation.
+	comp := biclique.Compress(g, biclique.Options{})
+	fmt.Printf("edge concentration: m=%d → m̃=%d (%.1f%% compression, %d concentration nodes)\n\n",
+		comp.MOriginal, comp.MCompressed, comp.CompressionRatio(), comp.NumConcentration())
+
+	s := core.GeometricWithCompressed(g, comp, core.Options{C: 0.6, K: 8})
+
+	// Pick the most collaborative author as the case study.
+	q, best := 0, 0
+	for a := 0; a < g.N(); a++ {
+		if d := g.OutDeg(a); d > best {
+			q, best = a, d
+		}
+	}
+	fmt.Printf("query author %d: community %d, H-index %d, %d direct collaborators\n",
+		q, net.Community[q], net.HIndex(q), g.OutDeg(q))
+
+	// Exclude existing collaborators — recommendations should be new people.
+	exclude := []int{q}
+	for _, c := range g.Out(q) {
+		exclude = append(exclude, int(c))
+	}
+	row := make([]float64, g.N())
+	copy(row, s.Row(q))
+	recs := core.TopK(row, 8, exclude...)
+
+	fmt.Println("\nrecommended new collaborators (not yet coauthors):")
+	sameComm := 0
+	for i, r := range recs {
+		mark := ""
+		if net.Community[r.Node] == net.Community[q] {
+			mark = " [same community]"
+			sameComm++
+		}
+		fmt.Printf("  %d. author %-4d score %.4f  H-index %-3d%s\n",
+			i+1, r.Node, r.Score, net.HIndex(r.Node), mark)
+	}
+	fmt.Printf("\n%d/%d recommendations are in the query's community — SimRank*'s\n", sameComm, len(recs))
+	fmt.Println("all-paths aggregation surfaces 2-hop and 3-hop colleagues that classic")
+	fmt.Println("SimRank scores zero when the collaboration distances are odd.")
+}

@@ -1,0 +1,81 @@
+// Webranking: "related pages" on an R-MAT webgraph — the paper's Web-Google
+// scenario. Demonstrates the exponential SimRank* variant (fastest at equal
+// accuracy), threshold sieving for sparse storage of results, and the
+// asymmetry pitfall of RWR on the web.
+//
+//	go run ./examples/webranking
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rwr"
+)
+
+func main() {
+	g := dataset.RMATDefault(9, 6, 99) // 512 pages, heavy-tailed links
+	fmt.Printf("webgraph: %d pages, %d links, density %.1f\n\n", g.N(), g.M(), g.Density())
+
+	// Accuracy-driven iteration counts: the exponential form reaches
+	// ε = 0.001 in far fewer iterations than the geometric form.
+	opt := core.Options{C: 0.6, Eps: 0.001}
+	fmt.Printf("iterations for ε=0.001: geometric K=%d, exponential K=%d\n\n",
+		opt.IterationsGeometric(), opt.IterationsExponential())
+
+	// All-pairs with threshold sieving: drop scores below 1e-4 as the paper
+	// does, keeping the result sparse enough to store.
+	s := core.ExponentialMemo(g, core.Options{C: 0.6, Eps: 0.001, Sieve: 1e-4})
+	nonzero := 0
+	for _, v := range s.Data {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	total := g.N() * g.N()
+	fmt.Printf("sieved score matrix: %d/%d entries kept (%.1f%%)\n\n",
+		nonzero, total, 100*float64(nonzero)/float64(total))
+
+	// Query: the most linked-to page among those that link out the least —
+	// a content sink (think a PDF or a landing page). RWR is starved here:
+	// it can only score pages the query reaches by its own out-links.
+	q, best := 0, -1
+	for v := 0; v < g.N(); v++ {
+		if g.OutDeg(v) == 0 && g.InDeg(v) > best {
+			q, best = v, g.InDeg(v)
+		}
+	}
+	if best < 0 { // no sinks: fall back to max in-degree
+		for v := 0; v < g.N(); v++ {
+			if d := g.InDeg(v); d > best {
+				q, best = v, d
+			}
+		}
+	}
+	fmt.Printf("related pages for sink %d (in-degree %d, out-degree %d):\n", q, best, g.OutDeg(q))
+	row := make([]float64, g.N())
+	copy(row, s.Row(q))
+	for i, r := range core.TopK(row, 5, q) {
+		fmt.Printf("  %d. page %-4d score %.4f\n", i+1, r.Node, r.Score)
+	}
+
+	// RWR asymmetry: a hub is reachable from many pages, but reaches few —
+	// so RWR "related pages" for a hub is starved while SimRank* is not.
+	rv := rwr.SingleSource(g, q, rwr.Options{C: 0.6, K: 13})
+	rwNonzero := 0
+	for i, v := range rv {
+		if i != q && v > 0 {
+			rwNonzero++
+		}
+	}
+	srNonzero := 0
+	for i, v := range row {
+		if i != q && v > 0 {
+			srNonzero++
+		}
+	}
+	fmt.Printf("\npages with non-zero relatedness to the hub: SimRank* %d, RWR %d\n",
+		srNonzero, rwNonzero)
+	fmt.Println("(RWR only scores pages the hub links toward — the Sec. 3.1 asymmetry.)")
+}

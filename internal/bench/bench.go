@@ -1,0 +1,169 @@
+// Package bench provides the small harness shared by cmd/experiments and
+// the root bench_test.go: wall-clock timing, heap-usage measurement (the
+// paper's Fig. 6(h) memory metric) and aligned table rendering in the style
+// of the paper's figures.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Timed runs fn and returns its wall-clock duration.
+func Timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// HeapUsed runs fn and returns (duration, peak-ish heap delta in bytes).
+// It GCs before and after, reporting the live-heap growth attributable to
+// fn's retained result plus the largest transient allocation observable at
+// completion — adequate for the order-of-magnitude comparisons of
+// Fig. 6(h).
+func HeapUsed(fn func()) (time.Duration, uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	dur := time.Since(start)
+	runtime.ReadMemStats(&after)
+	var used uint64
+	if after.HeapAlloc > before.HeapAlloc {
+		used = after.HeapAlloc - before.HeapAlloc
+	}
+	return dur, used
+}
+
+// PeakHeap runs fn while sampling the live heap every few milliseconds and
+// returns (duration, peak heap growth over the pre-run baseline). This is
+// the Fig. 6(h) "memory space" metric: it captures transient working-set
+// peaks (iteration buffers, SVD temporaries) that a before/after snapshot
+// misses.
+func PeakHeap(fn func()) (time.Duration, uint64) {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	stop := make(chan struct{})
+	peakCh := make(chan uint64)
+	go func() {
+		peak := base.HeapAlloc
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				peakCh <- peak
+				return
+			case <-ticker.C:
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	fn()
+	dur := time.Since(start)
+	// One final sample after fn returns, before signalling.
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	close(stop)
+	peak := <-peakCh
+	if end.HeapAlloc > peak {
+		peak = end.HeapAlloc
+	}
+	if peak <= base.HeapAlloc {
+		return dur, 0
+	}
+	return dur, peak - base.HeapAlloc
+}
+
+// MB renders a byte count as mebibytes with one decimal.
+func MB(b uint64) string { return fmt.Sprintf("%.1fMB", float64(b)/(1<<20)) }
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case time.Duration:
+			row[i] = fmtDuration(v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// Section prints a figure/table banner matching the experiment ids of
+// DESIGN.md.
+func Section(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n=== %s — %s ===\n\n", id, title)
+}

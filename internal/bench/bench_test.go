@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimed(t *testing.T) {
+	d := Timed(func() { time.Sleep(5 * time.Millisecond) })
+	if d < 4*time.Millisecond {
+		t.Fatalf("Timed = %v, want >= 5ms", d)
+	}
+}
+
+func TestHeapUsed(t *testing.T) {
+	var keep []byte
+	_, used := HeapUsed(func() { keep = make([]byte, 8<<20) })
+	if used < 7<<20 {
+		t.Fatalf("HeapUsed = %d, want >= ~8MB", used)
+	}
+	_ = keep
+}
+
+func TestMB(t *testing.T) {
+	if got := MB(1 << 20); got != "1.0MB" {
+		t.Fatalf("MB = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.Add("alpha", 1.5)
+	tab.Add("b", 250*time.Millisecond)
+	tab.Add("c", 2*time.Second)
+	tab.Add("d", 42)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"name", "alpha", "1.5", "250.0ms", "2.00s", "42", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + sep + 4 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func TestSection(t *testing.T) {
+	var sb strings.Builder
+	Section(&sb, "FIG1", "title")
+	if !strings.Contains(sb.String(), "FIG1") {
+		t.Fatal("Section missing id")
+	}
+}

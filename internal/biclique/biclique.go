@@ -1,0 +1,392 @@
+// Package biclique implements the paper's Section 4.3: compression of the
+// induced bigraph via edge concentration, and the resulting fine-grained
+// memoization operator used by memo-gSR* and memo-eSR*.
+//
+// The induced bigraph G̃ = (T ∪ B, Ẽ) (Definition 2) has one T-node per
+// graph node with out-links and one B-node per graph node with in-links; the
+// in-neighbour set I(x) of a node x is exactly the T-neighbourhood of x in
+// G̃. A biclique (X, Y) (Definition 3) certifies that all nodes in Y share
+// the in-neighbour subset X; replacing its |X|·|Y| edges with a
+// concentration node of |X|+|Y| edges lets the partial sum over X be
+// computed once and shared by every member of Y — the paper's fine-grained
+// partial sums memoization.
+//
+// Edge concentration is NP-hard (Lin, 2000), so mining is heuristic, in the
+// spirit of Buehrer & Chellapilla's frequent-itemset approach: identical
+// in-neighbour sets are grouped first, then frequent source-pairs seed
+// greedily extended bicliques. Each original in-edge is covered exactly once
+// (either directly or through exactly one concentration node), which keeps
+// the memoized sums exact rather than approximate.
+package biclique
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Biclique is a complete bipartite subgraph (X ⊆ T, Y ⊆ B) of the induced
+// bigraph: every y ∈ Y has every x ∈ X among its in-neighbours.
+type Biclique struct {
+	X []int32 // fan-in sources, ascending
+	Y []int32 // fan-out targets, ascending
+}
+
+// Savings returns |X|·|Y| − (|X|+|Y|), the number of edges removed from the
+// bigraph by concentrating this biclique.
+func (b *Biclique) Savings() int {
+	return len(b.X)*len(b.Y) - (len(b.X) + len(b.Y))
+}
+
+// Options controls the miner.
+type Options struct {
+	// MinSources and MinTargets bound biclique dimensions (paper: both >= 2,
+	// since smaller bicliques never save edges).
+	MinSources, MinTargets int
+	// Passes is the number of pair-seeded greedy sweeps after the
+	// identical-set pass. 0 means the default.
+	Passes int
+	// MaxPairsPerNode caps the number of source pairs enumerated per B-node
+	// to keep mining near-linear on dense rows. 0 means the default.
+	MaxPairsPerNode int
+	// DisablePairMining keeps only the identical-set pass (used by the
+	// miner-strategy ablation).
+	DisablePairMining bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSources < 2 {
+		o.MinSources = 2
+	}
+	if o.MinTargets < 2 {
+		o.MinTargets = 2
+	}
+	if o.Passes == 0 {
+		o.Passes = 3
+	}
+	if o.MaxPairsPerNode == 0 {
+		o.MaxPairsPerNode = 256
+	}
+	return o
+}
+
+// Compressed is the compressed graph Ĝ = (T ∪ B ∪ V̂, Ê): for every node x,
+// I(x) is partitioned into Direct[x] plus the fan-in sets Δ(v) of the
+// concentration nodes v ∈ ConcOf[x].
+type Compressed struct {
+	N         int
+	Bicliques []Biclique
+	Direct    [][]int32 // per node: in-neighbours not covered by any biclique
+	ConcOf    [][]int32 // per node: indices into Bicliques whose Y contains it
+	InDeg     []int     // original |I(x)|
+
+	MOriginal   int // |Ẽ| = edges of G
+	MCompressed int // |Ê| = Σ|Direct| + Σ_v (|X_v| + |Y_v|)
+}
+
+// CompressionRatio returns (1 − m̃/m)·100%, the paper's Fig. 6(g) metric.
+func (c *Compressed) CompressionRatio() float64 {
+	if c.MOriginal == 0 {
+		return 0
+	}
+	return (1 - float64(c.MCompressed)/float64(c.MOriginal)) * 100
+}
+
+// Compress builds the induced bigraph of g, mines bicliques and returns the
+// compressed structure. It always yields a valid cover; with no minable
+// structure the result degenerates to Direct = I(·) and m̃ = m.
+func Compress(g *graph.Graph, opt Options) *Compressed {
+	opt = opt.withDefaults()
+	n := g.N()
+	c := &Compressed{
+		N:         n,
+		Direct:    make([][]int32, n),
+		ConcOf:    make([][]int32, n),
+		InDeg:     make([]int, n),
+		MOriginal: g.M(),
+	}
+	// remaining[x] = in-neighbours of x not yet covered by a biclique.
+	remaining := make([]map[int32]struct{}, n)
+	for x := 0; x < n; x++ {
+		in := g.In(x)
+		c.InDeg[x] = len(in)
+		if len(in) == 0 {
+			continue
+		}
+		set := make(map[int32]struct{}, len(in))
+		for _, s := range in {
+			set[s] = struct{}{}
+		}
+		remaining[x] = set
+	}
+
+	commit := func(b Biclique) {
+		idx := int32(len(c.Bicliques))
+		c.Bicliques = append(c.Bicliques, b)
+		for _, y := range b.Y {
+			c.ConcOf[y] = append(c.ConcOf[y], idx)
+			for _, x := range b.X {
+				delete(remaining[y], x)
+			}
+		}
+	}
+
+	mineIdenticalSets(g, remaining, opt, commit)
+	if !opt.DisablePairMining {
+		for pass := 0; pass < opt.Passes; pass++ {
+			if !minePairSeeded(n, remaining, opt, commit) {
+				break
+			}
+		}
+	}
+
+	// Whatever is left stays as direct edges.
+	for x := 0; x < n; x++ {
+		if len(remaining[x]) == 0 {
+			continue
+		}
+		d := make([]int32, 0, len(remaining[x]))
+		for s := range remaining[x] {
+			d = append(d, s)
+		}
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+		c.Direct[x] = d
+	}
+	for x := 0; x < n; x++ {
+		c.MCompressed += len(c.Direct[x])
+	}
+	for _, b := range c.Bicliques {
+		c.MCompressed += len(b.X) + len(b.Y)
+	}
+	return c
+}
+
+// mineIdenticalSets groups B-nodes whose *entire remaining* in-neighbour set
+// is identical; each group of >= MinTargets nodes with >= MinSources shared
+// sources and positive savings becomes one biclique.
+func mineIdenticalSets(g *graph.Graph, remaining []map[int32]struct{}, opt Options, commit func(Biclique)) {
+	n := g.N()
+	var seed maphash.Seed = maphash.MakeSeed()
+	groups := make(map[uint64][]int32)
+	for x := 0; x < n; x++ {
+		if len(remaining[x]) < opt.MinSources {
+			continue
+		}
+		// Hash the sorted remaining set (at this point remaining == I(x)).
+		in := g.In(x)
+		var h maphash.Hash
+		h.SetSeed(seed)
+		for _, s := range in {
+			var buf [4]byte
+			buf[0] = byte(s)
+			buf[1] = byte(s >> 8)
+			buf[2] = byte(s >> 16)
+			buf[3] = byte(s >> 24)
+			h.Write(buf[:])
+		}
+		groups[h.Sum64()] = append(groups[h.Sum64()], int32(x))
+	}
+	keys := make([]uint64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		members := groups[k]
+		if len(members) < opt.MinTargets {
+			continue
+		}
+		// Split hash-collision groups by comparing actual sets against the
+		// first member; stragglers are simply skipped in this pass.
+		ref := g.In(int(members[0]))
+		ys := members[:0:0]
+		for _, y := range members {
+			if equalInt32(g.In(int(y)), ref) {
+				ys = append(ys, y)
+			}
+		}
+		if len(ys) < opt.MinTargets {
+			continue
+		}
+		b := Biclique{X: append([]int32(nil), ref...), Y: append([]int32(nil), ys...)}
+		if b.Savings() > 0 {
+			commit(b)
+		}
+	}
+}
+
+// minePairSeeded counts co-occurring source pairs across remaining sets,
+// seeds a biclique from each frequent pair and greedily widens X while the
+// savings improve. Returns whether any biclique was committed.
+func minePairSeeded(n int, remaining []map[int32]struct{}, opt Options, commit func(Biclique)) bool {
+	type pair struct{ a, b int32 }
+	counts := make(map[pair]int)
+	for x := 0; x < n; x++ {
+		set := remaining[x]
+		if len(set) < 2 {
+			continue
+		}
+		srcs := make([]int32, 0, len(set))
+		for s := range set {
+			srcs = append(srcs, s)
+		}
+		sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+		budget := opt.MaxPairsPerNode
+		for i := 0; i < len(srcs) && budget > 0; i++ {
+			for j := i + 1; j < len(srcs) && budget > 0; j++ {
+				counts[pair{srcs[i], srcs[j]}]++
+				budget--
+			}
+		}
+	}
+	pairs := make([]pair, 0, len(counts))
+	for p, c := range counts {
+		if c >= opt.MinTargets {
+			pairs = append(pairs, p)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if counts[pairs[i]] != counts[pairs[j]] {
+			return counts[pairs[i]] > counts[pairs[j]]
+		}
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+
+	// occ[s] = B-nodes whose remaining set contained source s when the pass
+	// started. Commits only shrink `remaining`, so occ is a superset that is
+	// re-validated against `remaining` at every use — no rebuild needed,
+	// which keeps a pass near-linear in the edge count.
+	occ := make(map[int32][]int32)
+	for x := 0; x < n; x++ {
+		for s := range remaining[x] {
+			occ[s] = append(occ[s], int32(x))
+		}
+	}
+
+	committed := false
+	for _, p := range pairs {
+		// Current Y for the seed pair.
+		var ys []int32
+		for _, y := range occ[p.a] {
+			if _, ok := remaining[y][p.b]; ok {
+				if _, ok := remaining[y][p.a]; ok { // occ may be stale
+					ys = append(ys, y)
+				}
+			}
+		}
+		if len(ys) < opt.MinTargets {
+			continue
+		}
+		x := []int32{p.a, p.b}
+		// Greedy widening: add the source that keeps the most of Y, while
+		// the savings improve.
+		for {
+			counts := make(map[int32]int)
+			for _, y := range ys {
+				for s := range remaining[y] {
+					counts[s]++
+				}
+			}
+			var bestS int32 = -1
+			bestC := 0
+			for s, c := range counts {
+				if containsInt32(x, s) {
+					continue
+				}
+				if c > bestC || (c == bestC && bestS >= 0 && s < bestS) {
+					bestS, bestC = s, c
+				}
+			}
+			if bestS < 0 || bestC < opt.MinTargets {
+				break
+			}
+			curSave := len(x)*len(ys) - (len(x) + len(ys))
+			newSave := (len(x)+1)*bestC - (len(x) + 1 + bestC)
+			if newSave <= curSave {
+				break
+			}
+			x = append(x, bestS)
+			kept := ys[:0:0]
+			for _, y := range ys {
+				if _, ok := remaining[y][bestS]; ok {
+					kept = append(kept, y)
+				}
+			}
+			ys = kept
+		}
+		b := Biclique{X: append([]int32(nil), x...), Y: append([]int32(nil), ys...)}
+		sort.Slice(b.X, func(i, j int) bool { return b.X[i] < b.X[j] })
+		sort.Slice(b.Y, func(i, j int) bool { return b.Y[i] < b.Y[j] })
+		if len(b.X) >= opt.MinSources && len(b.Y) >= opt.MinTargets && b.Savings() > 0 {
+			commit(b)
+			committed = true
+		}
+	}
+	return committed
+}
+
+// Verify checks the exact-cover invariant against the original graph: for
+// every node x, Direct[x] plus the fan-ins of its concentration nodes equals
+// I(x) with no duplicates. It returns a descriptive error on violation.
+func (c *Compressed) Verify(g *graph.Graph) error {
+	if g.N() != c.N {
+		return fmt.Errorf("biclique: node count mismatch %d != %d", g.N(), c.N)
+	}
+	for x := 0; x < c.N; x++ {
+		got := make(map[int32]int)
+		for _, s := range c.Direct[x] {
+			got[s]++
+		}
+		for _, vi := range c.ConcOf[x] {
+			for _, s := range c.Bicliques[vi].X {
+				got[s]++
+			}
+		}
+		in := g.In(x)
+		if len(got) != len(in) {
+			return fmt.Errorf("biclique: node %d covers %d sources, want %d", x, len(got), len(in))
+		}
+		for _, s := range in {
+			if got[s] != 1 {
+				return fmt.Errorf("biclique: node %d covers source %d %d times", x, s, got[s])
+			}
+		}
+	}
+	m := 0
+	for x := 0; x < c.N; x++ {
+		m += len(c.Direct[x])
+	}
+	for _, b := range c.Bicliques {
+		m += len(b.X) + len(b.Y)
+	}
+	if m != c.MCompressed {
+		return fmt.Errorf("biclique: MCompressed = %d, recomputed %d", c.MCompressed, m)
+	}
+	return nil
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsInt32(xs []int32, v int32) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

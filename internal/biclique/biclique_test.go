@@ -1,0 +1,275 @@
+package biclique
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// figure1 builds the paper's Figure-1 citation graph (18 edges, 11 nodes
+// a..k mapped to 0..10). Its induced bigraph is the paper's Figure 4, with
+// two bicliques: ({b,d},{c,g,i}) and ({e,j,k},{h,i}).
+func figure1() *graph.Graph {
+	b := graph.NewBuilder()
+	for _, e := range [][2]string{
+		{"a", "b"}, {"a", "d"}, {"a", "e"},
+		{"b", "c"}, {"b", "f"}, {"b", "g"}, {"b", "i"},
+		{"d", "c"}, {"d", "g"}, {"d", "i"},
+		{"e", "h"}, {"e", "i"},
+		{"f", "d"},
+		{"h", "i"},
+		{"j", "h"}, {"j", "i"},
+		{"k", "h"}, {"k", "i"},
+	} {
+		b.AddEdgeLabeled(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder()
+	b.EnsureN(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestFigure4Compression(t *testing.T) {
+	g := figure1()
+	c := Compress(g, Options{})
+	if err := c.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 4 reduces 18 edges by 2 via two concentration
+	// nodes; our miner must find at least that much structure.
+	if c.MCompressed > c.MOriginal-2 {
+		t.Fatalf("m̃ = %d, want <= %d (paper saves 2 edges)", c.MCompressed, c.MOriginal-2)
+	}
+	if len(c.Bicliques) < 2 {
+		t.Fatalf("found %d bicliques, want >= 2 (paper's v1, v2)", len(c.Bicliques))
+	}
+	// The biclique ({e,j,k},{h,i}) from the paper must be discoverable:
+	// h's in-set {e,j,k} is shared with i.
+	e, _ := g.NodeByLabel("e")
+	j, _ := g.NodeByLabel("j")
+	k, _ := g.NodeByLabel("k")
+	h, _ := g.NodeByLabel("h")
+	i, _ := g.NodeByLabel("i")
+	found := false
+	for _, b := range c.Bicliques {
+		if containsInt32(b.X, int32(e)) && containsInt32(b.X, int32(j)) && containsInt32(b.X, int32(k)) &&
+			containsInt32(b.Y, int32(h)) && containsInt32(b.Y, int32(i)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("biclique ({e,j,k},{h,i}) not found; got %+v", c.Bicliques)
+	}
+}
+
+func TestSavings(t *testing.T) {
+	b := Biclique{X: []int32{0, 1}, Y: []int32{2, 3, 4}}
+	if b.Savings() != 6-5 {
+		t.Fatalf("Savings = %d, want 1", b.Savings())
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	// K_{5,10}: one biclique covering everything; m̃ = 15 vs m = 50.
+	b := graph.NewBuilder()
+	for u := 0; u < 5; u++ {
+		for v := 5; v < 15; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	g, _ := b.Build()
+	c := Compress(g, Options{})
+	if err := c.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if c.MCompressed != 15 {
+		t.Fatalf("m̃ = %d, want 15", c.MCompressed)
+	}
+	if got := c.CompressionRatio(); got < 69 || got > 71 {
+		t.Fatalf("ratio = %g%%, want 70%%", got)
+	}
+}
+
+func TestNoStructure(t *testing.T) {
+	// A path has no shared in-neighbours: nothing to mine, m̃ = m.
+	b := graph.NewBuilder()
+	for i := 0; i < 9; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g, _ := b.Build()
+	c := Compress(g, Options{})
+	if err := c.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Bicliques) != 0 {
+		t.Fatalf("path graph yielded %d bicliques", len(c.Bicliques))
+	}
+	if c.MCompressed != c.MOriginal {
+		t.Fatalf("m̃ = %d, want %d", c.MCompressed, c.MOriginal)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(0, nil)
+	c := Compress(g, Options{})
+	if err := c.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if c.CompressionRatio() != 0 {
+		t.Fatal("empty graph ratio should be 0")
+	}
+}
+
+func TestIdenticalSetOnlyAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomGraph(rng, 60, 500)
+	full := Compress(g, Options{})
+	identOnly := Compress(g, Options{DisablePairMining: true})
+	if err := identOnly.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if full.MCompressed > identOnly.MCompressed {
+		t.Fatalf("pair mining made compression worse: %d > %d", full.MCompressed, identOnly.MCompressed)
+	}
+}
+
+// Property: compression never increases the edge count and always verifies.
+func TestQuickCompressInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		g := randomGraph(rng, n, rng.Intn(6*n))
+		c := Compress(g, Options{})
+		if err := c.Verify(g); err != nil {
+			t.Log(err)
+			return false
+		}
+		return c.MCompressed <= c.MOriginal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the compressed operator computes exactly Q·X.
+func TestQuickOperatorMatchesCSR(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randomGraph(rng, n, rng.Intn(6*n))
+		c := Compress(g, Options{})
+		op := c.Operator()
+		q := sparse.BackwardTransition(g)
+		src := dense.New(n, n)
+		for i := range src.Data {
+			src.Data[i] = rng.NormFloat64()
+		}
+		got := dense.New(n, n)
+		op.Apply(got, src)
+		want := q.MulDense(src)
+		return got.MaxAbsDiff(want) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperatorVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomGraph(rng, 35, 180)
+	c := Compress(g, Options{})
+	op := c.Operator()
+	q := sparse.BackwardTransition(g)
+	x := make([]float64, 35)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := make([]float64, 35)
+	op.ApplyVec(got, x)
+	want := q.MulVec(x)
+	for i := range got {
+		if d := got[i] - want[i]; d > 1e-10 || d < -1e-10 {
+			t.Fatalf("ApplyVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperatorReuseAcrossApplies(t *testing.T) {
+	// Repeated Apply calls must not corrupt state (pool reuse).
+	rng := rand.New(rand.NewSource(22))
+	g := randomGraph(rng, 20, 100)
+	c := Compress(g, Options{})
+	op := c.Operator()
+	q := sparse.BackwardTransition(g)
+	src := dense.New(20, 20)
+	for i := range src.Data {
+		src.Data[i] = rng.NormFloat64()
+	}
+	dst := dense.New(20, 20)
+	for iter := 0; iter < 3; iter++ {
+		op.Apply(dst, src)
+		want := q.MulDense(src)
+		if dst.MaxAbsDiff(want) > 1e-10 {
+			t.Fatalf("iter %d: operator drifted by %g", iter, dst.MaxAbsDiff(want))
+		}
+		src.CopyFrom(dst)
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	g := figure1()
+	c := Compress(g, Options{})
+	// Corrupt: drop a direct edge from some node that has one.
+	for x := range c.Direct {
+		if len(c.Direct[x]) > 0 {
+			c.Direct[x] = c.Direct[x][1:]
+			break
+		}
+	}
+	if err := c.Verify(g); err == nil {
+		t.Fatal("Verify accepted a corrupted cover")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 500, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(g, Options{})
+	}
+}
+
+func BenchmarkOperatorApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 500, 5000)
+	c := Compress(g, Options{})
+	op := c.Operator()
+	src := dense.New(500, 500)
+	for i := range src.Data {
+		src.Data[i] = rng.Float64()
+	}
+	dst := dense.New(500, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Apply(dst, src)
+	}
+}

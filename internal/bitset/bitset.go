@@ -1,0 +1,302 @@
+// Package bitset provides a fixed-size bitset tuned for the dense row
+// operations used by the in-link path analyser (internal/paths) and the
+// biclique miner (internal/biclique): bulk OR/AND, popcount, and fast
+// intersection tests over node sets.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset over [0, Len()). The zero value is an empty
+// set of capacity zero; use New to allocate capacity.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set with capacity for n bits.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a set of capacity n containing the given indices.
+func FromIndices(n int, idx ...int) *Set {
+	s := New(n)
+	for _, i := range idx {
+		s.Add(i)
+	}
+	return s
+}
+
+// Len reports the capacity (number of addressable bits).
+func (s *Set) Len() int { return s.n }
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) {
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Copy overwrites s with the contents of o. The sets must have equal capacity.
+func (s *Set) Copy(o *Set) {
+	s.mustMatch(o)
+	copy(s.words, o.words)
+}
+
+// Or sets s = s ∪ o.
+func (s *Set) Or(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// And sets s = s ∩ o.
+func (s *Set) And(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// AndNot sets s = s \ o.
+func (s *Set) AndNot(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// Intersects reports whether s ∩ o is non-empty without materialising it.
+func (s *Set) Intersects(o *Set) bool {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectionCount returns |s ∩ o| without materialising the intersection.
+func (s *Set) IntersectionCount(o *Set) int {
+	s.mustMatch(o)
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(s.words[i] & w)
+	}
+	return c
+}
+
+// Equal reports whether s and o contain the same elements.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range o.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsetOf reports whether every element of s is in o.
+func (s *Set) IsSubsetOf(o *Set) bool {
+	s.mustMatch(o)
+	for i, w := range s.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for each element in ascending order. Iteration stops if fn
+// returns false.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the elements of the set in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Next returns the smallest element >= i, or -1 if none exists.
+func (s *Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// String renders the set as "{1, 5, 9}" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) mustMatch(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: size mismatch %d != %d", s.n, o.n))
+	}
+}
+
+// Matrix is a dense boolean matrix stored as one bitset row per node, used
+// for boolean walk-product computations such as bool[(Aᵀ)^{k1} A^{k2}].
+type Matrix struct {
+	rows []*Set
+	n    int
+}
+
+// NewMatrix returns an all-false n×n boolean matrix.
+func NewMatrix(n int) *Matrix {
+	m := &Matrix{rows: make([]*Set, n), n: n}
+	for i := range m.rows {
+		m.rows[i] = New(n)
+	}
+	return m
+}
+
+// N returns the dimension of the matrix.
+func (m *Matrix) N() int { return m.n }
+
+// Row returns row i (shared, not a copy).
+func (m *Matrix) Row(i int) *Set { return m.rows[i] }
+
+// Set sets entry (i, j) to true.
+func (m *Matrix) Set(i, j int) { m.rows[i].Add(j) }
+
+// Get reports entry (i, j).
+func (m *Matrix) Get(i, j int) bool { return m.rows[i].Contains(j) }
+
+// Or sets m = m ∨ o elementwise.
+func (m *Matrix) Or(o *Matrix) {
+	for i, r := range o.rows {
+		m.rows[i].Or(r)
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{rows: make([]*Set, m.n), n: m.n}
+	for i, r := range m.rows {
+		c.rows[i] = r.Clone()
+	}
+	return c
+}
+
+// Clear zeroes all entries.
+func (m *Matrix) Clear() {
+	for _, r := range m.rows {
+		r.Clear()
+	}
+}
+
+// CountTrue returns the total number of true entries.
+func (m *Matrix) CountTrue() int {
+	c := 0
+	for _, r := range m.rows {
+		c += r.Count()
+	}
+	return c
+}
+
+// SymmetricClosure ORs the matrix with its transpose in place, so that
+// (i,j) is true iff (i,j) or (j,i) was true.
+func (m *Matrix) SymmetricClosure() {
+	for i := 0; i < m.n; i++ {
+		m.rows[i].ForEach(func(j int) bool {
+			m.rows[j].Add(i)
+			return true
+		})
+	}
+}

@@ -1,0 +1,258 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) = true after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("set not empty after Clear")
+	}
+}
+
+func TestFromIndicesAndIndices(t *testing.T) {
+	s := FromIndices(100, 3, 1, 4, 1, 5, 92)
+	want := []int{1, 3, 4, 5, 92}
+	got := s.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromIndices(70, 1, 2, 3, 65)
+	b := FromIndices(70, 3, 4, 65, 69)
+
+	u := a.Clone()
+	u.Or(b)
+	if got := u.Indices(); len(got) != 6 {
+		t.Fatalf("union = %v", got)
+	}
+
+	i := a.Clone()
+	i.And(b)
+	if got, want := i.String(), "{3, 65}"; got != want {
+		t.Fatalf("intersection = %s, want %s", got, want)
+	}
+
+	d := a.Clone()
+	d.AndNot(b)
+	if got, want := d.String(), "{1, 2}"; got != want {
+		t.Fatalf("difference = %s, want %s", got, want)
+	}
+
+	if !a.Intersects(b) {
+		t.Fatal("Intersects = false, want true")
+	}
+	if a.IntersectionCount(b) != 2 {
+		t.Fatalf("IntersectionCount = %d, want 2", a.IntersectionCount(b))
+	}
+	c := FromIndices(70, 10, 11)
+	if a.Intersects(c) {
+		t.Fatal("Intersects = true, want false")
+	}
+}
+
+func TestSubsetEqual(t *testing.T) {
+	a := FromIndices(40, 1, 2)
+	b := FromIndices(40, 1, 2, 3)
+	if !a.IsSubsetOf(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.IsSubsetOf(a) {
+		t.Fatal("b should not be subset of a")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone should equal original")
+	}
+	if a.Equal(b) {
+		t.Fatal("a should not equal b")
+	}
+	if a.Equal(FromIndices(41, 1, 2)) {
+		t.Fatal("different capacities should not be equal")
+	}
+}
+
+func TestNext(t *testing.T) {
+	s := FromIndices(200, 5, 64, 130)
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 130}, {131, -1}, {-3, 5}, {1000, -1},
+	}
+	for _, c := range cases {
+		if got := s.Next(c.from); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromIndices(100, 1, 2, 3, 4)
+	seen := 0
+	s.ForEach(func(i int) bool {
+		seen++
+		return seen < 2
+	})
+	if seen != 2 {
+		t.Fatalf("ForEach visited %d elements, want 2 with early stop", seen)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	a := FromIndices(64, 7)
+	b := New(64)
+	b.Copy(a)
+	if !b.Contains(7) {
+		t.Fatal("Copy lost element")
+	}
+	a.Add(8)
+	if b.Contains(8) {
+		t.Fatal("Copy aliases source")
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	New(10).Or(New(11))
+}
+
+// Property: Or/And/AndNot agree with a map-based reference implementation.
+func TestQuickAlgebraAgainstMap(t *testing.T) {
+	const n = 257
+	f := func(xs, ys []uint16) bool {
+		a, b := New(n), New(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for _, x := range xs {
+			i := int(x) % n
+			a.Add(i)
+			ma[i] = true
+		}
+		for _, y := range ys {
+			i := int(y) % n
+			b.Add(i)
+			mb[i] = true
+		}
+		u := a.Clone()
+		u.Or(b)
+		in := a.Clone()
+		in.And(b)
+		df := a.Clone()
+		df.AndNot(b)
+		for i := 0; i < n; i++ {
+			if u.Contains(i) != (ma[i] || mb[i]) {
+				return false
+			}
+			if in.Contains(i) != (ma[i] && mb[i]) {
+				return false
+			}
+			if df.Contains(i) != (ma[i] && !mb[i]) {
+				return false
+			}
+		}
+		inter := 0
+		for i := range ma {
+			if mb[i] {
+				inter++
+			}
+		}
+		return a.IntersectionCount(b) == inter && a.Intersects(b) == (inter > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Count equals the number of distinct added indices.
+func TestQuickCount(t *testing.T) {
+	f := func(xs []uint16) bool {
+		const n = 1 << 16
+		s := New(n)
+		m := map[int]bool{}
+		for _, x := range xs {
+			s.Add(int(x))
+			m[int(x)] = true
+		}
+		return s.Count() == len(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := NewMatrix(5)
+	m.Set(0, 1)
+	m.Set(2, 3)
+	if !m.Get(0, 1) || m.Get(1, 0) {
+		t.Fatal("Set/Get mismatch")
+	}
+	if m.CountTrue() != 2 {
+		t.Fatalf("CountTrue = %d, want 2", m.CountTrue())
+	}
+	m.SymmetricClosure()
+	if !m.Get(1, 0) || !m.Get(3, 2) {
+		t.Fatal("SymmetricClosure missing transposed entries")
+	}
+	c := m.Clone()
+	c.Set(4, 4)
+	if m.Get(4, 4) {
+		t.Fatal("Clone aliases original")
+	}
+	o := NewMatrix(5)
+	o.Set(4, 0)
+	m.Or(o)
+	if !m.Get(4, 0) {
+		t.Fatal("Or missing entry")
+	}
+	m.Clear()
+	if m.CountTrue() != 0 {
+		t.Fatal("Clear left entries")
+	}
+	if m.N() != 5 {
+		t.Fatalf("N = %d, want 5", m.N())
+	}
+}
+
+func BenchmarkOr(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a, c := New(4096), New(4096)
+	for i := 0; i < 500; i++ {
+		a.Add(rng.Intn(4096))
+		c.Add(rng.Intn(4096))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Or(c)
+	}
+}

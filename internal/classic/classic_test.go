@@ -1,0 +1,118 @@
+package classic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+func TestCoCitationFigure1(t *testing.T) {
+	g := dataset.Figure1()
+	s := CoCitation(g)
+	id := func(l string) int {
+		i, ok := g.NodeByLabel(l)
+		if !ok {
+			t.Fatalf("missing %q", l)
+		}
+		return i
+	}
+	// I(h) ∩ I(i) = {e, j, k}.
+	if v := s.At(id("h"), id("i")); v != 3 {
+		t.Fatalf("cocitation(h,i) = %g, want 3", v)
+	}
+	// I(c) ∩ I(g) = {b, d}.
+	if v := s.At(id("c"), id("g")); v != 2 {
+		t.Fatalf("cocitation(c,g) = %g, want 2", v)
+	}
+	// Diagonal counts a node's own in-degree.
+	if v := s.At(id("i"), id("i")); v != 6 {
+		t.Fatalf("cocitation(i,i) = %g, want |I(i)| = 6", v)
+	}
+	// No common citers.
+	if v := s.At(id("a"), id("b")); v != 0 {
+		t.Fatalf("cocitation(a,b) = %g, want 0", v)
+	}
+}
+
+func TestCouplingFigure1(t *testing.T) {
+	g := dataset.Figure1()
+	s := Coupling(g)
+	b, _ := g.NodeByLabel("b")
+	d, _ := g.NodeByLabel("d")
+	// O(b) = {c,f,g,i}, O(d) = {c,g,i}: 3 common references.
+	if v := s.At(b, d); v != 3 {
+		t.Fatalf("coupling(b,d) = %g, want 3", v)
+	}
+}
+
+func TestJaccardIn(t *testing.T) {
+	g := dataset.Figure1()
+	s := JaccardIn(g)
+	h, _ := g.NodeByLabel("h")
+	i, _ := g.NodeByLabel("i")
+	a, _ := g.NodeByLabel("a")
+	// |I(h)∩I(i)| / |I(h)∪I(i)| = 3/6.
+	if v := s.At(h, i); v != 0.5 {
+		t.Fatalf("jaccard(h,i) = %g, want 0.5", v)
+	}
+	if s.At(h, h) != 1 {
+		t.Fatal("jaccard diagonal with in-links should be 1")
+	}
+	if s.At(a, a) != 0 {
+		t.Fatal("jaccard diagonal of in-link-free node should be 0")
+	}
+}
+
+// Property: all three measures are symmetric, and Jaccard is in [0, 1].
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		b := graph.NewBuilder()
+		b.EnsureN(n)
+		for i := 0; i < rng.Intn(5*n); i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		if !CoCitation(g).IsSymmetric(0) || !Coupling(g).IsSymmetric(0) {
+			return false
+		}
+		j := JaccardIn(g)
+		if !j.IsSymmetric(1e-12) {
+			return false
+		}
+		for _, v := range j.Data {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Co-citation on g equals coupling on the reversed graph.
+func TestQuickCoCitationCouplingDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		b := graph.NewBuilder()
+		b.EnsureN(n)
+		for i := 0; i < rng.Intn(4*n); i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g, _ := b.Build()
+		return CoCitation(g).MaxAbsDiff(Coupling(g.Reverse())) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// Single-source SimRank* answers one query node in O(K·m + K²·n) time
+// without materialising the n×n matrix — the regime the paper's Exp-1
+// evaluates (500 single-node queries per graph). Both forms factor through
+// the walk vectors w_j = (Qᵀ)ʲ·e_q:
+//
+// Geometric: row q of Eq. (9) is
+//
+//	ŝ_q = (1−C) Σ_{α+β<=K} (C/2)^{α+β} binom(α+β, α) Q^α w_β
+//	    = (1−C) Σ_α Q^α y_α,   y_α = Σ_β (C/2)^{α+β} binom(α+β,α) w_β,
+//
+// evaluated by Horner's rule in Q. Exponential: Theorem 3 gives
+//
+//	ŝ_q = e^{−C} · T_K · (T_Kᵀ e_q),  T_K = Σ_i (C/2)ⁱ/i!·Qⁱ,
+//
+// so one backward sweep builds v = T_Kᵀ e_q and one forward sweep applies
+// T_K. Both match the corresponding all-pairs rows exactly (tested).
+
+// SingleSourceGeometric returns the geometric SimRank* scores between q and
+// every node, identical to row q of Geometric(g, opt).
+func SingleSourceGeometric(g *graph.Graph, q int, opt Options) []float64 {
+	opt = opt.withDefaults()
+	k := opt.IterationsGeometric()
+	n := g.N()
+	qm := sparse.BackwardTransition(g)
+
+	// w_j = (Qᵀ)ʲ e_q for j = 0..K.
+	w := make([][]float64, k+1)
+	w[0] = make([]float64, n)
+	w[0][q] = 1
+	for j := 1; j <= k; j++ {
+		w[j] = qm.MulVecT(w[j-1])
+	}
+
+	// y_α = Σ_{β=0}^{K−α} (C/2)^{α+β} binom(α+β, α) w_β.
+	half := opt.C / 2
+	y := make([][]float64, k+1)
+	for alpha := 0; alpha <= k; alpha++ {
+		ya := make([]float64, n)
+		for beta := 0; beta+alpha <= k; beta++ {
+			coef := math.Pow(half, float64(alpha+beta)) * binom(alpha+beta, alpha)
+			for i, v := range w[beta] {
+				ya[i] += coef * v
+			}
+		}
+		y[alpha] = ya
+	}
+
+	// Horner: z = y_K; z = Q·z + y_α for α = K−1 .. 0.
+	z := y[k]
+	for alpha := k - 1; alpha >= 0; alpha-- {
+		z = qm.MulVec(z)
+		for i, v := range y[alpha] {
+			z[i] += v
+		}
+	}
+	for i := range z {
+		z[i] *= 1 - opt.C
+	}
+	applySieveVec(z, opt.Sieve)
+	return z
+}
+
+// SingleSourceExponential returns the exponential SimRank* scores between q
+// and every node, identical to row q of Exponential(g, opt).
+func SingleSourceExponential(g *graph.Graph, q int, opt Options) []float64 {
+	opt = opt.withDefaults()
+	k := opt.IterationsExponential()
+	n := g.N()
+	qm := sparse.BackwardTransition(g)
+
+	// v = T_Kᵀ e_q = Σ_j (C/2)ʲ/j!·(Qᵀ)ʲ e_q.
+	v := make([]float64, n)
+	cur := make([]float64, n)
+	cur[q] = 1
+	coef := 1.0
+	for j := 0; ; j++ {
+		for i, x := range cur {
+			v[i] += coef * x
+		}
+		if j == k {
+			break
+		}
+		cur = qm.MulVecT(cur)
+		coef *= opt.C / (2 * float64(j+1))
+	}
+
+	// s = e^{−C}·T_K·v = e^{−C} Σ_i (C/2)ⁱ/i!·Qⁱ v.
+	s := make([]float64, n)
+	cur = v
+	coef = 1.0
+	for i := 0; ; i++ {
+		for idx, x := range cur {
+			s[idx] += coef * x
+		}
+		if i == k {
+			break
+		}
+		cur = qm.MulVec(cur)
+		coef *= opt.C / (2 * float64(i+1))
+	}
+	scale := math.Exp(-opt.C)
+	for i := range s {
+		s[i] *= scale
+	}
+	applySieveVec(s, opt.Sieve)
+	return s
+}
+
+func applySieveVec(x []float64, eps float64) {
+	if eps <= 0 {
+		return
+	}
+	for i, v := range x {
+		if v < eps {
+			x[i] = 0
+		}
+	}
+}
+
+// Ranked is one entry of a top-k result.
+type Ranked struct {
+	Node  int
+	Score float64
+}
+
+// TopK returns the k highest-scoring nodes from a score vector, excluding
+// the nodes in `exclude` (typically the query itself). Ties break by node id
+// for determinism.
+func TopK(scores []float64, k int, exclude ...int) []Ranked {
+	skip := make(map[int]bool, len(exclude))
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	all := make([]Ranked, 0, len(scores))
+	for i, s := range scores {
+		if !skip[i] {
+			all = append(all, Ranked{Node: i, Score: s})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Node < all[j].Node
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}

@@ -1,0 +1,274 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFigure1Structure(t *testing.T) {
+	g := Figure1()
+	if g.N() != 11 {
+		t.Fatalf("N = %d, want 11", g.N())
+	}
+	if g.M() != 18 {
+		t.Fatalf("M = %d, want 18", g.M())
+	}
+	// Checks straight from the paper's text.
+	id := func(l string) int {
+		i, ok := g.NodeByLabel(l)
+		if !ok {
+			t.Fatalf("node %q missing", l)
+		}
+		return i
+	}
+	a, e, h, i := id("a"), id("e"), id("h"), id("i")
+	if g.InDeg(a) != 0 {
+		t.Fatal("a must have no in-neighbours (s(a,g)=0 argument)")
+	}
+	if g.InDeg(h) != 3 { // I(h) = {e,j,k}
+		t.Fatalf("InDeg(h) = %d, want 3", g.InDeg(h))
+	}
+	if g.InDeg(i) != 6 { // I(i) = {b,d,e,h,j,k}
+		t.Fatalf("InDeg(i) = %d, want 6", g.InDeg(i))
+	}
+	if !g.HasEdge(a, e) || !g.HasEdge(e, h) {
+		t.Fatal("path h ← e ← a missing")
+	}
+}
+
+func TestToyTopologies(t *testing.T) {
+	if p := Path(5); p.M() != 4 || p.InDeg(0) != 0 || p.InDeg(4) != 1 {
+		t.Fatal("Path wrong")
+	}
+	if c := Cycle(4); c.M() != 4 || c.InDeg(0) != 1 {
+		t.Fatal("Cycle wrong")
+	}
+	if s := Star(6); s.OutDeg(0) != 5 || s.InDeg(3) != 1 {
+		t.Fatal("Star wrong")
+	}
+	if k := CompleteBipartite(3, 4); k.M() != 12 || k.InDeg(5) != 3 {
+		t.Fatal("CompleteBipartite wrong")
+	}
+}
+
+func TestBiPath(t *testing.T) {
+	g := BiPath(3) // 7 nodes, centre 3
+	if g.N() != 7 || g.M() != 6 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.OutDeg(3) != 2 { // a_0 starts both arms
+		t.Fatalf("centre OutDeg = %d, want 2", g.OutDeg(3))
+	}
+	if g.InDeg(3) != 0 {
+		t.Fatal("centre must be a source")
+	}
+	if !g.HasEdge(3, 4) || !g.HasEdge(3, 2) || !g.HasEdge(4, 5) || !g.HasEdge(2, 1) {
+		t.Fatal("arms wrong")
+	}
+}
+
+func TestFamilyTree(t *testing.T) {
+	g := FamilyTree()
+	me, _ := g.NodeByLabel("Me")
+	cousin, _ := g.NodeByLabel("Cousin")
+	if g.N() != 7 {
+		t.Fatalf("N = %d, want 7", g.N())
+	}
+	if g.InDeg(me) != 1 || g.InDeg(cousin) != 1 {
+		t.Fatal("family tree degrees wrong")
+	}
+}
+
+func TestErdosRenyiDeterminism(t *testing.T) {
+	g1 := ErdosRenyi(50, 200, 7)
+	g2 := ErdosRenyi(50, 200, 7)
+	if g1.M() != g2.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+	g3 := ErdosRenyi(50, 200, 8)
+	if g1.M() == g3.M() && g1.N() == g3.N() {
+		// Same M can legitimately collide; check edge sets differ.
+		same := true
+		g1.Edges(func(u, v int) {
+			if !g3.HasEdge(u, v) {
+				same = false
+			}
+		})
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+	for v := 0; v < g1.N(); v++ {
+		if g1.HasEdge(v, v) {
+			t.Fatal("self-loop in ER graph")
+		}
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMATDefault(8, 6, 3)
+	if g.N() != 256 {
+		t.Fatalf("N = %d, want 256", g.N())
+	}
+	if g.M() == 0 || g.M() > 256*6 {
+		t.Fatalf("M = %d out of range", g.M())
+	}
+	// Power-law-ish: the max in-degree should far exceed the mean.
+	st := g.ComputeStats()
+	if float64(st.MaxInDeg) < 3*g.Density() {
+		t.Fatalf("MaxInDeg = %d vs density %.1f: not heavy-tailed", st.MaxInDeg, g.Density())
+	}
+}
+
+func TestPrefAttachDAGIsAcyclic(t *testing.T) {
+	g := PrefAttachDAG(300, 5, 11)
+	g.Edges(func(u, v int) {
+		if v >= u {
+			t.Fatalf("edge %d→%d violates time order", u, v)
+		}
+	})
+	if g.M() < 300 {
+		t.Fatalf("M = %d suspiciously small", g.M())
+	}
+}
+
+func TestTopicCitation(t *testing.T) {
+	c := TopicCitation(TopicCitationOptions{N: 400, Seed: 5})
+	if c.G.N() != 400 {
+		t.Fatalf("N = %d", c.G.N())
+	}
+	// DAG property.
+	c.G.Edges(func(u, v int) {
+		if v >= u {
+			t.Fatalf("edge %d→%d violates time order", u, v)
+		}
+	})
+	// Topic vectors are unit norm; TrueSim symmetric in [0,1]; self-sim 1.
+	for _, i := range []int{0, 17, 399} {
+		norm := 0.0
+		for _, x := range c.Topics[i] {
+			norm += x * x
+		}
+		if math.Abs(norm-1) > 1e-12 {
+			t.Fatalf("topic norm = %g", norm)
+		}
+		if math.Abs(c.TrueSim(i, i)-1) > 1e-12 {
+			t.Fatal("TrueSim(i,i) != 1")
+		}
+	}
+	if math.Abs(c.TrueSim(3, 9)-c.TrueSim(9, 3)) > 1e-15 {
+		t.Fatal("TrueSim asymmetric")
+	}
+	// Same-topic pairs must on average beat cross-topic pairs.
+	var same, cross float64
+	var ns, nc int
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200; j++ {
+			if c.Dominant[i] == c.Dominant[j] {
+				same += c.TrueSim(i, j)
+				ns++
+			} else {
+				cross += c.TrueSim(i, j)
+				nc++
+			}
+		}
+	}
+	if same/float64(ns) <= cross/float64(nc) {
+		t.Fatalf("planted structure absent: same=%.3f cross=%.3f", same/float64(ns), cross/float64(nc))
+	}
+}
+
+func TestCitationAffinity(t *testing.T) {
+	c := TopicCitation(TopicCitationOptions{N: 600, Affinity: 0.9, Seed: 6})
+	// Most citations should stay within the dominant topic.
+	within, total := 0, 0
+	c.G.Edges(func(u, v int) {
+		total++
+		if c.Dominant[u] == c.Dominant[v] {
+			within++
+		}
+	})
+	if frac := float64(within) / float64(total); frac < 0.4 {
+		t.Fatalf("within-topic citation fraction = %.2f, want > 0.4", frac)
+	}
+}
+
+func TestCoauthor(t *testing.T) {
+	net := Coauthor(CoauthorOptions{Authors: 300, Seed: 9})
+	if !net.G.IsSymmetric() {
+		t.Fatal("coauthor graph must be undirected/symmetric")
+	}
+	if net.G.M() == 0 {
+		t.Fatal("no collaborations generated")
+	}
+	// H-index sanity: 0 for authors with no cited papers; monotone bound.
+	maxH := 0
+	for a := 0; a < 300; a++ {
+		h := net.HIndex(a)
+		if h > len(net.PaperCites[a]) {
+			t.Fatalf("H-index %d exceeds paper count %d", h, len(net.PaperCites[a]))
+		}
+		if h > maxH {
+			maxH = h
+		}
+	}
+	if maxH == 0 {
+		t.Fatal("all H-indices zero; citation simulation broken")
+	}
+}
+
+func TestHIndexKnownCases(t *testing.T) {
+	net := &CoauthorNet{PaperCites: [][]int{
+		{},               // h = 0
+		{0, 0},           // h = 0
+		{1},              // h = 1
+		{5, 4, 3, 2, 1},  // h = 3
+		{10, 10, 10, 10}, // h = 4
+	}}
+	want := []int{0, 0, 1, 3, 4}
+	for a, w := range want {
+		if got := net.HIndex(a); got != w {
+			t.Errorf("HIndex(%d) = %d, want %d", a, got, w)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, p := range Presets {
+		g := p.Build()
+		if g.N() == 0 || g.M() == 0 {
+			t.Fatalf("%s: empty graph", p.Name)
+		}
+		// Density within a factor ~2 of the paper's (generators are
+		// stochastic; the harness reports actuals).
+		d := g.Density()
+		if d < p.Density/2.5 || d > p.Density*2.5 {
+			t.Errorf("%s: density %.1f vs paper %.1f", p.Name, d, p.Density)
+		}
+		if p.Directed == g.IsSymmetric() && p.Name != "WebGoogle-s" {
+			t.Errorf("%s: directedness mismatch", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("DBLP-s")
+	if err != nil || p.Kind != "coauthor" {
+		t.Fatalf("ByName failed: %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("want error for unknown preset")
+	}
+}
+
+func TestBuildCorpus(t *testing.T) {
+	p, _ := ByName("CitHepTh-s")
+	c := p.BuildCorpus()
+	if c == nil || c.G.N() != p.ScaledN {
+		t.Fatal("BuildCorpus wrong")
+	}
+	d, _ := ByName("DBLP-s")
+	if d.BuildCorpus() != nil {
+		t.Fatal("coauthor preset should have no corpus")
+	}
+}

@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Preset is a scaled stand-in for one of the paper's Figure-5 datasets. The
+// node counts are reduced so that all-pairs O(n²) state fits a laptop, but
+// the density (edges/node, the column the paper reports) and the generative
+// family (citation DAG, collaboration graph, webgraph) match the original.
+type Preset struct {
+	Name     string
+	PaperN   int     // |V| in the paper
+	PaperM   int     // |E| in the paper
+	Density  float64 // paper's |E|/|V|
+	ScaledN  int     // nodes generated here
+	Kind     string  // "citation", "coauthor", "web"
+	Directed bool
+	Seed     int64
+}
+
+// Presets lists the scaled datasets in the order of the paper's Figure 5.
+var Presets = []Preset{
+	{Name: "CitHepTh-s", PaperN: 33_000, PaperM: 418_000, Density: 12.6, ScaledN: 1200, Kind: "citation", Directed: true, Seed: 101},
+	{Name: "DBLP-s", PaperN: 15_000, PaperM: 87_000, Density: 5.8, ScaledN: 1000, Kind: "coauthor", Directed: false, Seed: 102},
+	{Name: "D05-s", PaperN: 4_000, PaperM: 17_000, Density: 4.3, ScaledN: 400, Kind: "coauthor", Directed: false, Seed: 103},
+	{Name: "D08-s", PaperN: 13_000, PaperM: 72_000, Density: 5.5, ScaledN: 800, Kind: "coauthor", Directed: false, Seed: 104},
+	{Name: "D11-s", PaperN: 14_000, PaperM: 89_000, Density: 6.3, ScaledN: 1000, Kind: "coauthor", Directed: false, Seed: 105},
+	{Name: "WebGoogle-s", PaperN: 873_000, PaperM: 4_900_000, Density: 5.6, ScaledN: 1024, Kind: "web", Directed: true, Seed: 106},
+	{Name: "CitPatent-s", PaperN: 3_600_000, PaperM: 16_200_000, Density: 4.5, ScaledN: 1500, Kind: "citation", Directed: true, Seed: 107},
+}
+
+// ByName returns the preset with the given name (case-sensitive).
+func ByName(name string) (Preset, error) {
+	for _, p := range Presets {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, len(Presets))
+	for i, p := range Presets {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return Preset{}, fmt.Errorf("dataset: unknown preset %q (have %v)", name, names)
+}
+
+// Build generates the preset's graph. Citation presets are preferential-
+// attachment DAGs topped up to the target density; coauthor presets are
+// symmetric community graphs; web presets are R-MAT.
+func (p Preset) Build() *graph.Graph {
+	switch p.Kind {
+	case "citation":
+		avgOut := int(p.Density)
+		if avgOut < 1 {
+			avgOut = 1
+		}
+		g := PrefAttachDAG(p.ScaledN, avgOut, p.Seed)
+		return withDensity(g, p.Density, p.Seed+1)
+	case "coauthor":
+		// Undirected density d means d directed edges per node after
+		// symmetrisation; papers per author tunes it.
+		papers := int(p.Density * float64(p.ScaledN) / 5)
+		net := Coauthor(CoauthorOptions{Authors: p.ScaledN, Papers: papers, Seed: p.Seed})
+		return net.G
+	case "web":
+		scale := 0
+		for 1<<scale < p.ScaledN {
+			scale++
+		}
+		ef := int(p.Density + 0.5)
+		return RMATDefault(scale, ef, p.Seed)
+	default:
+		panic("dataset: unknown preset kind " + p.Kind)
+	}
+}
+
+// BuildCorpus generates the preset as a planted-topic corpus when it is a
+// citation dataset (ground truth available), or nil otherwise.
+func (p Preset) BuildCorpus() *Corpus {
+	if p.Kind != "citation" {
+		return nil
+	}
+	return TopicCitation(TopicCitationOptions{
+		N:      p.ScaledN,
+		AvgOut: int(p.Density),
+		Seed:   p.Seed,
+	})
+}

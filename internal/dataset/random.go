@@ -1,0 +1,138 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ErdosRenyi returns a G(n, m)-style random digraph: m directed edges drawn
+// uniformly (self-loops excluded, duplicates collapse, so M() <= m).
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	b.EnsureN(n)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v)
+	}
+	return mustBuild(b)
+}
+
+// RMAT generates a recursive-matrix power-law digraph (Chakrabarti et al.),
+// the model behind GTgraph's sampler and Web-Google-style webgraphs. The
+// (a, b, c, d) quadrant probabilities must sum to ~1; the classic choice
+// (0.57, 0.19, 0.19, 0.05) yields heavy-tailed in-degrees.
+func RMAT(scale, edgeFactor int, a, b, c, d float64, seed int64) *graph.Graph {
+	n := 1 << scale
+	m := n * edgeFactor
+	rng := rand.New(rand.NewSource(seed))
+	bld := graph.NewBuilder()
+	bld.EnsureN(n)
+	sum := a + b + c + d
+	a, b, c = a/sum, b/sum, c/sum
+	for e := 0; e < m; e++ {
+		u, v := 0, 0
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u != v {
+			bld.AddEdge(u, v)
+		}
+	}
+	return mustBuild(bld)
+}
+
+// RMATDefault runs RMAT with the canonical (0.57, 0.19, 0.19, 0.05) mix.
+func RMATDefault(scale, edgeFactor int, seed int64) *graph.Graph {
+	return RMAT(scale, edgeFactor, 0.57, 0.19, 0.19, 0.05, seed)
+}
+
+// PrefAttachDAG returns a time-ordered citation DAG: node t (t >= 1) cites
+// up to avgOut earlier papers chosen by preferential attachment (probability
+// proportional to 1 + current in-degree). All edges point from newer to
+// older nodes, like a real citation network.
+func PrefAttachDAG(n, avgOut int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	b.EnsureN(n)
+	// targets holds one entry per (node, weight) unit for O(1) preferential
+	// sampling; every node enters once, and again per citation received.
+	targets := make([]int32, 0, n*(avgOut+1))
+	targets = append(targets, 0)
+	for t := 1; t < n; t++ {
+		cites := 1 + rng.Intn(2*avgOut) // mean ≈ avgOut + 1/2
+		if cites > t {
+			cites = t
+		}
+		seen := make(map[int]bool, cites)
+		for c := 0; c < cites; c++ {
+			v := int(targets[rng.Intn(len(targets))])
+			if v >= t || seen[v] {
+				v = rng.Intn(t) // fall back to uniform among older papers
+			}
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			b.AddEdge(t, v)
+			targets = append(targets, int32(v))
+		}
+		targets = append(targets, int32(t))
+	}
+	return mustBuild(b)
+}
+
+// withDensity tops a graph up with uniform extra edges until it reaches the
+// requested density m/n; generators use it to match the paper's Figure-5
+// dataset shapes. Added edges point from larger to smaller ids, preserving
+// the DAG property of citation generators.
+func withDensity(g *graph.Graph, density float64, seed int64) *graph.Graph {
+	n := g.N()
+	want := int(density * float64(n))
+	if g.M() >= want || n < 2 {
+		return g
+	}
+	rng := rand.New(rand.NewSource(seed))
+	have := make(map[[2]int32]bool, want)
+	b := graph.NewBuilder()
+	b.EnsureN(n)
+	g.Edges(func(u, v int) {
+		b.AddEdge(u, v)
+		have[[2]int32{int32(u), int32(v)}] = true
+	})
+	missing := want - len(have)
+	for tries := 0; missing > 0 && tries < 50*want; tries++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u < v {
+			u, v = v, u
+		}
+		key := [2]int32{int32(u), int32(v)}
+		if have[key] {
+			continue
+		}
+		have[key] = true
+		b.AddEdge(u, v)
+		missing--
+	}
+	return mustBuild(b)
+}

@@ -1,0 +1,121 @@
+// Package dataset provides every workload used by the tests, examples and
+// benchmark harness: the paper's Figure-1 citation graph, toy topologies for
+// unit tests, GTgraph-style synthetic generators (Erdős–Rényi, R-MAT,
+// preferential attachment), a planted-topic citation generator that doubles
+// as the ground-truth oracle replacing the paper's human judges, a
+// community-structured coauthor generator with H-index simulation, and
+// scaled presets mirroring the densities of the paper's real datasets
+// (Figure 5).
+package dataset
+
+import "repro/internal/graph"
+
+// Figure1 builds the 11-node citation graph of the paper's Figure 1 (nodes
+// labelled a..k). Its induced bigraph is the paper's Figure 4, with the two
+// bicliques ({b,d},{c,g,i}) and ({e,j,k},{h,i}). The edge set is
+// reconstructed from the paper's worked examples:
+//
+//	h ← e ← a → d and h ← e ← a → b → f → d  (Example 1, Sec. 3.2)
+//	g ← b → i and g ← d → i                  (Example 1)
+//	I(h) = {e,j,k}, I(i) = {b,d,e,h,j,k}, I(c) = I(g) = {b,d}  (Fig. 4, Ex. 2)
+func Figure1() *graph.Graph {
+	b := graph.NewBuilder()
+	for _, e := range [][2]string{
+		{"a", "b"}, {"a", "d"}, {"a", "e"},
+		{"b", "c"}, {"b", "f"}, {"b", "g"}, {"b", "i"},
+		{"d", "c"}, {"d", "g"}, {"d", "i"},
+		{"e", "h"}, {"e", "i"},
+		{"f", "d"},
+		{"h", "i"},
+		{"j", "h"}, {"j", "i"},
+		{"k", "h"}, {"k", "i"},
+	} {
+		b.AddEdgeLabeled(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Path returns the directed path 0→1→…→n−1.
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder()
+	b.EnsureN(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return mustBuild(b)
+}
+
+// BiPath returns the Sec. 1 counterexample a_{−n} ← … ← a_0 → … → a_n on
+// 2n+1 nodes: node n is the centre a_0; nodes n−k and n+k are a_{−k}, a_k.
+// SimRank is zero for every pair (a_i, a_j) with |i| ≠ |j| even though a_0
+// is a common root — SimRank* is not.
+func BiPath(n int) *graph.Graph {
+	b := graph.NewBuilder()
+	b.EnsureN(2*n + 1)
+	for k := 0; k < n; k++ {
+		b.AddEdge(n+k, n+k+1) // a_k → a_{k+1}
+		b.AddEdge(n-k, n-k-1) // a_{−k} → a_{−k−1}
+	}
+	return mustBuild(b)
+}
+
+// Cycle returns the directed cycle on n nodes.
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder()
+	b.EnsureN(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return mustBuild(b)
+}
+
+// Star returns a star with centre 0 pointing at n−1 leaves.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder()
+	b.EnsureN(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return mustBuild(b)
+}
+
+// CompleteBipartite returns K_{p,q}: nodes 0..p−1 each pointing at nodes
+// p..p+q−1. Its induced bigraph is one biclique, the best case for edge
+// concentration.
+func CompleteBipartite(p, q int) *graph.Graph {
+	b := graph.NewBuilder()
+	b.EnsureN(p + q)
+	for u := 0; u < p; u++ {
+		for v := p; v < p+q; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return mustBuild(b)
+}
+
+// FamilyTree returns the Figure-3 family tree: Grandpa → {Father, Uncle},
+// Father → Me, Uncle → Cousin, Me → Son, Son → Grandson. Labels match the
+// paper.
+func FamilyTree() *graph.Graph {
+	b := graph.NewBuilder()
+	for _, e := range [][2]string{
+		{"Grandpa", "Father"}, {"Grandpa", "Uncle"},
+		{"Father", "Me"}, {"Uncle", "Cousin"},
+		{"Me", "Son"}, {"Son", "Grandson"},
+	} {
+		b.AddEdgeLabeled(e[0], e[1])
+	}
+	return mustBuild(b)
+}
+
+func mustBuild(b *graph.Builder) *graph.Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,333 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func naiveMul(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func TestMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range [][3]int{{1, 1, 1}, {3, 4, 5}, {17, 9, 23}, {40, 40, 40}} {
+		a := randomMatrix(rng, shape[0], shape[1])
+		b := randomMatrix(rng, shape[1], shape[2])
+		got := Mul(a, b)
+		want := naiveMul(a, b)
+		if got.MaxAbsDiff(want) > 1e-12 {
+			t.Fatalf("shape %v: Mul differs from naive by %g", shape, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestMulABT(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomMatrix(rng, 11, 7)
+	b := randomMatrix(rng, 13, 7)
+	got := MulABT(a, b)
+	want := naiveMul(a, b.Transpose())
+	if got.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("MulABT differs from naive by %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomMatrix(rng, 6, 6)
+	if got := Mul(Identity(6), a); got.MaxAbsDiff(a) != 0 {
+		t.Fatal("I·A != A")
+	}
+	if got := Mul(a, Identity(6)); got.MaxAbsDiff(a) != 0 {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomMatrix(rng, 5, 9)
+	if a.Transpose().Transpose().MaxAbsDiff(a) != 0 {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {4, 3}})
+	a.Symmetrize()
+	if a.At(0, 1) != 3 || a.At(1, 0) != 3 {
+		t.Fatalf("Symmetrize gave %v", a.Data)
+	}
+	if !a.IsSymmetric(0) {
+		t.Fatal("not symmetric after Symmetrize")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}, {3, 4}})
+	b := a.Clone()
+	b.Scale(2)
+	if b.At(0, 1) != -4 {
+		t.Fatal("Scale wrong")
+	}
+	b.Add(a)
+	if b.At(1, 1) != 12 {
+		t.Fatal("Add wrong")
+	}
+	b.Axpy(-3, a)
+	if b.At(1, 0) != 0 {
+		t.Fatal("Axpy wrong")
+	}
+	// After Axpy(-3, a), b = 3a − 3a = 0; AddDiag leaves 5·I.
+	b.AddDiag(5)
+	if b.At(0, 0) != 5 || b.At(0, 1) != 0 || b.At(1, 1) != 5 {
+		t.Fatalf("AddDiag wrong: %v", b.Data)
+	}
+	if a.MaxAbs() != 4 {
+		t.Fatal("MaxAbs wrong")
+	}
+	a.Zero()
+	if a.MaxAbs() != 0 {
+		t.Fatal("Zero wrong")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {0, 1, 0}})
+	y := a.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 1 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{1, 0, -1}
+	if Dot(x, y) != -2 {
+		t.Fatal("Dot wrong")
+	}
+	Axpy(y, 2, x)
+	if y[0] != 3 || y[2] != 5 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	AddTo(y, x)
+	if y[1] != 6 {
+		t.Fatalf("AddTo = %v", y)
+	}
+	ScaleVec(y, 0.5)
+	if y[0] != 2 {
+		t.Fatalf("ScaleVec = %v", y)
+	}
+	if SumVec(x) != 6 {
+		t.Fatal("SumVec wrong")
+	}
+	if MaxAbsVec([]float64{-7, 2}) != 7 {
+		t.Fatal("MaxAbsVec wrong")
+	}
+	if MaxAbsVec(nil) != 0 {
+		t.Fatal("MaxAbsVec(nil) != 0")
+	}
+	ZeroVec(y)
+	if MaxAbsVec(y) != 0 {
+		t.Fatal("ZeroVec wrong")
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-15 {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random shapes.
+func TestQuickMulTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(10)
+		a := randomMatrix(rng, m, k)
+		b := randomMatrix(rng, k, n)
+		lhs := Mul(a, b).Transpose()
+		rhs := Mul(b.Transpose(), a.Transpose())
+		return lhs.MaxAbsDiff(rhs) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVDReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shape := range [][2]int{{4, 4}, {10, 6}, {25, 25}, {30, 7}} {
+		a := randomMatrix(rng, shape[0], shape[1])
+		d := ComputeSVD(a)
+		if rec := d.Reconstruct(); rec.MaxAbsDiff(a) > 1e-9 {
+			t.Fatalf("shape %v: ‖A − USVᵀ‖ = %g", shape, rec.MaxAbsDiff(a))
+		}
+		for i := 1; i < len(d.S); i++ {
+			if d.S[i] > d.S[i-1]+1e-12 {
+				t.Fatalf("singular values not descending: %v", d.S)
+			}
+		}
+	}
+}
+
+func TestSVDOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomMatrix(rng, 15, 8)
+	d := ComputeSVD(a)
+	utu := Mul(d.U.Transpose(), d.U)
+	vtv := Mul(d.V.Transpose(), d.V)
+	if utu.MaxAbsDiff(Identity(8)) > 1e-9 {
+		t.Fatalf("UᵀU − I = %g", utu.MaxAbsDiff(Identity(8)))
+	}
+	if vtv.MaxAbsDiff(Identity(8)) > 1e-9 {
+		t.Fatalf("VᵀV − I = %g", vtv.MaxAbsDiff(Identity(8)))
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-2 matrix: outer products.
+	n := 12
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, float64(i*j)+float64((i%3)*(j%3)))
+		}
+	}
+	d := ComputeSVD(a)
+	if r := d.Rank(1e-10); r != 2 {
+		t.Fatalf("Rank = %d, want 2", r)
+	}
+	if rec := d.Reconstruct(); rec.MaxAbsDiff(a) > 1e-8 {
+		t.Fatalf("rank-deficient reconstruct off by %g", rec.MaxAbsDiff(a))
+	}
+	u, s, v := d.Truncate(2)
+	if u.Cols != 2 || v.Cols != 2 || len(s) != 2 {
+		t.Fatal("Truncate shapes wrong")
+	}
+	// Rank-2 truncation must still reconstruct exactly (rank is 2).
+	us := u.Clone()
+	for i := 0; i < us.Rows; i++ {
+		us.Row(i)[0] *= s[0]
+		us.Row(i)[1] *= s[1]
+	}
+	if MulABT(us, v).MaxAbsDiff(a) > 1e-8 {
+		t.Fatal("rank-2 truncation does not reconstruct rank-2 matrix")
+	}
+}
+
+func TestSVDKnownValues(t *testing.T) {
+	// diag(3, 2) has singular values {3, 2}.
+	a := FromRows([][]float64{{3, 0}, {0, 2}})
+	d := ComputeSVD(a)
+	if math.Abs(d.S[0]-3) > 1e-12 || math.Abs(d.S[1]-2) > 1e-12 {
+		t.Fatalf("S = %v, want [3 2]", d.S)
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	a := FromRows([][]float64{{2, 1, 1}, {4, -6, 0}, {-2, 7, 2}})
+	f, err := ComputeLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{5, -2, 9})
+	want := []float64{1, 1, 2}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+	if math.Abs(f.Det()-(-16)) > 1e-9 {
+		t.Fatalf("Det = %g, want -16", f.Det())
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := ComputeLU(a); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUSolveMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomMatrix(rng, 9, 9)
+	f, err := ComputeLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randomMatrix(rng, 9, 4)
+	x := f.SolveMatrix(b)
+	if Mul(a, x).MaxAbsDiff(b) > 1e-9 {
+		t.Fatalf("A·X − B = %g", Mul(a, x).MaxAbsDiff(b))
+	}
+}
+
+// Property: LU solve then multiply recovers b for random well-conditioned
+// systems (diagonally dominant to keep the condition number tame).
+func TestQuickLURoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randomMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		lu, err := ComputeLU(a)
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := lu.Solve(b)
+		ax := a.MulVec(x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func BenchmarkMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomMatrix(rng, 256, 256)
+	y := randomMatrix(rng, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}

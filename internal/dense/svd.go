@@ -1,0 +1,156 @@
+package dense
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD computes a thin singular value decomposition A = U·diag(S)·Vᵀ of an
+// m×n matrix with m >= n, using one-sided Jacobi rotations (Hestenes).
+// Singular values are returned in descending order. The decomposition is the
+// substrate for the mtx-SR baseline (Li et al., EDBT'10), which SimRank* is
+// compared against in the paper's Exp-2.
+//
+// One-sided Jacobi is chosen over Golub–Kahan because it is simple, has no
+// external dependencies, and is numerically robust for the modest ranks
+// (r <= a few dozen) mtx-SR uses.
+type SVD struct {
+	U *Matrix   // m×n, orthonormal columns
+	S []float64 // n, descending, non-negative
+	V *Matrix   // n×n, orthonormal columns
+}
+
+// ComputeSVD factorises a. It does not modify a. It panics if a has more
+// columns than rows (callers should factorise the transpose instead).
+func ComputeSVD(a *Matrix) *SVD {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("dense: ComputeSVD requires rows >= cols; factorise the transpose")
+	}
+	// Work on a column-major copy so column rotations are contiguous.
+	cols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		c := make([]float64, m)
+		for i := 0; i < m; i++ {
+			c[i] = a.At(i, j)
+		}
+		cols[j] = c
+	}
+	vcols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		c := make([]float64, n)
+		c[j] = 1
+		vcols[j] = c
+	}
+
+	const (
+		maxSweeps = 60
+		tol       = 1e-14
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		offDiag := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha := Dot(cols[p], cols[p])
+				beta := Dot(cols[q], cols[q])
+				gamma := Dot(cols[p], cols[q])
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				offDiag = true
+				// Jacobi rotation zeroing the (p,q) Gram entry.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				rotate(cols[p], cols[q], c, s)
+				rotate(vcols[p], vcols[q], c, s)
+			}
+		}
+		if !offDiag {
+			break
+		}
+	}
+
+	// Column norms are the singular values; normalised columns form U.
+	type sv struct {
+		val float64
+		idx int
+	}
+	svs := make([]sv, n)
+	for j := 0; j < n; j++ {
+		svs[j] = sv{Norm2(cols[j]), j}
+	}
+	sort.Slice(svs, func(i, j int) bool { return svs[i].val > svs[j].val })
+
+	out := &SVD{U: New(m, n), S: make([]float64, n), V: New(n, n)}
+	for k, e := range svs {
+		out.S[k] = e.val
+		col := cols[e.idx]
+		if e.val > 0 {
+			inv := 1 / e.val
+			for i := 0; i < m; i++ {
+				out.U.Set(i, k, col[i]*inv)
+			}
+		}
+		vc := vcols[e.idx]
+		for i := 0; i < n; i++ {
+			out.V.Set(i, k, vc[i])
+		}
+	}
+	return out
+}
+
+// rotate applies the plane rotation [c -s; s c] to the column pair (x, y):
+// x' = c·x − s·y, y' = s·x + c·y.
+func rotate(x, y []float64, c, s float64) {
+	for i := range x {
+		xi, yi := x[i], y[i]
+		x[i] = c*xi - s*yi
+		y[i] = s*xi + c*yi
+	}
+}
+
+// Rank returns the number of singular values above tol·S[0].
+func (d *SVD) Rank(tol float64) int {
+	if len(d.S) == 0 || d.S[0] == 0 {
+		return 0
+	}
+	r := 0
+	for _, s := range d.S {
+		if s > tol*d.S[0] {
+			r++
+		}
+	}
+	return r
+}
+
+// Truncate returns the rank-r factors (U_r, S_r, V_r) as fresh matrices.
+func (d *SVD) Truncate(r int) (*Matrix, []float64, *Matrix) {
+	if r > len(d.S) {
+		r = len(d.S)
+	}
+	u := New(d.U.Rows, r)
+	v := New(d.V.Rows, r)
+	s := make([]float64, r)
+	copy(s, d.S[:r])
+	for i := 0; i < d.U.Rows; i++ {
+		copy(u.Row(i), d.U.Row(i)[:r])
+	}
+	for i := 0; i < d.V.Rows; i++ {
+		copy(v.Row(i), d.V.Row(i)[:r])
+	}
+	return u, s, v
+}
+
+// Reconstruct returns U·diag(S)·Vᵀ, used by tests to bound ‖A − USVᵀ‖.
+func (d *SVD) Reconstruct() *Matrix {
+	us := d.U.Clone()
+	for i := 0; i < us.Rows; i++ {
+		row := us.Row(i)
+		for j := range row {
+			row[j] *= d.S[j]
+		}
+	}
+	return MulABT(us, d.V)
+}

@@ -1,0 +1,82 @@
+package dense
+
+import "math"
+
+// Vector helpers shared by the dense and sparse kernels. They operate on raw
+// []float64 so sparse×dense products can run on matrix row views without
+// allocation.
+
+// Dot returns Σ x_i·y_i. Slices must have equal length.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy sets y += a·x elementwise.
+func Axpy(y []float64, a float64, x []float64) {
+	if a == 0 {
+		return
+	}
+	_ = y[len(x)-1]
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// ScaledCopy sets y = a·x elementwise, overwriting y.
+func ScaledCopy(y []float64, a float64, x []float64) {
+	_ = y[len(x)-1]
+	for i, v := range x {
+		y[i] = a * v
+	}
+}
+
+// AddTo sets y += x elementwise.
+func AddTo(y, x []float64) {
+	_ = y[len(x)-1]
+	for i, v := range x {
+		y[i] += v
+	}
+}
+
+// ScaleVec sets x *= a elementwise.
+func ScaleVec(x []float64, a float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// ZeroVec sets every element of x to 0.
+func ZeroVec(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// MaxAbsVec returns max |x_i|, or 0 for an empty slice.
+func MaxAbsVec(x []float64) float64 {
+	best := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// SumVec returns Σ x_i.
+func SumVec(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}

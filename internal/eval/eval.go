@@ -1,0 +1,210 @@
+// Package eval implements the effectiveness metrics of the paper's Exp-1:
+// Kendall's τ, Spearman's ρ and NDCG@p over rankings induced by similarity
+// scores, plus the grouping helpers behind the role-difference (Fig. 6(b))
+// and decile (Fig. 6(c)) analyses.
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// KendallTau returns the rank correlation of two score vectors over the same
+// item set, in [−1, 1]. It is τ-b style: pairs tied in either vector are
+// skipped; concordant pairs add +1, discordant −1, normalised by the number
+// of comparable pairs. O(N²), exact; used for the modest ranking lists
+// (hundreds of items) of the experiments.
+func KendallTau(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("eval: KendallTau length mismatch")
+	}
+	n := len(x)
+	conc, disc := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 || dy == 0:
+			case (dx > 0) == (dy > 0):
+				conc++
+			default:
+				disc++
+			}
+		}
+	}
+	if conc+disc == 0 {
+		return 0
+	}
+	return float64(conc-disc) / float64(conc+disc)
+}
+
+// KendallTauFast returns the τ-a correlation (no tie correction beyond
+// skipping exact ties in x after sorting) in O(N log N) using merge-sort
+// inversion counting. For tie-free inputs it matches KendallTau exactly;
+// tests assert that. Use it when ranking lists grow large.
+func KendallTauFast(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("eval: KendallTauFast length mismatch")
+	}
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if x[idx[a]] != x[idx[b]] {
+			return x[idx[a]] > x[idx[b]]
+		}
+		return y[idx[a]] > y[idx[b]]
+	})
+	ys := make([]float64, n)
+	for i, id := range idx {
+		ys[i] = y[id]
+	}
+	// Count inversions in ys (descending expected): an inversion is a
+	// discordant pair.
+	total := n * (n - 1) / 2
+	inv := countInversions(ys)
+	return float64(total-2*inv) / float64(total)
+}
+
+// countInversions counts pairs (i < j) with ys[i] < ys[j] (violations of
+// descending order) by merge sort.
+func countInversions(ys []float64) int {
+	buf := make([]float64, len(ys))
+	a := append([]float64(nil), ys...)
+	return mergeCount(a, buf)
+}
+
+func mergeCount(a, buf []float64) int {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := mergeCount(a[:mid], buf[:mid]) + mergeCount(a[mid:], buf[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if a[i] >= a[j] {
+			buf[k] = a[i]
+			i++
+		} else {
+			buf[k] = a[j]
+			j++
+			inv += mid - i
+		}
+		k++
+	}
+	for i < mid {
+		buf[k] = a[i]
+		i++
+		k++
+	}
+	for j < n {
+		buf[k] = a[j]
+		j++
+		k++
+	}
+	copy(a, buf[:n])
+	return inv
+}
+
+// SpearmanRho returns the Spearman rank correlation of two score vectors,
+// with ties receiving average (fractional) ranks — the ρ = 1 − 6Σd²/(N(N²−1))
+// formula the paper quotes, generalised to ties via Pearson on ranks.
+func SpearmanRho(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("eval: SpearmanRho length mismatch")
+	}
+	rx := Ranks(x)
+	ry := Ranks(y)
+	return pearson(rx, ry)
+}
+
+// Ranks returns average ranks (1-based) of the values in descending order:
+// the largest value gets rank 1; ties share the mean of their positions.
+func Ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return x[idx[a]] > x[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// NDCG returns the normalised discounted cumulative gain at position p of a
+// ranking against graded relevance, using the paper's formula
+// NDCG_p = (1/IDCG_p)·Σ_{i<=p} (2^{rel_i} − 1)/log₂(1+i).
+// `order` lists item indices in the ranked order under evaluation; `rel`
+// maps item index to its true relevance grade.
+func NDCG(order []int, rel []float64, p int) float64 {
+	if p > len(order) {
+		p = len(order)
+	}
+	dcg := 0.0
+	for i := 0; i < p; i++ {
+		dcg += (math.Exp2(rel[order[i]]) - 1) / math.Log2(float64(i+2))
+	}
+	ideal := append([]float64(nil), rel...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+	idcg := 0.0
+	for i := 0; i < p && i < len(ideal); i++ {
+		idcg += (math.Exp2(ideal[i]) - 1) / math.Log2(float64(i+2))
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// NDCGOfScores ranks items by `scores` descending (ties by index) and
+// evaluates NDCG@p against `rel`.
+func NDCGOfScores(scores, rel []float64, p int) float64 {
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	return NDCG(order, rel, p)
+}

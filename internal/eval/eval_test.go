@@ -1,0 +1,221 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKendallTauKnownCases(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := KendallTau(x, []float64{1, 2, 3, 4}); got != 1 {
+		t.Fatalf("identical ranking τ = %g, want 1", got)
+	}
+	if got := KendallTau(x, []float64{4, 3, 2, 1}); got != -1 {
+		t.Fatalf("reversed ranking τ = %g, want −1", got)
+	}
+	// One swap among 4 items: 5 concordant, 1 discordant → 4/6.
+	if got := KendallTau(x, []float64{2, 1, 3, 4}); math.Abs(got-4.0/6) > 1e-12 {
+		t.Fatalf("τ = %g, want 2/3", got)
+	}
+	if got := KendallTau([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("all-ties τ = %g, want 0", got)
+	}
+}
+
+// Property: fast Kendall equals the O(N²) version on tie-free inputs.
+func TestQuickKendallFastMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		x := rng.Perm(n)
+		y := rng.Perm(n)
+		xf := make([]float64, n)
+		yf := make([]float64, n)
+		for i := range x {
+			xf[i] = float64(x[i])
+			yf[i] = float64(y[i])
+		}
+		return math.Abs(KendallTau(xf, yf)-KendallTauFast(xf, yf)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpearmanKnownCases(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if got := SpearmanRho(x, x); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ρ = %g, want 1", got)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	if got := SpearmanRho(x, rev); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("ρ = %g, want −1", got)
+	}
+	// Classic textbook case.
+	a := []float64{106, 86, 100, 101, 99, 103, 97, 113, 112, 110}
+	b := []float64{7, 0, 27, 50, 28, 29, 20, 12, 6, 17}
+	if got := SpearmanRho(a, b); math.Abs(got+0.17575757575) > 1e-6 {
+		t.Fatalf("ρ = %g, want −0.1758", got)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := Ranks([]float64{3, 1, 3, 2})
+	// Descending: the two 3s share ranks (1+2)/2 = 1.5; 2 gets 3; 1 gets 4.
+	want := []float64{1.5, 4, 1.5, 3}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	rel := []float64{3, 2, 1, 0}
+	perfect := []int{0, 1, 2, 3}
+	if got := NDCG(perfect, rel, 4); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect NDCG = %g, want 1", got)
+	}
+	worst := []int{3, 2, 1, 0}
+	if got := NDCG(worst, rel, 4); got >= 1 || got <= 0 {
+		t.Fatalf("worst NDCG = %g, want in (0,1)", got)
+	}
+	// Zero relevance everywhere → 0 by convention.
+	if got := NDCG(perfect, []float64{0, 0, 0, 0}, 4); got != 0 {
+		t.Fatalf("all-zero NDCG = %g", got)
+	}
+}
+
+func TestNDCGOfScores(t *testing.T) {
+	rel := []float64{0, 1, 2}
+	// Scores that rank items 2, 1, 0 — the ideal order.
+	if got := NDCGOfScores([]float64{0.1, 0.5, 0.9}, rel, 3); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NDCGOfScores = %g, want 1", got)
+	}
+	// Anti-ideal order scores strictly less.
+	anti := NDCGOfScores([]float64{0.9, 0.5, 0.1}, rel, 3)
+	if anti >= 1 {
+		t.Fatalf("anti-ideal NDCG = %g", anti)
+	}
+}
+
+// Property: τ and ρ are symmetric in their arguments and bounded by 1.
+func TestQuickCorrelationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		tau := KendallTau(x, y)
+		rho := SpearmanRho(x, y)
+		return math.Abs(tau) <= 1+1e-12 && math.Abs(rho) <= 1+1e-12 &&
+			tau == KendallTau(y, x) && math.Abs(rho-SpearmanRho(y, x)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopPairs(t *testing.T) {
+	scores := [][]float64{
+		{0, 0.9, 0.1},
+		{0.9, 0, 0.5},
+		{0.1, 0.5, 0},
+	}
+	at := func(i, j int) float64 { return scores[i][j] }
+	top := TopPairs(3, at, 2)
+	if len(top) != 2 || top[0].A != 0 || top[0].B != 1 || top[1].A != 1 || top[1].B != 2 {
+		t.Fatalf("TopPairs = %+v", top)
+	}
+	all := TopPairs(3, at, 100)
+	if len(all) != 3 {
+		t.Fatalf("want all 3 pairs, got %d", len(all))
+	}
+}
+
+func TestAvgRoleDiff(t *testing.T) {
+	pairs := []ScoredPair{{A: 0, B: 1}, {A: 1, B: 2}}
+	role := []int{10, 4, 8}
+	if got := AvgRoleDiff(pairs, role); got != 5 { // (6+4)/2
+		t.Fatalf("AvgRoleDiff = %g, want 5", got)
+	}
+	if AvgRoleDiff(nil, role) != 0 {
+		t.Fatal("empty pairs should give 0")
+	}
+}
+
+func TestDeciles(t *testing.T) {
+	role := make([]int, 100)
+	for i := range role {
+		role[i] = 100 - i // descending: node 0 highest
+	}
+	d := Deciles(role)
+	if d[0] != 1 || d[5] != 1 || d[10] != 2 || d[99] != 10 {
+		t.Fatalf("Deciles = %v %v %v %v", d[0], d[5], d[10], d[99])
+	}
+}
+
+func TestDecileSimilarity(t *testing.T) {
+	// 4 nodes, deciles 1,1,2,2; similarity 1 within deciles, 0 across.
+	dec := []int{1, 1, 2, 2}
+	at := func(i, j int) float64 {
+		if dec[i] == dec[j] {
+			return 1
+		}
+		return 0
+	}
+	within := DecileSimilarity(4, at, dec, true)
+	if within[1] != 1 || within[2] != 1 {
+		t.Fatalf("within = %v", within)
+	}
+	cross := DecileSimilarity(4, at, dec, false)
+	if cross[1] != 0 {
+		t.Fatalf("cross = %v", cross)
+	}
+	if _, ok := cross[0]; ok {
+		t.Fatal("cross must not contain key 0")
+	}
+}
+
+func TestStratifiedQueries(t *testing.T) {
+	inDeg := make([]int, 100)
+	for i := range inDeg {
+		inDeg[i] = i
+	}
+	qs := StratifiedQueries(inDeg, 5, 4)
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries, want 20", len(qs))
+	}
+	// Each in-degree quintile must contribute 4 queries.
+	buckets := map[int]int{}
+	for _, q := range qs {
+		buckets[(99-inDeg[q])*5/100]++ // descending sort → top degrees first
+	}
+	for b := 0; b < 5; b++ {
+		if buckets[b] != 4 {
+			t.Fatalf("bucket %d has %d queries: %v", b, buckets[b], buckets)
+		}
+	}
+	// Deterministic.
+	qs2 := StratifiedQueries(inDeg, 5, 4)
+	for i := range qs {
+		if qs[i] != qs2[i] {
+			t.Fatal("StratifiedQueries not deterministic")
+		}
+	}
+}
+
+func TestKendallMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KendallTau([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,178 @@
+package eval
+
+import "sort"
+
+// Pair analysis helpers behind Fig. 6(b) (role difference of the top-x%
+// most-similar pairs) and Fig. 6(c) (average similarity within and across
+// role deciles).
+
+// ScoredPair is a node pair with a similarity score.
+type ScoredPair struct {
+	A, B  int
+	Score float64
+}
+
+// TopPairs extracts all unordered pairs (i < j) from a symmetric score
+// matrix accessor, sorted by descending score (ties by (A, B)), and returns
+// the top `count`. `n` is the node count and `at(i, j)` the score accessor.
+func TopPairs(n int, at func(i, j int) float64, count int) []ScoredPair {
+	all := make([]ScoredPair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			all = append(all, ScoredPair{A: i, B: j, Score: at(i, j)})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Score != all[b].Score {
+			return all[a].Score > all[b].Score
+		}
+		if all[a].A != all[b].A {
+			return all[a].A < all[b].A
+		}
+		return all[a].B < all[b].B
+	})
+	if count > len(all) {
+		count = len(all)
+	}
+	return all[:count]
+}
+
+// AvgRoleDiff returns the mean |role(A) − role(B)| over the pairs — the
+// Fig. 6(b) metric with role = #-citations or H-index.
+func AvgRoleDiff(pairs []ScoredPair, role []int) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pairs {
+		d := role[p.A] - role[p.B]
+		if d < 0 {
+			d = -d
+		}
+		sum += float64(d)
+	}
+	return sum / float64(len(pairs))
+}
+
+// Deciles assigns each node a decile 1..10 by descending role value: decile
+// 1 holds the top 10%. Ties are broken by node id for determinism.
+func Deciles(role []int) []int {
+	n := len(role)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return role[idx[a]] > role[idx[b]] })
+	out := make([]int, n)
+	for pos, node := range idx {
+		d := pos * 10 / n
+		if d > 9 {
+			d = 9
+		}
+		out[node] = d + 1
+	}
+	return out
+}
+
+// DecileSimilarity computes, for each key k, the average similarity of node
+// pairs whose decile difference is k when within == false (the "cross"
+// series of Fig. 6(c)), or of pairs within the same decile k when within ==
+// true (the "within" series). Keys with no pairs are absent.
+func DecileSimilarity(n int, at func(i, j int) float64, deciles []int, within bool) map[int]float64 {
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var key int
+			if within {
+				if deciles[i] != deciles[j] {
+					continue
+				}
+				key = deciles[i]
+			} else {
+				key = deciles[i] - deciles[j]
+				if key < 0 {
+					key = -key
+				}
+				if key == 0 {
+					continue
+				}
+			}
+			sums[key] += at(i, j)
+			counts[key]++
+		}
+	}
+	out := make(map[int]float64, len(sums))
+	for k, s := range sums {
+		out[k] = s / float64(counts[k])
+	}
+	return out
+}
+
+// PooledCandidates returns the union of the top-`depth` items by `truth`
+// and by `scores` (excluding `exclude`), the standard IR pooling protocol:
+// rank correlations are then computed over items at least one side deems
+// relevant, instead of being washed out by the mass of irrelevant ties.
+// This mirrors the paper's human-judged evaluation, where assessors scored
+// retrieved results rather than all n² pairs.
+func PooledCandidates(truth, scores []float64, depth, exclude int) []int {
+	type ranked struct {
+		idx int
+		val float64
+	}
+	pool := map[int]bool{}
+	addTop := func(vals []float64) {
+		items := make([]ranked, 0, len(vals))
+		for i, v := range vals {
+			if i != exclude {
+				items = append(items, ranked{i, v})
+			}
+		}
+		sort.Slice(items, func(a, b int) bool {
+			if items[a].val != items[b].val {
+				return items[a].val > items[b].val
+			}
+			return items[a].idx < items[b].idx
+		})
+		for i := 0; i < depth && i < len(items); i++ {
+			pool[items[i].idx] = true
+		}
+	}
+	addTop(truth)
+	addTop(scores)
+	out := make([]int, 0, len(pool))
+	for i := range pool {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// StratifiedQueries reproduces the paper's query-selection protocol: sort
+// nodes by in-degree into `groups` buckets and draw `perGroup` evenly spaced
+// nodes from each, covering the full query spectrum deterministically.
+func StratifiedQueries(inDeg []int, groups, perGroup int) []int {
+	n := len(inDeg)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return inDeg[idx[a]] > inDeg[idx[b]] })
+	var out []int
+	for g := 0; g < groups; g++ {
+		lo := g * n / groups
+		hi := (g + 1) * n / groups
+		size := hi - lo
+		if size <= 0 {
+			continue
+		}
+		take := perGroup
+		if take > size {
+			take = size
+		}
+		for i := 0; i < take; i++ {
+			out = append(out, idx[lo+i*size/take])
+		}
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+package eval
+
+import "testing"
+
+func TestPooledCandidates(t *testing.T) {
+	truth := []float64{0.9, 0.1, 0.8, 0.0, 0.2}
+	scores := []float64{0.0, 0.9, 0.0, 0.8, 0.1}
+	pool := PooledCandidates(truth, scores, 2, 4)
+	// top-2 truth: {0, 2}; top-2 scores: {1, 3}; node 4 excluded everywhere.
+	want := []int{0, 1, 2, 3}
+	if len(pool) != len(want) {
+		t.Fatalf("pool = %v, want %v", pool, want)
+	}
+	for i := range want {
+		if pool[i] != want[i] {
+			t.Fatalf("pool = %v, want %v", pool, want)
+		}
+	}
+}
+
+func TestPooledCandidatesExcludesQuery(t *testing.T) {
+	truth := []float64{1, 0, 0}
+	scores := []float64{1, 0, 0}
+	pool := PooledCandidates(truth, scores, 3, 0)
+	for _, p := range pool {
+		if p == 0 {
+			t.Fatal("excluded node present in pool")
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// Parallel edges are deduplicated at Build time (the similarity measures in
+// this repository are defined on simple digraphs; the paper's datasets are
+// citation and collaboration graphs without multi-edges).
+type Builder struct {
+	n       int
+	edges   [][2]int32
+	labels  []string
+	byLabel map[string]int
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// EnsureN grows the node count to at least n. Nodes are identified by dense
+// ints in [0, n).
+func (b *Builder) EnsureN(n int) {
+	if n > b.n {
+		b.n = n
+		if b.labels != nil {
+			for len(b.labels) < n {
+				b.labels = append(b.labels, fmt.Sprintf("%d", len(b.labels)))
+			}
+		}
+	}
+}
+
+// Node interns a labelled node, returning its id. Repeated calls with the
+// same label return the same id.
+func (b *Builder) Node(label string) int {
+	if b.byLabel == nil {
+		b.byLabel = make(map[string]int)
+		// Backfill numeric labels for any anonymous nodes created earlier.
+		for i := 0; i < b.n; i++ {
+			l := fmt.Sprintf("%d", i)
+			b.labels = append(b.labels, l)
+			b.byLabel[l] = i
+		}
+	}
+	if id, ok := b.byLabel[label]; ok {
+		return id
+	}
+	id := b.n
+	b.n++
+	b.labels = append(b.labels, label)
+	b.byLabel[label] = id
+	return id
+}
+
+// AddEdge records the directed edge u→v, growing the node count as needed.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || v < 0 {
+		panic(fmt.Sprintf("graph: negative node id (%d, %d)", u, v))
+	}
+	if u >= b.n || v >= b.n {
+		b.EnsureN(max(u, v) + 1)
+	}
+	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
+}
+
+// AddEdgeLabeled records an edge between two labelled nodes, interning them.
+func (b *Builder) AddEdgeLabeled(u, v string) {
+	b.AddEdge(b.Node(u), b.Node(v))
+}
+
+// AddUndirected records both u→v and v→u.
+func (b *Builder) AddUndirected(u, v int) {
+	b.AddEdge(u, v)
+	if u != v {
+		b.AddEdge(v, u)
+	}
+}
+
+// N returns the current node count.
+func (b *Builder) N() int { return b.n }
+
+// Build finalises the graph: edges are sorted, deduplicated, and packed into
+// CSR arrays for both directions.
+func (b *Builder) Build() (*Graph, error) {
+	n := b.n
+	if n == 0 && len(b.edges) > 0 {
+		return nil, fmt.Errorf("graph: edges without nodes")
+	}
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	dedup := b.edges[:0]
+	var prev [2]int32
+	for i, e := range b.edges {
+		if i > 0 && e == prev {
+			continue
+		}
+		dedup = append(dedup, e)
+		prev = e
+	}
+	b.edges = dedup
+
+	g := &Graph{
+		n:      n,
+		outOff: make([]int32, n+1),
+		outDst: make([]int32, len(b.edges)),
+		inOff:  make([]int32, n+1),
+		inSrc:  make([]int32, len(b.edges)),
+		labels: b.labels,
+	}
+	if b.labels != nil {
+		g.byLabel = b.byLabel
+	}
+	for _, e := range b.edges {
+		g.outOff[e[0]+1]++
+		g.inOff[e[1]+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.outOff[i+1] += g.outOff[i]
+		g.inOff[i+1] += g.inOff[i]
+	}
+	outPos := make([]int32, n)
+	inPos := make([]int32, n)
+	for _, e := range b.edges {
+		u, v := e[0], e[1]
+		g.outDst[g.outOff[u]+outPos[u]] = v
+		outPos[u]++
+		g.inSrc[g.inOff[v]+inPos[v]] = u
+		inPos[v]++
+	}
+	// In-rows are filled in edge-sorted order, which sorts each out-row but
+	// only groups in-rows by target; sort each in-row for binary search and
+	// deterministic iteration.
+	for v := 0; v < n; v++ {
+		row := g.inSrc[g.inOff[v]:g.inOff[v+1]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+	return g, nil
+}
+
+func (b *Builder) mustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+// Package graph provides the directed-graph substrate used by every
+// similarity measure in this repository: a compact CSR representation with
+// both out- and in-adjacency (SimRank-family measures are driven by
+// in-neighbour sets I(·), RWR by out-neighbour sets O(·)), an incremental
+// builder, label support, and text serialisation.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable directed graph in CSR form. Node ids are dense ints
+// in [0, N()). Both adjacency directions are materialised because the
+// algorithms in this repository traverse in-links (SimRank, SimRank*,
+// P-Rank) as well as out-links (RWR, P-Rank).
+type Graph struct {
+	n      int
+	outOff []int32 // len n+1; out-neighbours of u are outDst[outOff[u]:outOff[u+1]]
+	outDst []int32 // sorted within each row
+	inOff  []int32 // len n+1; in-neighbours of v are inSrc[inOff[v]:inOff[v+1]]
+	inSrc  []int32 // sorted within each row
+
+	labels  []string       // optional, len n or nil
+	byLabel map[string]int // nil iff labels is nil
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return len(g.outDst) }
+
+// Out returns the out-neighbours of u in ascending order. The slice is a
+// view into the graph and must not be modified.
+func (g *Graph) Out(u int) []int32 { return g.outDst[g.outOff[u]:g.outOff[u+1]] }
+
+// In returns the in-neighbours of v in ascending order. The slice is a view
+// into the graph and must not be modified.
+func (g *Graph) In(v int) []int32 { return g.inSrc[g.inOff[v]:g.inOff[v+1]] }
+
+// OutDeg returns |O(u)|.
+func (g *Graph) OutDeg(u int) int { return int(g.outOff[u+1] - g.outOff[u]) }
+
+// InDeg returns |I(v)|.
+func (g *Graph) InDeg(v int) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// HasEdge reports whether the edge u→v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	row := g.Out(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+	return i < len(row) && row[i] == int32(v)
+}
+
+// Label returns the label of node i, or its decimal id if the graph is
+// unlabelled.
+func (g *Graph) Label(i int) string {
+	if g.labels == nil {
+		return fmt.Sprintf("%d", i)
+	}
+	return g.labels[i]
+}
+
+// Labeled reports whether the graph carries node labels.
+func (g *Graph) Labeled() bool { return g.labels != nil }
+
+// NodeByLabel returns the id of the node with the given label.
+func (g *Graph) NodeByLabel(label string) (int, bool) {
+	if g.byLabel == nil {
+		return 0, false
+	}
+	id, ok := g.byLabel[label]
+	return id, ok
+}
+
+// Edges calls fn for every edge u→v in (u, v) order.
+func (g *Graph) Edges(fn func(u, v int)) {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Out(u) {
+			fn(u, int(v))
+		}
+	}
+}
+
+// Density returns M/N, the average degree the paper reports in Figure 5.
+func (g *Graph) Density() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.M()) / float64(g.n)
+}
+
+// Reverse returns a new graph with every edge direction flipped. Labels are
+// shared with the receiver.
+func (g *Graph) Reverse() *Graph {
+	b := NewBuilder()
+	b.EnsureN(g.n)
+	g.Edges(func(u, v int) { b.AddEdge(v, u) })
+	r := b.mustBuild()
+	r.labels, r.byLabel = g.labels, g.byLabel
+	return r
+}
+
+// AsUndirected returns the symmetric closure of g: for every edge u→v the
+// result has both u→v and v→u (self-loops stay single). Labels are shared.
+func (g *Graph) AsUndirected() *Graph {
+	b := NewBuilder()
+	b.EnsureN(g.n)
+	g.Edges(func(u, v int) {
+		b.AddEdge(u, v)
+		if u != v {
+			b.AddEdge(v, u)
+		}
+	})
+	u := b.mustBuild()
+	u.labels, u.byLabel = g.labels, g.byLabel
+	return u
+}
+
+// IsSymmetric reports whether for every edge u→v the reverse edge v→u is
+// present (i.e. the graph is undirected in the representation used here).
+func (g *Graph) IsSymmetric() bool {
+	sym := true
+	g.Edges(func(u, v int) {
+		if sym && !g.HasEdge(v, u) {
+			sym = false
+		}
+	})
+	return sym
+}
+
+// Stats summarises a graph for dataset tables (paper Figure 5).
+type Stats struct {
+	N, M            int
+	Density         float64
+	MaxInDeg        int
+	MaxOutDeg       int
+	Sources         int // nodes with I(v) = ∅
+	Sinks           int // nodes with O(u) = ∅
+	SelfLoops       int
+	SymmetricShape  bool
+	AvgInNeighbours float64
+}
+
+// ComputeStats walks the graph once and returns summary statistics.
+func (g *Graph) ComputeStats() Stats {
+	st := Stats{N: g.n, M: g.M(), Density: g.Density(), SymmetricShape: g.IsSymmetric()}
+	for v := 0; v < g.n; v++ {
+		if d := g.InDeg(v); d > st.MaxInDeg {
+			st.MaxInDeg = d
+		}
+		if d := g.OutDeg(v); d > st.MaxOutDeg {
+			st.MaxOutDeg = d
+		}
+		if g.InDeg(v) == 0 {
+			st.Sources++
+		}
+		if g.OutDeg(v) == 0 {
+			st.Sinks++
+		}
+		if g.HasEdge(v, v) {
+			st.SelfLoops++
+		}
+	}
+	if g.n > 0 {
+		st.AvgInNeighbours = float64(g.M()) / float64(g.n)
+	}
+	return st
+}
+
+// FromEdges builds an unlabelled graph on n nodes from an edge list,
+// deduplicating parallel edges. It panics on out-of-range endpoints; use a
+// Builder for error handling.
+func FromEdges(n int, edges [][2]int) *Graph {
+	b := NewBuilder()
+	b.EnsureN(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.mustBuild()
+}

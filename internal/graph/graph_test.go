@@ -1,0 +1,296 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustBuild(t *testing.T, b *Builder) *Graph {
+	t.Helper()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := mustBuild(t, NewBuilder())
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph has N=%d M=%d", g.N(), g.M())
+	}
+	if g.Density() != 0 {
+		t.Fatal("empty graph density should be 0")
+	}
+}
+
+func TestBasicAdjacency(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {0, 2}, {2, 1}, {3, 3}})
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if got := g.Out(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Out(0) = %v", got)
+	}
+	if got := g.In(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("In(1) = %v", got)
+	}
+	if g.InDeg(0) != 0 || g.OutDeg(0) != 2 || g.InDeg(3) != 1 {
+		t.Fatal("degree mismatch")
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) || !g.HasEdge(3, 3) {
+		t.Fatal("HasEdge mismatch")
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {0, 1}, {0, 1}, {1, 2}})
+	if g.M() != 2 {
+		t.Fatalf("M = %d after dedup, want 2", g.M())
+	}
+}
+
+func TestLabels(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdgeLabeled("alice", "bob")
+	b.AddEdgeLabeled("bob", "carol")
+	b.AddEdgeLabeled("alice", "carol")
+	g := mustBuild(t, b)
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.Labeled() {
+		t.Fatal("graph should be labelled")
+	}
+	id, ok := g.NodeByLabel("bob")
+	if !ok {
+		t.Fatal("bob not found")
+	}
+	if g.Label(id) != "bob" {
+		t.Fatalf("Label(%d) = %q", id, g.Label(id))
+	}
+	if _, ok := g.NodeByLabel("dave"); ok {
+		t.Fatal("dave should not exist")
+	}
+}
+
+func TestLabelBackfill(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdge(0, 1) // anonymous nodes first
+	b.AddEdgeLabeled("x", "y")
+	g := mustBuild(t, b)
+	if g.N() != 4 {
+		t.Fatalf("N = %d, want 4", g.N())
+	}
+	if g.Label(0) != "0" || g.Label(1) != "1" {
+		t.Fatalf("backfilled labels = %q, %q", g.Label(0), g.Label(1))
+	}
+	if id, ok := g.NodeByLabel("x"); !ok || id != 2 {
+		t.Fatalf("NodeByLabel(x) = %d, %v", id, ok)
+	}
+}
+
+func TestUnlabelledLabelFallback(t *testing.T) {
+	g := FromEdges(2, [][2]int{{0, 1}})
+	if g.Label(1) != "1" {
+		t.Fatalf("Label(1) = %q, want \"1\"", g.Label(1))
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(2, 1) || r.HasEdge(0, 1) {
+		t.Fatal("Reverse edges wrong")
+	}
+	if r.M() != g.M() || r.N() != g.N() {
+		t.Fatal("Reverse changed size")
+	}
+}
+
+func TestAsUndirectedAndSymmetry(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}, {2, 2}})
+	if g.IsSymmetric() {
+		t.Fatal("directed graph reported symmetric")
+	}
+	u := g.AsUndirected()
+	if !u.IsSymmetric() {
+		t.Fatal("AsUndirected not symmetric")
+	}
+	if u.M() != 5 { // 0↔1, 1↔2, self-loop 2→2
+		t.Fatalf("undirected M = %d, want 5", u.M())
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 2}})
+	st := g.ComputeStats()
+	if st.N != 5 || st.M != 4 {
+		t.Fatalf("stats N=%d M=%d", st.N, st.M)
+	}
+	if st.MaxInDeg != 3 { // node 2: in from 0, 1, 2
+		t.Fatalf("MaxInDeg = %d, want 3", st.MaxInDeg)
+	}
+	if st.SelfLoops != 1 {
+		t.Fatalf("SelfLoops = %d, want 1", st.SelfLoops)
+	}
+	if st.Sources != 3 { // nodes 0, 3, 4 have no in-edges
+		t.Fatalf("Sources = %d, want 3", st.Sources)
+	}
+	if st.Sinks != 2 { // nodes 3, 4 have no out-edges
+		t.Fatalf("Sinks = %d, want 2", st.Sinks)
+	}
+}
+
+func TestEdgesOrder(t *testing.T) {
+	g := FromEdges(3, [][2]int{{2, 0}, {0, 2}, {0, 1}})
+	var got [][2]int
+	g.Edges(func(u, v int) { got = append(got, [2]int{u, v}) })
+	want := [][2]int{{0, 1}, {0, 2}, {2, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("Edges = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: sum of in-degrees = sum of out-degrees = M for random graphs.
+func TestQuickDegreeSums(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		b := NewBuilder()
+		b.EnsureN(n)
+		for i := 0; i < rng.Intn(200); i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		inSum, outSum := 0, 0
+		for v := 0; v < g.N(); v++ {
+			inSum += g.InDeg(v)
+			outSum += g.OutDeg(v)
+		}
+		return inSum == g.M() && outSum == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: In/Out are mutually consistent — v ∈ Out(u) ⟺ u ∈ In(v).
+func TestQuickAdjacencyConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		b := NewBuilder()
+		b.EnsureN(n)
+		for i := 0; i < rng.Intn(150); i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g, _ := b.Build()
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(u) {
+				found := false
+				for _, w := range g.In(int(v)) {
+					if int(w) == u {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip N=%d M=%d, want N=%d M=%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	g.Edges(func(u, v int) {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("round trip lost edge %d→%d", u, v)
+		}
+	})
+}
+
+func TestIOLabelledRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdgeLabeled("paperA", "paperB")
+	b.AddEdgeLabeled("paperB", "paperC")
+	g := mustBuild(t, b)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g2.NodeByLabel("paperA")
+	bb, _ := g2.NodeByLabel("paperB")
+	if !g2.HasEdge(a, bb) {
+		t.Fatal("labelled round trip lost edge")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("0\n")); err == nil {
+		t.Fatal("want error for single-field line")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("-1 2\n")); err == nil {
+		t.Fatal("want error for negative id")
+	}
+	g, err := ReadEdgeList(strings.NewReader("# comment\n\n0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+}
+
+func TestBuilderNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative id")
+		}
+	}()
+	NewBuilder().AddEdge(-1, 0)
+}
+
+func TestAddUndirected(t *testing.T) {
+	b := NewBuilder()
+	b.AddUndirected(0, 1)
+	b.AddUndirected(2, 2)
+	g := mustBuild(t, b)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("AddUndirected missing reverse edge")
+	}
+	if g.M() != 3 {
+		t.Fatalf("M = %d, want 3 (self-loop single)", g.M())
+	}
+}

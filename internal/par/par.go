@@ -1,0 +1,54 @@
+// Package par provides the tiny data-parallel loop helper shared by the
+// dense and sparse linear-algebra kernels. All similarity computations in
+// this repository are embarrassingly parallel over matrix rows; this keeps
+// the goroutine plumbing in one place.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers is the default parallelism degree.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For splits [0, n) into contiguous chunks, one per worker, and runs fn on
+// each chunk concurrently. fn must be safe to call concurrently on disjoint
+// ranges. With workers <= 1 or tiny n it runs inline.
+func For(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for each i in [0, n) across workers, chunked.
+func ForEach(n, workers int, fn func(i int)) {
+	For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+// Package paths analyses in-link paths (Definition 1) with boolean walk
+// products, classifying every node pair by the kinds of in-link paths it
+// has. An in-link path of pair (i, j) with split (k1, k2) is a common source
+// s with a directed walk s→i of length k1 and s→j of length k2; by Lemma 1
+// its existence is [(Aᵀ)^{k1}·A^{k2}]_{i,j} > 0. The package computes, up to
+// a length horizon K,
+//
+//	Sym   — a symmetric in-link path exists (k1 = k2 >= 1): what SimRank sees
+//	Mixed — a dissymmetric two-sided path exists (k1 != k2, both >= 1)
+//	Uni   — a directed walk i→…→j exists (k1 = 0 side): what RWR sees
+//
+// from which Theorem 1 ("zero-SimRank" ⟺ no symmetric path) is tested and
+// the Fig. 6(d) percentages ("completely dissimilar" vs "partially missing",
+// for both SimRank and RWR) are reproduced.
+package paths
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// Analysis holds the boolean pair classifications up to the horizon.
+type Analysis struct {
+	N       int
+	Horizon int
+	// Sym[i][j]: ∃ k in [1, K] with a common source at distance k from both.
+	Sym *bitset.Matrix
+	// Mixed[i][j]: ∃ k1 != k2, both in [1, K], with a common source at
+	// distances (k1, k2). Symmetric by construction.
+	Mixed *bitset.Matrix
+	// Uni[i][j]: ∃ directed walk i→…→j of length in [1, K]. NOT symmetric —
+	// exactly RWR's asymmetry.
+	Uni *bitset.Matrix
+}
+
+// Analyze classifies all pairs of g up to walk-length horizon K per side.
+// Cost is O(K²·m·n/64) time and O(n²) bits per matrix.
+func Analyze(g *graph.Graph, horizon int) *Analysis {
+	n := g.N()
+	a := &Analysis{
+		N:       n,
+		Horizon: horizon,
+		Sym:     bitset.NewMatrix(n),
+		Mixed:   bitset.NewMatrix(n),
+		Uni:     bitset.NewMatrix(n),
+	}
+	// bk[k][i] = nodes reachable from i by a walk of exactly k steps.
+	bk := make([]*bitset.Matrix, horizon+1)
+	bk[0] = bitset.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		bk[0].Set(i, i)
+	}
+	for k := 1; k <= horizon; k++ {
+		bk[k] = forwardExpand(g, bk[k-1])
+		a.Uni.Or(bk[k])
+	}
+	// For each k2, run the in-neighbour recurrence
+	// P^{(k1+1,k2)}[i] = ∪_{u∈I(i)} P^{(k1,k2)}[u] starting from B_{k2},
+	// accumulating sym (k1 = k2) and mixed (k1 != k2, k1 >= 1; the k2 = 0
+	// column is the Uni transpose and handled via Uni).
+	for k2 := 1; k2 <= horizon; k2++ {
+		cur := bk[k2].Clone()
+		for k1 := 1; k1 <= horizon; k1++ {
+			cur = inExpand(g, cur)
+			if k1 == k2 {
+				a.Sym.Or(cur)
+			} else {
+				a.Mixed.Or(cur)
+			}
+		}
+	}
+	a.Mixed.SymmetricClosure()
+	a.Sym.SymmetricClosure() // Sym is symmetric already; closure is harmless insurance.
+	return a
+}
+
+// forwardExpand returns next[i] = ∪_{u ∈ Out(i)} cur[u].
+func forwardExpand(g *graph.Graph, cur *bitset.Matrix) *bitset.Matrix {
+	n := g.N()
+	next := bitset.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		row := next.Row(i)
+		for _, u := range g.Out(i) {
+			row.Or(cur.Row(int(u)))
+		}
+	}
+	return next
+}
+
+// inExpand returns next[i] = ∪_{u ∈ I(i)} cur[u].
+func inExpand(g *graph.Graph, cur *bitset.Matrix) *bitset.Matrix {
+	n := g.N()
+	next := bitset.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		row := next.Row(i)
+		for _, u := range g.In(i) {
+			row.Or(cur.Row(int(u)))
+		}
+	}
+	return next
+}
+
+// HasAnyPath reports whether the unordered pair (i, j) has any in-link path
+// within the horizon (of any shape).
+func (a *Analysis) HasAnyPath(i, j int) bool {
+	return a.Sym.Get(i, j) || a.Mixed.Get(i, j) || a.Uni.Get(i, j) || a.Uni.Get(j, i)
+}
+
+// HasDissymmetric reports whether the unordered pair has a dissymmetric
+// in-link path (two-sided with k1 != k2, or one-sided/unidirectional).
+func (a *Analysis) HasDissymmetric(i, j int) bool {
+	return a.Mixed.Get(i, j) || a.Uni.Get(i, j) || a.Uni.Get(j, i)
+}
+
+// Stats are the Fig. 6(d) aggregates over unordered pairs i < j that have at
+// least one in-link path within the horizon. Percentages are relative to
+// that pair population.
+type Stats struct {
+	TotalPairs    int // n(n−1)/2
+	PairsWithPath int // denominators below
+
+	// SimRank column: zero-issue = completely dissimilar + partially missing.
+	SRCompletelyDissimilar int // no symmetric path → SimRank = 0 (Theorem 1)
+	SRPartiallyMissing     int // symmetric AND dissymmetric paths → SimRank != 0 but contributions missed
+	// RWR column.
+	RWRCompletelyDissimilar int // no directed walk either way → RWR = 0 both directions
+	RWRPartiallyMissing     int // directed walk exists but two-sided paths are ignored
+}
+
+// SRZeroIssuePct returns the share of path-connected pairs with either
+// SimRank issue, in percent.
+func (s Stats) SRZeroIssuePct() float64 {
+	return pct(s.SRCompletelyDissimilar+s.SRPartiallyMissing, s.PairsWithPath)
+}
+
+// SRCompletelyPct returns the "completely dissimilar" share in percent.
+func (s Stats) SRCompletelyPct() float64 {
+	return pct(s.SRCompletelyDissimilar, s.PairsWithPath)
+}
+
+// SRPartialPct returns the "partially missing" share in percent.
+func (s Stats) SRPartialPct() float64 { return pct(s.SRPartiallyMissing, s.PairsWithPath) }
+
+// RWRZeroIssuePct returns the share of path-connected pairs with either RWR
+// issue, in percent.
+func (s Stats) RWRZeroIssuePct() float64 {
+	return pct(s.RWRCompletelyDissimilar+s.RWRPartiallyMissing, s.PairsWithPath)
+}
+
+// RWRCompletelyPct returns the RWR "completely dissimilar" share in percent.
+func (s Stats) RWRCompletelyPct() float64 {
+	return pct(s.RWRCompletelyDissimilar, s.PairsWithPath)
+}
+
+// RWRPartialPct returns the RWR "partially missing" share in percent.
+func (s Stats) RWRPartialPct() float64 { return pct(s.RWRPartiallyMissing, s.PairsWithPath) }
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// Stats aggregates the classification over all unordered pairs.
+func (a *Analysis) Stats() Stats {
+	st := Stats{TotalPairs: a.N * (a.N - 1) / 2}
+	for i := 0; i < a.N; i++ {
+		for j := i + 1; j < a.N; j++ {
+			if !a.HasAnyPath(i, j) {
+				continue
+			}
+			st.PairsWithPath++
+			sym := a.Sym.Get(i, j)
+			dis := a.HasDissymmetric(i, j)
+			if !sym {
+				st.SRCompletelyDissimilar++
+			} else if dis {
+				st.SRPartiallyMissing++
+			}
+			uni := a.Uni.Get(i, j) || a.Uni.Get(j, i)
+			twoSided := sym || a.Mixed.Get(i, j)
+			if !uni {
+				st.RWRCompletelyDissimilar++
+			} else if twoSided {
+				st.RWRPartiallyMissing++
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,176 @@
+package prank
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/simrank"
+)
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder()
+	b.EnsureN(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// psum-PR is an exact reformulation of the naive double summation.
+func TestQuickAllPairsMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		opt := Options{C: 0.6, K: 4, Lambda: 0.5}
+		return AllPairs(g, opt).MaxAbsDiff(Naive(g, opt)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// With λ = 1 (in-links only), P-Rank degenerates to classic SimRank.
+func TestLambdaOneIsSimRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 18, 70)
+	pr := AllPairs(g, Options{C: 0.6, K: 5, Lambda: 1})
+	sr := simrank.PSum(g, simrank.Options{C: 0.6, K: 5})
+	if d := pr.MaxAbsDiff(sr); d > 1e-10 {
+		t.Fatalf("λ=1 P-Rank differs from SimRank by %g", d)
+	}
+}
+
+// The Figure-1 table, column PR: out-link evidence rescues (h,d) and (a,f),
+// but (a,c), (g,a), (g,b), (i,a) stay zero.
+func TestFigure1Pattern(t *testing.T) {
+	g := dataset.Figure1()
+	s := AllPairs(g, Options{C: 0.8, K: 15, Lambda: 0.5})
+	id := func(l string) int {
+		i, ok := g.NodeByLabel(l)
+		if !ok {
+			t.Fatalf("missing %q", l)
+		}
+		return i
+	}
+	positive := [][2]string{{"h", "d"}, {"a", "f"}, {"i", "h"}}
+	for _, p := range positive {
+		if v := s.At(id(p[0]), id(p[1])); v <= 0 {
+			t.Errorf("P-Rank(%s,%s) = %g, want > 0", p[0], p[1], v)
+		}
+	}
+	zeros := [][2]string{{"a", "c"}, {"g", "a"}, {"i", "a"}}
+	for _, p := range zeros {
+		if v := s.At(id(p[0]), id(p[1])); v != 0 {
+			t.Errorf("P-Rank(%s,%s) = %g, want 0", p[0], p[1], v)
+		}
+	}
+	// (g,b) is 0 at the paper's 3-decimal display precision; in our edge
+	// reconstruction a long out-link chain leaves a sub-millesimal residue.
+	if v := s.At(id("g"), id("b")); v > 5e-3 {
+		t.Errorf("P-Rank(g,b) = %g, want ≈0", v)
+	}
+}
+
+// The Sec. 1 counterexample: replace h→i with h→l→i. P-Rank(h,d) collapses
+// back to zero — no in- or out-link source is centred on any path — while
+// SimRank* stays positive. This is the paper's core argument that P-Rank
+// does not fix the zero-similarity issue and SimRank* does.
+func TestInsertedNodeCounterexample(t *testing.T) {
+	b := graph.NewBuilder()
+	for _, e := range [][2]string{
+		{"a", "b"}, {"a", "d"}, {"a", "e"},
+		{"b", "c"}, {"b", "f"}, {"b", "g"}, {"b", "i"},
+		{"d", "c"}, {"d", "g"}, {"d", "i"},
+		{"e", "h"}, {"e", "i"},
+		{"f", "d"},
+		{"h", "l"}, {"l", "i"}, // h→i replaced by h→l→i
+		{"j", "h"}, {"j", "i"},
+		{"k", "h"}, {"k", "i"},
+	} {
+		b.AddEdgeLabeled(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := g.NodeByLabel("h")
+	d, _ := g.NodeByLabel("d")
+	pr := AllPairs(g, Options{C: 0.8, K: 15, Lambda: 0.5})
+	if v := pr.At(h, d); v != 0 {
+		t.Fatalf("P-Rank(h,d) = %g after inserting l, want 0", v)
+	}
+	sr := core.Geometric(g, core.Options{C: 0.8, K: 15})
+	if v := sr.At(h, d); v <= 0 {
+		t.Fatalf("SimRank*(h,d) = %g after inserting l, want > 0", v)
+	}
+}
+
+// The matrix-form convention reproduces the paper's Figure-1 PR column to
+// three decimals: (h,d)=.049, (a,f)=.075, (i,h)=.041.
+func TestMatrixFormFigure1Values(t *testing.T) {
+	g := dataset.Figure1()
+	s := MatrixForm(g, Options{C: 0.8, K: 25, Lambda: 0.5})
+	id := func(l string) int { i, _ := g.NodeByLabel(l); return i }
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"h", "d", 0.049}, {"a", "f", 0.075}, {"i", "h", 0.041},
+	}
+	for _, c := range cases {
+		if got := s.At(id(c.a), id(c.b)); got < c.want-0.002 || got > c.want+0.002 {
+			t.Errorf("matrix-form PR(%s,%s) = %.4f, want ≈%.3f", c.a, c.b, got, c.want)
+		}
+	}
+	// Diagonals no longer pinned: in [1−C, 1].
+	for i := 0; i < g.N(); i++ {
+		if d := s.At(i, i); d < 0.2-1e-12 || d > 1+1e-12 {
+			t.Fatalf("matrix-form diag = %g", d)
+		}
+	}
+}
+
+// Property: P-Rank is symmetric with unit diagonal and scores in [0, 1].
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(18)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		s := AllPairs(g, Options{C: 0.7, K: 4})
+		if !s.IsSymmetric(1e-12) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.At(i, i) != 1 {
+				return false
+			}
+		}
+		for _, v := range s.Data {
+			if v < 0 || v > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSieve(t *testing.T) {
+	s := AllPairs(dataset.Figure1(), Options{C: 0.6, K: 5, Sieve: 1e-2})
+	for _, v := range s.Data {
+		if v != 0 && v < 1e-2 {
+			t.Fatalf("sieved score %g", v)
+		}
+	}
+}

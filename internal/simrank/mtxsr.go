@@ -1,0 +1,108 @@
+package simrank
+
+import (
+	"fmt"
+
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// MtxOptions configures the SVD-based solver.
+type MtxOptions struct {
+	// C is the damping factor, default 0.6.
+	C float64
+	// Rank truncates the SVD of Q to the given rank; 0 keeps every singular
+	// value above RankTol·σ₁. The solver is O(r⁶) in the retained rank
+	// (an r²×r² LU), so ranks beyond a few dozen are impractical — the
+	// paper's point when comparing against mtx-SR.
+	Rank int
+	// RankTol is the relative singular-value cut-off used when Rank == 0.
+	// Defaults to 1e-10 (numerically exact rank).
+	RankTol float64
+}
+
+// MtxSR computes all-pairs SimRank via the closed form
+//
+//	vec(S) = (1−C)(I_{n²} − C·Q⊗Q)⁻¹ vec(Iₙ)
+//
+// with Q replaced by its rank-r truncated SVD U·Σ·Vᵀ (Li et al., EDBT'10).
+// Applying the Sherman–Morrison–Woodbury identity with X = U⊗U, Y = V⊗V
+// collapses the n²×n² inverse to an r²×r² solve:
+//
+//	S = (1−C)·(Iₙ + U·M·Uᵀ),   vec(M) = (I_{r²} − C·D·(B⊗B))⁻¹·C·D·vec(I_r),
+//
+// where B = VᵀU and D = Σ⊗Σ. With full rank the result equals the exact
+// Eq. (3) fixed point; with truncated rank it is the low-rank approximation
+// whose cost/accuracy trade-off the paper criticises.
+func MtxSR(g *graph.Graph, opt MtxOptions) (*dense.Matrix, error) {
+	if opt.C <= 0 || opt.C >= 1 {
+		opt.C = 0.6
+	}
+	if opt.RankTol <= 0 {
+		opt.RankTol = 1e-10
+	}
+	n := g.N()
+	if n == 0 {
+		return dense.New(0, 0), nil
+	}
+	q := sparse.BackwardTransition(g).ToDense()
+	svd := dense.ComputeSVD(q)
+	r := opt.Rank
+	if r <= 0 || r > n {
+		r = svd.Rank(opt.RankTol)
+	}
+	if r == 0 {
+		// Q = 0 (no node has in-links): S = (1−C)·I under Eq. (3) semantics.
+		s := dense.New(n, n)
+		s.AddDiag(1 - opt.C)
+		return s, nil
+	}
+	u, sig, v := svd.Truncate(r)
+
+	// B = Vᵀ·U (r×r).
+	b := dense.Mul(v.Transpose(), u)
+
+	// L = I_{r²} − C·D·(B⊗B) with column-major vec indexing idx = i + j·r,
+	// D[idx] = σ_i·σ_j. Entry L[(i,j),(p,q)] = δ − C·σ_i·σ_j·B[i,p]·B[j,q].
+	r2 := r * r
+	l := dense.New(r2, r2)
+	for j := 0; j < r; j++ {
+		for i := 0; i < r; i++ {
+			row := i + j*r
+			d := opt.C * sig[i] * sig[j]
+			lr := l.Row(row)
+			for q2 := 0; q2 < r; q2++ {
+				bj := b.At(j, q2)
+				for p := 0; p < r; p++ {
+					lr[p+q2*r] = -d * b.At(i, p) * bj
+				}
+			}
+			lr[row] += 1
+		}
+	}
+	rhs := make([]float64, r2)
+	for i := 0; i < r; i++ {
+		rhs[i+i*r] = opt.C * sig[i] * sig[i]
+	}
+	lu, err := dense.ComputeLU(l)
+	if err != nil {
+		return nil, fmt.Errorf("simrank: mtx-SR inner system: %w", err)
+	}
+	kvec := lu.Solve(rhs)
+
+	// M = unvec(kvec) (r×r, column-major).
+	m := dense.New(r, r)
+	for j := 0; j < r; j++ {
+		for i := 0; i < r; i++ {
+			m.Set(i, j, kvec[i+j*r])
+		}
+	}
+
+	// S = (1−C)·(Iₙ + U·M·Uᵀ).
+	um := dense.Mul(u, m)
+	s := dense.MulABT(um, u)
+	s.AddDiag(1)
+	s.Scale(1 - opt.C)
+	return s, nil
+}

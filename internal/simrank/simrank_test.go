@@ -1,0 +1,232 @@
+package simrank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder()
+	b.EnsureN(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// psum-SR is an exact reformulation of the naive Eq. (2) iteration.
+func TestQuickPSumMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := randomGraph(rng, n, rng.Intn(5*n))
+		opt := Options{C: 0.6, K: 5}
+		return PSum(g, opt).MaxAbsDiff(Naive(g, opt)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Eq. (3) fixed point must equal the Lemma-2 power series
+// (1−C)·Σ_{l<=K} Cˡ·Qˡ·(Qᵀ)ˡ term for term.
+func TestMatrixFormMatchesLemma2Series(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, g := range []*graph.Graph{dataset.Figure1(), randomGraph(rng, 15, 60)} {
+		const c, k = 0.6, 6
+		got := MatrixForm(g, Options{C: c, K: k})
+		q := sparse.BackwardTransition(g).ToDense()
+		qt := q.Transpose()
+		want := dense.New(g.N(), g.N())
+		ql := dense.Identity(g.N())
+		qtl := dense.Identity(g.N())
+		for l := 0; l <= k; l++ {
+			term := dense.Mul(ql, qtl)
+			want.Axpy(math.Pow(c, float64(l)), term)
+			ql = dense.Mul(ql, q)
+			qtl = dense.Mul(qtl, qt)
+		}
+		want.Scale(1 - c)
+		if d := got.MaxAbsDiff(want); d > 1e-10 {
+			t.Fatalf("matrix form vs Lemma-2 series differ by %g", d)
+		}
+	}
+}
+
+// Theorem 1 on the Figure-1 graph: the listed pairs have zero SimRank, and
+// (i,h), (g,i) are positive (symmetric in-link sources exist).
+func TestFigure1ZeroSimilarity(t *testing.T) {
+	g := dataset.Figure1()
+	s := PSum(g, Options{C: 0.8, K: 15})
+	id := func(l string) int {
+		i, ok := g.NodeByLabel(l)
+		if !ok {
+			t.Fatalf("missing %q", l)
+		}
+		return i
+	}
+	zeros := [][2]string{{"h", "d"}, {"a", "f"}, {"a", "c"}, {"g", "a"}, {"g", "b"}, {"i", "a"}}
+	for _, p := range zeros {
+		if v := s.At(id(p[0]), id(p[1])); v != 0 {
+			t.Errorf("SimRank(%s,%s) = %g, want 0 (Theorem 1)", p[0], p[1], v)
+		}
+	}
+	if v := s.At(id("i"), id("h")); v <= 0 {
+		t.Errorf("SimRank(i,h) = %g, want > 0 (common source e/j/k)", v)
+	}
+	if v := s.At(id("g"), id("i")); v <= 0 {
+		t.Errorf("SimRank(g,i) = %g, want > 0 (sources b, d centred)", v)
+	}
+}
+
+// Sec. 1 path-graph counterexample: s(a_i, a_j) = 0 whenever |i| != |j|.
+func TestBiPathZeroPattern(t *testing.T) {
+	g := dataset.BiPath(3) // nodes 0..6, centre 3; a_k = 3+k, a_{−k} = 3−k
+	s := PSum(g, Options{C: 0.8, K: 12})
+	for i := -3; i <= 3; i++ {
+		for j := -3; j <= 3; j++ {
+			v := s.At(3+i, 3+j)
+			if abs(i) != abs(j) && v != 0 {
+				t.Fatalf("s(a_%d, a_%d) = %g, want 0", i, j, v)
+			}
+			if abs(i) == abs(j) && v <= 0 {
+				t.Fatalf("s(a_%d, a_%d) = %g, want > 0", i, j, v)
+			}
+		}
+	}
+}
+
+// Classic iterative form: diagonals pinned to exactly 1; matrix form:
+// diagonals in [1−C, 1].
+func TestDiagonalConventions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 20, 80)
+	const c = 0.6
+	it := PSum(g, Options{C: c, K: 5})
+	mf := MatrixForm(g, Options{C: c, K: 5})
+	for i := 0; i < 20; i++ {
+		if it.At(i, i) != 1 {
+			t.Fatalf("iterative diag = %g, want 1", it.At(i, i))
+		}
+		d := mf.At(i, i)
+		if d < 1-c-1e-12 || d > 1+1e-12 {
+			t.Fatalf("matrix-form diag = %g, want in [%g, 1]", d, 1-c)
+		}
+	}
+}
+
+// Property: SimRank scores are symmetric and in [0, 1].
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		s := PSum(g, Options{C: 0.7, K: 5})
+		if !s.IsSymmetric(1e-12) {
+			return false
+		}
+		for _, v := range s.Data {
+			if v < 0 || v > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Full-rank mtx-SR must agree with a deeply converged Eq. (3) fixed point.
+func TestMtxSRFullRankMatchesFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, g := range []*graph.Graph{dataset.Figure1(), randomGraph(rng, 12, 40)} {
+		got, err := MtxSR(g, MtxOptions{C: 0.6, Rank: g.N()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := MatrixForm(g, Options{C: 0.6, K: 60})
+		if d := got.MaxAbsDiff(want); d > 1e-8 {
+			t.Fatalf("mtx-SR full rank vs fixed point differ by %g", d)
+		}
+	}
+}
+
+// Truncated mtx-SR on an exactly low-rank Q is still exact.
+func TestMtxSRLowRankGraph(t *testing.T) {
+	// Star: every leaf has I = {0}, so Q has rank 1.
+	g := dataset.Star(8)
+	got, err := MtxSR(g, MtxOptions{C: 0.6}) // auto rank
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MatrixForm(g, Options{C: 0.6, K: 60})
+	if d := got.MaxAbsDiff(want); d > 1e-8 {
+		t.Fatalf("mtx-SR auto-rank vs fixed point differ by %g", d)
+	}
+}
+
+func TestMtxSREdgelessGraph(t *testing.T) {
+	g := graph.FromEdges(5, nil)
+	s, err := MtxSR(g, MtxOptions{C: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if math.Abs(s.At(i, i)-0.4) > 1e-12 {
+			t.Fatalf("diag = %g, want 1−C", s.At(i, i))
+		}
+	}
+}
+
+func TestSieveOption(t *testing.T) {
+	g := dataset.Figure1()
+	s := PSum(g, Options{C: 0.6, K: 5, Sieve: 1e-2})
+	for _, v := range s.Data {
+		if v != 0 && v < 1e-2 {
+			t.Fatalf("sieved score %g below threshold", v)
+		}
+	}
+}
+
+// SimRank's counter-intuitive trait the related work cites: adding common
+// in-neighbours *decreases* pairwise similarity (1/(|I(a)||I(b)|) dilution).
+func TestCommonNeighbourDilution(t *testing.T) {
+	// Two nodes sharing 1 parent of 1: s = C.
+	g1 := graph.FromEdges(3, [][2]int{{0, 1}, {0, 2}})
+	s1 := PSum(g1, Options{C: 0.8, K: 10}).At(1, 2)
+	// Two nodes sharing 2 parents: s < s1 at K=1? s = C·(Σ over 4 pairs of
+	// s(x,y))/4 = C·(2·1 + 2·s(p1,p2))/4 with s(p1,p2)=0 → C/2.
+	g2 := graph.FromEdges(4, [][2]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}})
+	s2 := PSum(g2, Options{C: 0.8, K: 10}).At(2, 3)
+	if s2 >= s1 {
+		t.Fatalf("dilution absent: shared-2 %g >= shared-1 %g", s2, s1)
+	}
+}
+
+func BenchmarkPSum(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 300, 1800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PSum(g, Options{C: 0.6, K: 5})
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,158 @@
+package sparsesim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder()
+	b.EnsureN(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// With a threshold below every score the graph can produce, the sparse
+// solver must match the dense solver exactly.
+func TestQuickMatchesDenseAtTinyDelta(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		g := randomGraph(rng, n, rng.Intn(5*n))
+		opt := Options{C: 0.6, K: 5, Delta: 1e-300}
+		sp := Geometric(g, opt)
+		dn := core.Geometric(g, core.Options{C: 0.6, K: 5})
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(sp.At(i, j)-dn.At(i, j)) > 1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// With the paper's δ = 1e-4, the sparse solver deviates from dense by at
+// most δ/(1−C) and stores far fewer than n² entries.
+func TestSievedAccuracyBound(t *testing.T) {
+	g := dataset.PrefAttachDAG(400, 6, 11)
+	const c, delta = 0.6, 1e-4
+	sp := Geometric(g, Options{C: c, K: 8, Delta: delta})
+	dn := core.Geometric(g, core.Options{C: c, K: 8})
+	bound := delta / (1 - c)
+	n := g.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if d := math.Abs(sp.At(i, j) - dn.At(i, j)); d > bound {
+				t.Fatalf("(%d,%d): sieved deviates by %g > %g", i, j, d, bound)
+			}
+		}
+	}
+	if sp.NNZ() >= n*n/2 {
+		t.Fatalf("NNZ = %d of %d: sieving did not sparsify", sp.NNZ(), n*n)
+	}
+}
+
+// Symmetry survives sparsification.
+func TestQuickSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		sp := Geometric(g, Options{C: 0.7, K: 4, Delta: 1e-3})
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if sp.At(i, j) != sp.At(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	g := dataset.Figure1()
+	sp := Geometric(g, Options{C: 0.8, K: 15, Delta: 1e-6})
+	i, _ := g.NodeByLabel("i")
+	h, _ := g.NodeByLabel("h")
+	cols, vals := sp.TopK(i, 5)
+	if len(cols) != 5 {
+		t.Fatalf("TopK returned %d", len(cols))
+	}
+	// h must rank among i's top matches (it shares citers e, j, k with i).
+	found := false
+	for _, c := range cols {
+		if int(c) == h {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("h missing from i's top-5: %v %v", cols, vals)
+	}
+	for k := 1; k < len(vals); k++ {
+		if vals[k] > vals[k-1] {
+			t.Fatal("TopK not descending")
+		}
+	}
+}
+
+func TestRowAndNNZ(t *testing.T) {
+	g := dataset.Star(5)
+	sp := Geometric(g, Options{C: 0.6, K: 3, Delta: 1e-9})
+	if sp.NNZ() == 0 {
+		t.Fatal("no entries stored")
+	}
+	cols, vals := sp.Row(1)
+	if len(cols) != len(vals) || len(cols) == 0 {
+		t.Fatal("Row shape wrong")
+	}
+	// Leaves share the centre: every leaf pair similar, centre-leaf pairs
+	// only via the dissymmetric length-1 path.
+	if sp.At(1, 2) <= 0 {
+		t.Fatal("leaf pair must be similar")
+	}
+	if sp.At(0, 1) <= 0 {
+		t.Fatal("centre-leaf must be similar under SimRank*")
+	}
+}
+
+// Large-ish smoke: the sparse engine handles a graph where dense storage
+// would already be 200MB+ (5000² floats), keeping NNZ bounded.
+func TestScalesBeyondDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := dataset.PrefAttachDAG(5000, 5, 13)
+	sp := Geometric(g, Options{C: 0.6, K: 5, Delta: 1e-3})
+	if sp.NNZ() == 0 || sp.NNZ() > 5000*5000/10 {
+		t.Fatalf("NNZ = %d out of expected sparse range", sp.NNZ())
+	}
+}
+
+func BenchmarkSparseGeometric(b *testing.B) {
+	g := dataset.PrefAttachDAG(2000, 6, 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Geometric(g, Options{C: 0.6, K: 5, Delta: 1e-4})
+	}
+}
