@@ -1,14 +1,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"repro/internal/bench"
-	"repro/internal/biclique"
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	"repro/simstar"
 )
 
 func init() {
@@ -23,7 +23,7 @@ func init() {
 //     paper's position that the weight is chosen for computability, not
 //     semantics.
 //  2. Biclique miner strategy: identical-set pass alone vs full pair-seeded
-//     mining — compression ratio and mining cost.
+//     mining — compression ratio and mining cost, read off engine stats.
 //  3. Damping factor C sensitivity of SimRank* accuracy.
 func runAblation(cfg config) {
 	bench.Section(os.Stdout, "ABL", "ablations of the paper's design choices")
@@ -33,6 +33,7 @@ func runAblation(cfg config) {
 	}
 	corpus := dataset.TopicCitation(dataset.TopicCitationOptions{N: n, AvgOut: 8, Seed: 401})
 	g := corpus.G
+	ctx := context.Background()
 
 	// --- 1. Length weights -------------------------------------------------
 	fmt.Println("1) length-weight ablation (Spearman vs planted oracle, K=8, C=0.6):")
@@ -41,14 +42,12 @@ func runAblation(cfg config) {
 		inDeg[i] = g.InDeg(i)
 	}
 	queries := eval.StratifiedQueries(inDeg, 5, 10)
-	weights := []core.LengthWeight{
-		core.GeometricWeight(0.6),
-		core.ExponentialWeight(0.6),
-		core.HarmonicWeight(0.6),
+	weights := []simstar.LengthWeight{
+		simstar.GeometricWeight(0.6),
+		simstar.ExponentialWeight(0.6),
+		simstar.HarmonicWeight(0.6),
 	}
-	tab := bench.NewTable("length weight", "Spearman", "norm Σw_l")
-	for _, w := range weights {
-		s := core.SeriesWeighted(g, w, 8)
+	spearmanVsTruth := func(s *simstar.Scores) float64 {
 		var sum float64
 		for _, q := range queries {
 			truth := make([]float64, n)
@@ -56,11 +55,16 @@ func runAblation(cfg config) {
 				truth[j] = corpus.TrueSim(q, j)
 			}
 			truth[q] = 0
-			row := rowOf(s, q)
+			row := s.Row(q)
 			row[q] = 0
 			sum += eval.SpearmanRho(row, truth)
 		}
-		tab.Add(w.Name, sum/float64(len(queries)), fmt.Sprintf("%.4f", w.Norm))
+		return sum / float64(len(queries))
+	}
+	tab := bench.NewTable("length weight", "Spearman", "norm Σw_l")
+	for _, w := range weights {
+		s := simstar.SeriesWeighted(g, w, 8)
+		tab.Add(w.Name, spearmanVsTruth(s), fmt.Sprintf("%.4f", w.Norm))
 	}
 	tab.Render(os.Stdout)
 
@@ -69,41 +73,34 @@ func runAblation(cfg config) {
 	dg := dataset.ErdosRenyi(n, 10*n, 402)
 	tab = bench.NewTable("miner", "m̃", "compression %", "#bicliques", "mine time")
 	for _, mode := range []struct {
-		name string
-		opt  biclique.Options
+		name  string
+		miner simstar.MinerOptions
 	}{
-		{"identical-set only", biclique.Options{DisablePairMining: true}},
-		{"full (ident + pair-seeded)", biclique.Options{}},
-		{"single pass", biclique.Options{Passes: 1}},
+		{"identical-set only", simstar.MinerOptions{DisablePairMining: true}},
+		{"full (ident + pair-seeded)", simstar.MinerOptions{}},
+		{"single pass", simstar.MinerOptions{Passes: 1}},
 	} {
-		var comp *biclique.Compressed
-		d := bench.Timed(func() { comp = biclique.Compress(dg, mode.opt) })
-		tab.Add(mode.name, comp.MCompressed, fmt.Sprintf("%.1f", comp.CompressionRatio()),
-			comp.NumConcentration(), d)
+		st := simstar.NewEngine(dg, simstar.WithMiner(mode.miner)).Stats()
+		tab.Add(mode.name, st.CompressedEdges, fmt.Sprintf("%.1f", st.CompressionRatio),
+			st.ConcentrationNodes, st.CompressionTime)
 	}
 	tab.Render(os.Stdout)
 
 	// --- 3. Damping sensitivity --------------------------------------------
 	fmt.Println("\n3) damping-factor sensitivity (gSR*, K from ε=.001):")
+	eng := simstar.NewEngine(g)
 	tab = bench.NewTable("C", "K(ε=.001)", "Spearman", "time")
 	for _, c := range []float64{0.4, 0.6, 0.8} {
-		opt := core.Options{C: c, Eps: 0.001}
-		k := opt.IterationsGeometric()
-		var sum float64
+		k := simstar.IterationsGeometric(simstar.WithC(c), simstar.WithEps(0.001))
+		var rho float64
 		d := bench.Timed(func() {
-			s := core.GeometricMemo(g, core.Options{C: c, K: k})
-			for _, q := range queries {
-				truth := make([]float64, n)
-				for j := 0; j < n; j++ {
-					truth[j] = corpus.TrueSim(q, j)
-				}
-				truth[q] = 0
-				row := rowOf(s, q)
-				row[q] = 0
-				sum += eval.SpearmanRho(row, truth)
+			s, err := eng.With(simstar.WithC(c), simstar.WithK(k)).AllPairs(ctx, simstar.MeasureGeometricMemo)
+			if err != nil {
+				panic(err)
 			}
+			rho = spearmanVsTruth(s)
 		})
-		tab.Add(fmt.Sprintf("%.1f", c), k, sum/float64(len(queries)), d)
+		tab.Add(fmt.Sprintf("%.1f", c), k, rho, d)
 	}
 	tab.Render(os.Stdout)
 	fmt.Println("\nreading: accuracy is weight- and C-robust; the exponential weight wins")

@@ -1,19 +1,32 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/prank"
-	"repro/internal/rwr"
-	"repro/internal/simrank"
+	"repro/simstar"
 )
 
 func init() {
 	register("fig1", "similarities on the citation graph (paper Figure 1 table)", runFig1)
+}
+
+// allPairsOf runs a registry measure to completion, panicking on error —
+// the experiments run under a background context where only a registry typo
+// can fail.
+func allPairsOf(g *simstar.Graph, name string, opts ...simstar.Option) *simstar.Scores {
+	m, err := simstar.Lookup(name, opts...)
+	if err != nil {
+		panic(err)
+	}
+	s, err := m.AllPairs(context.Background(), g)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // runFig1 reproduces the Figure-1 table: SR, PR, SR* and RWR scores of the
@@ -24,15 +37,15 @@ func init() {
 func runFig1(config) {
 	bench.Section(os.Stdout, "FIG1", "node-pair similarities on the Figure-1 citation graph (C=0.8)")
 	g := dataset.Figure1()
-	const c, k = 0.8, 25
+	opts := []simstar.Option{simstar.WithC(0.8), simstar.WithK(25)}
 
 	// The paper's table uses the (1−C)-normalised matrix-form conventions
 	// (Eq. 3 for SimRank and its P-Rank analogue), which makes all four
 	// columns directly comparable.
-	sr := simrank.MatrixForm(g, simrank.Options{C: c, K: k})
-	pr := prank.MatrixForm(g, prank.Options{C: c, K: k, Lambda: 0.5})
-	srStar := core.Geometric(g, core.Options{C: c, K: k})
-	rw := rwr.AllPairs(g, rwr.Options{C: c, K: k})
+	sr := allPairsOf(g, simstar.MeasureSimRankMatrix, opts...)
+	pr := allPairsOf(g, simstar.MeasurePRankMatrix, append(opts, simstar.WithLambda(0.5))...)
+	srStar := allPairsOf(g, simstar.MeasureGeometric, opts...)
+	rw := allPairsOf(g, simstar.MeasureRWR, opts...)
 
 	paper := map[string][4]string{
 		"(h,d)": {"0", ".049", ".010", "0"},

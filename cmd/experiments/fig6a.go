@@ -5,46 +5,34 @@ import (
 	"os"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/dense"
 	"repro/internal/eval"
-	"repro/internal/graph"
-	"repro/internal/prank"
-	"repro/internal/rwr"
-	"repro/internal/simrank"
+	"repro/simstar"
 )
 
 func init() {
 	register("fig6a", "semantic effectiveness: Kendall/Spearman/NDCG vs ground truth", runFig6a)
 }
 
-// measure is a named all-pairs similarity computation.
+// measure is a named registry measure at the paper's defaults.
 type measure struct {
-	name string
-	run  func(g *graph.Graph) *dense.Matrix
+	name    string
+	measure string
+}
+
+func (m measure) run(g *simstar.Graph) *simstar.Scores {
+	return allPairsOf(g, m.measure, simstar.WithC(0.6), simstar.WithK(5))
 }
 
 // paperMeasures returns the five Exp-1 contenders at the paper's defaults
 // (C = 0.6, K = 5).
 func paperMeasures() []measure {
-	const c, k = 0.6, 5
 	return []measure{
-		{"eSR*", func(g *graph.Graph) *dense.Matrix {
-			return core.ExponentialMemo(g, core.Options{C: c, K: k})
-		}},
-		{"gSR*", func(g *graph.Graph) *dense.Matrix {
-			return core.GeometricMemo(g, core.Options{C: c, K: k})
-		}},
-		{"RWR", func(g *graph.Graph) *dense.Matrix {
-			return rwr.AllPairs(g, rwr.Options{C: c, K: k})
-		}},
-		{"SR", func(g *graph.Graph) *dense.Matrix {
-			return simrank.PSum(g, simrank.Options{C: c, K: k})
-		}},
-		{"PR", func(g *graph.Graph) *dense.Matrix {
-			return prank.AllPairs(g, prank.Options{C: c, K: k})
-		}},
+		{"eSR*", simstar.MeasureExponentialMemo},
+		{"gSR*", simstar.MeasureGeometricMemo},
+		{"RWR", simstar.MeasureRWR},
+		{"SR", simstar.MeasureSimRank},
+		{"PR", simstar.MeasurePRank},
 	}
 }
 
@@ -52,7 +40,7 @@ func paperMeasures() []measure {
 // single-node queries, rankings of all other nodes by each measure, scored
 // against the planted-topic oracle with Kendall's τ, Spearman's ρ and
 // NDCG@50.
-func semanticAccuracy(g *graph.Graph, corpus *dataset.Corpus, queries []int) *bench.Table {
+func semanticAccuracy(g *simstar.Graph, corpus *dataset.Corpus, queries []int) *bench.Table {
 	n := g.N()
 	// Deterministic Kendall subsample keeps the O(N²) tie-aware τ tractable.
 	const kendallSample = 250
@@ -70,7 +58,7 @@ func semanticAccuracy(g *graph.Graph, corpus *dataset.Corpus, queries []int) *be
 			for j := 0; j < n; j++ {
 				truth[j] = corpus.TrueSim(q, j)
 			}
-			got := rowOf(s, q)
+			got := s.Row(q)
 			// Exclude the query itself (its self-score is degenerate).
 			got[q] = 0
 			truth[q] = 0

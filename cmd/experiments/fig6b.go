@@ -8,7 +8,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/dataset"
 	"repro/internal/eval"
-	"repro/internal/graph"
+	"repro/simstar"
 )
 
 func init() {
@@ -50,7 +50,7 @@ func runFig6b(cfg config) {
 	fmt.Println("SR converges to random scoring as the cutoff grows; RWR is worst on directed data.")
 }
 
-func roleDiffTable(g *graph.Graph, role []int, cutoffs []float64) *bench.Table {
+func roleDiffTable(g *simstar.Graph, role []int, cutoffs []float64) *bench.Table {
 	n := g.N()
 	totalPairs := n * (n - 1) / 2
 

@@ -7,7 +7,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/dataset"
 	"repro/internal/eval"
-	"repro/internal/graph"
+	"repro/simstar"
 )
 
 func init() {
@@ -47,7 +47,7 @@ func runFig6c(cfg config) {
 	fmt.Println("with decile distance; SR 'cross' hovers near its random level.")
 }
 
-func decileTables(g *graph.Graph, role []int) {
+func decileTables(g *simstar.Graph, role []int) {
 	n := g.N()
 	dec := eval.Deciles(role)
 	keys := []int{3, 4, 5, 6, 7, 8, 9, 10}

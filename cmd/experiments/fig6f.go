@@ -1,13 +1,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"repro/internal/bench"
-	"repro/internal/biclique"
-	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/simstar"
 )
 
 func init() {
@@ -15,15 +15,17 @@ func init() {
 }
 
 // runFig6f reproduces Fig. 6(f): for memo-eSR* and memo-gSR* at ε=.001, the
-// split between the one-off "Compress Bigraph" preprocessing and the
-// per-run "Share Sums" iterations. The paper's claims: compression is one
-// or more orders of magnitude cheaper than iterating, and occupies a larger
-// *fraction* of memo-eSR*'s total because its iteration phase is shorter.
+// split between the one-off "Compress Bigraph" preprocessing (done inside
+// simstar.NewEngine and read off its stats) and the per-run "Share Sums"
+// iterations. The paper's claims: compression is one or more orders of
+// magnitude cheaper than iterating, and occupies a larger *fraction* of
+// memo-eSR*'s total because its iteration phase is shorter.
 func runFig6f(cfg config) {
 	bench.Section(os.Stdout, "FIG6f", "amortised phase time at ε=.001 (C=0.6)")
 	const c, eps = 0.6, 0.001
-	kGeo := core.Options{C: c, Eps: eps}.IterationsGeometric()
-	kExp := core.Options{C: c, Eps: eps}.IterationsExponential()
+	kGeo := simstar.IterationsGeometric(simstar.WithC(c), simstar.WithEps(eps))
+	kExp := simstar.IterationsExponential(simstar.WithC(c), simstar.WithEps(eps))
+	ctx := context.Background()
 
 	tab := bench.NewTable("dataset", "algorithm", "compress", "share sums", "compress %")
 	for _, name := range []string{"WebGoogle-s", "CitPatent-s"} {
@@ -32,14 +34,18 @@ func runFig6f(cfg config) {
 			p.ScaledN /= 2
 		}
 		g := p.Build()
-		var comp *biclique.Compressed
-		dCompress := bench.Timed(func() { comp = biclique.Compress(g, biclique.Options{}) })
+		eng := simstar.NewEngine(g, simstar.WithC(c))
+		dCompress := eng.Stats().CompressionTime
 
 		dShareG := bench.Timed(func() {
-			core.GeometricWithCompressed(g, comp, core.Options{C: c, K: kGeo})
+			if _, err := eng.With(simstar.WithK(kGeo)).AllPairs(ctx, simstar.MeasureGeometricMemo); err != nil {
+				panic(err)
+			}
 		})
 		dShareE := bench.Timed(func() {
-			core.ExponentialWithCompressed(g, comp, core.Options{C: c, K: kExp})
+			if _, err := eng.With(simstar.WithK(kExp)).AllPairs(ctx, simstar.MeasureExponentialMemo); err != nil {
+				panic(err)
+			}
 		})
 		pctG := 100 * dCompress.Seconds() / (dCompress + dShareG).Seconds()
 		pctE := 100 * dCompress.Seconds() / (dCompress + dShareE).Seconds()

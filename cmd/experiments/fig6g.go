@@ -5,8 +5,8 @@ import (
 	"os"
 
 	"repro/internal/bench"
-	"repro/internal/biclique"
 	"repro/internal/dataset"
+	"repro/simstar"
 )
 
 func init() {
@@ -43,13 +43,12 @@ func runFig6g(cfg config) {
 
 	for _, d := range densities {
 		g := dataset.RMATDefault(scale, d, int64(9000+d))
-		comp := biclique.Compress(g, biclique.Options{})
+		eng := simstar.NewEngine(g, simstar.WithC(0.6))
+		st := eng.Stats()
 		ratios = append(ratios, fmt.Sprintf("%.1f%% (m̃/n=%.1f)",
-			comp.CompressionRatio(), float64(comp.MCompressed)/float64(g.N())))
+			st.CompressionRatio, float64(st.CompressedEdges)/float64(g.N())))
 		for _, a := range competitorSuite() {
-			k := a.kFor(eps)
-			dur := bench.Timed(func() { a.run(g, comp, k) })
-			rows[a.name] = append(rows[a.name], dur)
+			rows[a.name] = append(rows[a.name], timeAlgo(eng, a, a.kFor(eps)))
 		}
 	}
 	for _, name := range order {

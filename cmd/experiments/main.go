@@ -15,8 +15,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-
-	"repro/internal/dense"
 )
 
 type experiment struct {
@@ -59,11 +57,4 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.id, e.title)
 	}
 	os.Exit(2)
-}
-
-// rowOf extracts row q of a score matrix as a fresh slice.
-func rowOf(m *dense.Matrix, q int) []float64 {
-	out := make([]float64, m.Cols)
-	copy(out, m.Row(q))
-	return out
 }

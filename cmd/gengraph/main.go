@@ -15,7 +15,7 @@ import (
 	"os"
 
 	"repro/internal/dataset"
-	"repro/internal/graph"
+	"repro/simstar"
 )
 
 func main() {
@@ -30,7 +30,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	var g *graph.Graph
+	var g *simstar.Graph
 	switch *kind {
 	case "er":
 		g = dataset.ErdosRenyi(*n, *m, *seed)
@@ -57,7 +57,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := graph.WriteEdgeList(w, g); err != nil {
+	if err := simstar.WriteGraph(w, g); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "gengraph: %d nodes, %d edges (density %.2f)\n", g.N(), g.M(), g.Density())

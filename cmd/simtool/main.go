@@ -1,36 +1,34 @@
-// Command simtool is the general-purpose CLI over the library: compute
+// Command simtool is the general-purpose CLI over the simstar API: compute
 // all-pairs similarities, answer single-source top-k queries, inspect graph
 // statistics, and report edge-concentration compression — the operations a
 // downstream user of SimRank* needs day to day.
 //
 // Usage:
 //
+//	simtool measures
 //	simtool stats    -graph g.txt
 //	simtool compress -graph g.txt
 //	simtool topk     -graph g.txt -query <node> [-k 10] [-measure gsimrank*]
 //	simtool pairs    -graph g.txt [-measure gsimrank*] [-top 20]
 //	simtool explain  -graph g.txt -query <a> -other <b> [-len 5] [-top 10]
 //
-// Graphs are SNAP-style edge lists (see internal/graph). Measures:
-// gsimrank* (default), esimrank*, simrank, prank, rwr, cocitation.
+// Graphs are SNAP-style edge lists. Measures are selected by registry name
+// (`simtool measures` lists them); topk and pairs go through a
+// simstar.Engine, so the transition matrices and the compression are built
+// once per invocation however many queries follow.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 
 	"repro/internal/bench"
-	"repro/internal/biclique"
-	"repro/internal/classic"
-	"repro/internal/core"
-	"repro/internal/dense"
 	"repro/internal/eval"
-	"repro/internal/graph"
-	"repro/internal/prank"
-	"repro/internal/rwr"
-	"repro/internal/simrank"
+	"repro/simstar"
 )
 
 func main() {
@@ -40,7 +38,7 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	graphPath := fs.String("graph", "", "edge-list file (required)")
-	measureName := fs.String("measure", "gsimrank*", "gsimrank*, esimrank*, simrank, prank, rwr, cocitation")
+	measureName := fs.String("measure", simstar.MeasureGeometric, "measure name (see `simtool measures`)")
 	c := fs.Float64("c", 0.6, "damping factor")
 	k := fs.Int("k", 10, "top-k size")
 	iters := fs.Int("iters", 5, "iterations")
@@ -51,6 +49,12 @@ func main() {
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+
+	if cmd == "measures" {
+		runMeasures()
+		return
+	}
+
 	if *graphPath == "" {
 		fatal("missing -graph")
 	}
@@ -58,21 +62,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	g, err := graph.ReadEdgeList(f)
+	g, err := simstar.ReadGraph(f)
 	f.Close()
 	if err != nil {
 		fatal(err)
 	}
 
+	// Ctrl-C cancels in-flight iterations instead of killing mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []simstar.Option{simstar.WithC(*c), simstar.WithK(*iters)}
+
 	switch cmd {
 	case "stats":
 		runStats(g)
 	case "compress":
-		runCompress(g)
+		runCompress(g, opts)
 	case "topk":
-		runTopK(g, *measureName, *query, *c, *iters, *k)
+		runTopK(ctx, g, opts, *measureName, *query, *k)
 	case "pairs":
-		runPairs(g, *measureName, *c, *iters, *top)
+		runPairs(ctx, g, opts, *measureName, *top)
 	case "explain":
 		runExplain(g, *query, *other, *c, *maxLen, *top)
 	default:
@@ -80,9 +90,17 @@ func main() {
 	}
 }
 
+func runMeasures() {
+	tab := bench.NewTable("measure")
+	for _, name := range simstar.Names() {
+		tab.Add(name)
+	}
+	tab.Render(os.Stdout)
+}
+
 // runExplain prints the top in-link path pairs behind a SimRank* score —
 // the Sec. 3.2 contribution analysis as a tool.
-func runExplain(g *graph.Graph, query, other string, c float64, maxLen, top int) {
+func runExplain(g *simstar.Graph, query, other string, c float64, maxLen, top int) {
 	if query == "" || other == "" {
 		fatal("explain needs -query and -other")
 	}
@@ -94,9 +112,9 @@ func runExplain(g *graph.Graph, query, other string, c float64, maxLen, top int)
 	if err != nil {
 		fatal(err)
 	}
-	exps := core.ExplainGeometric(g, a, b, c, maxLen, 0)
+	exps := simstar.Explain(g, a, b, c, maxLen, 0)
 	fmt.Printf("SimRank*(%s, %s) ≈ %.6f from %d in-link path pairs (length <= %d)\n\n",
-		g.Label(a), g.Label(b), core.ExplainedScore(exps), len(exps), maxLen)
+		g.Label(a), g.Label(b), simstar.ExplainedScore(exps), len(exps), maxLen)
 	tab := bench.NewTable("contribution", "kind", "source", "walk to "+g.Label(a), "walk to "+g.Label(b))
 	for i, e := range exps {
 		if i >= top {
@@ -112,7 +130,7 @@ func runExplain(g *graph.Graph, query, other string, c float64, maxLen, top int)
 	tab.Render(os.Stdout)
 }
 
-func walkString(g *graph.Graph, nodes []int) string {
+func walkString(g *simstar.Graph, nodes []int) string {
 	if len(nodes) == 1 {
 		return g.Label(nodes[0]) + " (source itself)"
 	}
@@ -127,7 +145,7 @@ func walkString(g *graph.Graph, nodes []int) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: simtool {stats|compress|topk|pairs} -graph FILE [flags]")
+	fmt.Fprintln(os.Stderr, "usage: simtool {measures|stats|compress|topk|pairs|explain} -graph FILE [flags]")
 	os.Exit(2)
 }
 
@@ -136,7 +154,7 @@ func fatal(v interface{}) {
 	os.Exit(1)
 }
 
-func runStats(g *graph.Graph) {
+func runStats(g *simstar.Graph) {
 	st := g.ComputeStats()
 	tab := bench.NewTable("stat", "value")
 	tab.Add("nodes", st.N)
@@ -151,19 +169,20 @@ func runStats(g *graph.Graph) {
 	tab.Render(os.Stdout)
 }
 
-func runCompress(g *graph.Graph) {
-	var comp *biclique.Compressed
-	d := bench.Timed(func() { comp = biclique.Compress(g, biclique.Options{}) })
+func runCompress(g *simstar.Graph, opts []simstar.Option) {
+	eng := simstar.NewEngine(g, opts...)
+	st := eng.Stats()
 	tab := bench.NewTable("stat", "value")
-	tab.Add("edges m", comp.MOriginal)
-	tab.Add("compressed edges m̃", comp.MCompressed)
-	tab.Add("compression ratio", fmt.Sprintf("%.1f%%", comp.CompressionRatio()))
-	tab.Add("concentration nodes", comp.NumConcentration())
-	tab.Add("mining time", d)
+	tab.Add("edges m", st.Edges)
+	tab.Add("compressed edges m̃", st.CompressedEdges)
+	tab.Add("compression ratio", fmt.Sprintf("%.1f%%", st.CompressionRatio))
+	tab.Add("concentration nodes", st.ConcentrationNodes)
+	tab.Add("mining time", st.CompressionTime)
+	tab.Add("transition build time", st.TransitionTime)
 	tab.Render(os.Stdout)
 }
 
-func resolveNode(g *graph.Graph, s string) (int, error) {
+func resolveNode(g *simstar.Graph, s string) (int, error) {
 	if id, ok := g.NodeByLabel(s); ok {
 		return id, nil
 	}
@@ -174,7 +193,7 @@ func resolveNode(g *graph.Graph, s string) (int, error) {
 	return id, nil
 }
 
-func runTopK(g *graph.Graph, measure, query string, c float64, iters, k int) {
+func runTopK(ctx context.Context, g *simstar.Graph, opts []simstar.Option, measure, query string, k int) {
 	if query == "" {
 		fatal("missing -query")
 	}
@@ -182,31 +201,26 @@ func runTopK(g *graph.Graph, measure, query string, c float64, iters, k int) {
 	if err != nil {
 		fatal(err)
 	}
-	var scores []float64
-	opt := core.Options{C: c, K: iters}
-	switch measure {
-	case "gsimrank*":
-		scores = core.SingleSourceGeometric(g, q, opt)
-	case "esimrank*":
-		scores = core.SingleSourceExponential(g, q, opt)
-	case "rwr":
-		scores = rwr.SingleSource(g, q, rwr.Options{C: c, K: iters})
-	default:
-		m := allPairsOf(g, measure, c, iters)
-		scores = make([]float64, g.N())
-		copy(scores, m.Row(q))
+	eng := simstar.NewEngine(g, opts...)
+	top, err := eng.TopK(ctx, measure, q, k)
+	if err != nil {
+		fatal(err)
 	}
 	tab := bench.NewTable("rank", "node", "score")
-	for i, r := range core.TopK(scores, k, q) {
+	for i, r := range top {
 		tab.Add(i+1, g.Label(r.Node), fmt.Sprintf("%.6f", r.Score))
 	}
 	tab.Render(os.Stdout)
 }
 
-func runPairs(g *graph.Graph, measure string, c float64, iters, top int) {
-	m := allPairsOf(g, measure, c, iters)
+func runPairs(ctx context.Context, g *simstar.Graph, opts []simstar.Option, measure string, top int) {
+	eng := simstar.NewEngine(g, opts...)
+	s, err := eng.AllPairs(ctx, measure)
+	if err != nil {
+		fatal(err)
+	}
 	at := func(i, j int) float64 {
-		a, b := m.At(i, j), m.At(j, i)
+		a, b := s.At(i, j), s.At(j, i)
 		if a > b {
 			return a
 		}
@@ -217,24 +231,4 @@ func runPairs(g *graph.Graph, measure string, c float64, iters, top int) {
 		tab.Add(i+1, fmt.Sprintf("(%s, %s)", g.Label(p.A), g.Label(p.B)), fmt.Sprintf("%.6f", p.Score))
 	}
 	tab.Render(os.Stdout)
-}
-
-func allPairsOf(g *graph.Graph, measure string, c float64, iters int) *dense.Matrix {
-	switch measure {
-	case "gsimrank*":
-		return core.GeometricMemo(g, core.Options{C: c, K: iters})
-	case "esimrank*":
-		return core.ExponentialMemo(g, core.Options{C: c, K: iters})
-	case "simrank":
-		return simrank.PSum(g, simrank.Options{C: c, K: iters})
-	case "prank":
-		return prank.AllPairs(g, prank.Options{C: c, K: iters})
-	case "rwr":
-		return rwr.AllPairs(g, rwr.Options{C: c, K: iters})
-	case "cocitation":
-		return classic.CoCitation(g)
-	default:
-		fatal(fmt.Sprintf("unknown measure %q", measure))
-		return nil
-	}
 }

@@ -1,20 +1,20 @@
 // Citations: related-paper search on a synthetic arXiv-like corpus — the
 // paper's motivating CitHepTh scenario. Generates a planted-topic citation
-// DAG, answers "papers related to q" with four measures, and scores each
-// against the planted ground truth, showing why aggregating all in-link
-// paths (SimRank*) recovers topical relatedness that SimRank and RWR miss.
+// DAG, answers "papers related to q" with four registry measures through
+// one engine, and scores each against the planted ground truth, showing why
+// aggregating all in-link paths (SimRank*) recovers topical relatedness
+// that SimRank and RWR miss.
 //
 //	go run ./examples/citations
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
-	"repro/internal/rwr"
-	"repro/internal/simrank"
+	"repro/simstar"
 )
 
 func main() {
@@ -31,18 +31,18 @@ func main() {
 	fmt.Printf("query: paper %d (topic %d, %d citations received)\n\n",
 		q, corpus.Dominant[q], corpus.CitationCount(q))
 
-	opt := core.Options{C: 0.6, K: 8}
-	results := map[string][]float64{
-		"SimRank* (geometric)": core.SingleSourceGeometric(g, q, opt),
-		"SimRank* (exponent.)": core.SingleSourceExponential(g, q, opt),
-		"RWR":                  rwr.SingleSource(g, q, rwr.Options{C: 0.6, K: 8}),
+	// One engine serves every measure: the transition matrices are shared.
+	ctx := context.Background()
+	eng := simstar.NewEngine(g, simstar.WithC(0.6), simstar.WithK(8))
+
+	// Measures are registry names — swapping one is a string change, and a
+	// serving system can expose the whole family behind one endpoint.
+	contenders := []struct{ label, measure string }{
+		{"SimRank* (geometric)", simstar.MeasureGeometric},
+		{"SimRank* (exponent.)", simstar.MeasureExponential},
+		{"SimRank", simstar.MeasureSimRank},
+		{"RWR", simstar.MeasureRWR},
 	}
-	// SimRank needs the all-pairs run (no cheap single-source form — one of
-	// SimRank*'s practical advantages).
-	sr := simrank.PSum(g, simrank.Options{C: 0.6, K: 8})
-	srRow := make([]float64, g.N())
-	copy(srRow, sr.Row(q))
-	results["SimRank"] = srRow
 
 	truth := make([]float64, g.N())
 	for j := range truth {
@@ -50,10 +50,13 @@ func main() {
 	}
 	truth[q] = 0
 
-	for _, name := range []string{"SimRank* (geometric)", "SimRank* (exponent.)", "SimRank", "RWR"} {
-		scores := results[name]
+	for _, m := range contenders {
+		scores, err := eng.SingleSource(ctx, m.measure, q)
+		if err != nil {
+			panic(err)
+		}
 		scores[q] = 0
-		top := core.TopK(scores, 5, q)
+		top := simstar.TopK(scores, 5, q)
 		sameTopic := 0
 		for _, r := range top {
 			if corpus.Dominant[r.Node] == corpus.Dominant[q] {
@@ -61,7 +64,7 @@ func main() {
 			}
 		}
 		rho := eval.SpearmanRho(scores, truth)
-		fmt.Printf("%-22s Spearman-vs-truth %+.3f, top-5 same-topic %d/5:", name, rho, sameTopic)
+		fmt.Printf("%-22s Spearman-vs-truth %+.3f, top-5 same-topic %d/5:", m.label, rho, sameTopic)
 		for _, r := range top {
 			fmt.Printf("  %d(%.3f)", r.Node, r.Score)
 		}

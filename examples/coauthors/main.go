@@ -1,18 +1,18 @@
 // Coauthors: collaborator recommendation on a synthetic DBLP-like network.
 // Builds a community-structured coauthorship graph, recommends collaborators
-// for an author with SimRank*, and verifies recommendations respect the
-// planted community structure and similar H-index roles — the paper's DBLP
-// evaluation in miniature.
+// for an author with SimRank* through the memoized engine path, and verifies
+// recommendations respect the planted community structure and similar
+// H-index roles — the paper's DBLP evaluation in miniature.
 //
 //	go run ./examples/coauthors
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/biclique"
-	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/simstar"
 )
 
 func main() {
@@ -23,13 +23,18 @@ func main() {
 	fmt.Printf("network: %d authors, %d coauthorship edges, density %.1f\n",
 		g.N(), g.M(), g.Density())
 
-	// Edge concentration is what makes repeated queries cheap: compress
-	// once, reuse for every computation.
-	comp := biclique.Compress(g, biclique.Options{})
+	// Edge concentration is what makes repeated queries cheap: the engine
+	// compresses once at construction and reuses it for every computation.
+	ctx := context.Background()
+	eng := simstar.NewEngine(g, simstar.WithC(0.6), simstar.WithK(8))
+	st := eng.Stats()
 	fmt.Printf("edge concentration: m=%d → m̃=%d (%.1f%% compression, %d concentration nodes)\n\n",
-		comp.MOriginal, comp.MCompressed, comp.CompressionRatio(), comp.NumConcentration())
+		st.Edges, st.CompressedEdges, st.CompressionRatio, st.ConcentrationNodes)
 
-	s := core.GeometricWithCompressed(g, comp, core.Options{C: 0.6, K: 8})
+	s, err := eng.AllPairs(ctx, simstar.MeasureGeometricMemo)
+	if err != nil {
+		panic(err)
+	}
 
 	// Pick the most collaborative author as the case study.
 	q, best := 0, 0
@@ -42,13 +47,11 @@ func main() {
 		q, net.Community[q], net.HIndex(q), g.OutDeg(q))
 
 	// Exclude existing collaborators — recommendations should be new people.
-	exclude := []int{q}
+	var exclude []int
 	for _, c := range g.Out(q) {
 		exclude = append(exclude, int(c))
 	}
-	row := make([]float64, g.N())
-	copy(row, s.Row(q))
-	recs := core.TopK(row, 8, exclude...)
+	recs := s.TopK(q, 8, exclude...)
 
 	fmt.Println("\nrecommended new collaborators (not yet coauthors):")
 	sameComm := 0

@@ -1,23 +1,23 @@
-// Quickstart: build a small citation graph, compute SimRank* similarities,
-// and contrast them with classic SimRank on the paper's own Figure-1
-// example — the fastest way to see what the "zero-similarity" fix means.
+// Quickstart: build a small citation graph, compute SimRank* similarities
+// through the simstar API, and contrast them with classic SimRank on the
+// paper's own Figure-1 example — the fastest way to see what the
+// "zero-similarity" fix means.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/simrank"
+	"repro/simstar"
 )
 
 func main() {
 	// A citation graph (edges point from citing to cited): the survey cites
 	// both classics; two follow-ups cite the survey; a review cites both
 	// follow-ups; a fresh preprint cites followup1 only.
-	b := graph.NewBuilder()
+	b := simstar.NewGraphBuilder()
 	for _, e := range [][2]string{
 		{"survey", "classicA"}, {"survey", "classicB"},
 		{"followup1", "survey"}, {"followup2", "survey"},
@@ -31,9 +31,19 @@ func main() {
 		panic(err)
 	}
 
-	opt := core.Options{C: 0.6, K: 10}
-	star := core.Geometric(g, opt) // all-pairs SimRank*
-	sr := simrank.MatrixForm(g, simrank.Options{C: 0.6, K: 10})
+	// One engine per graph: the transition matrices and the biclique
+	// compression are built here, once, and reused by every query below.
+	ctx := context.Background()
+	eng := simstar.NewEngine(g, simstar.WithC(0.6), simstar.WithK(10))
+
+	star, err := eng.AllPairs(ctx, simstar.MeasureGeometric)
+	if err != nil {
+		panic(err)
+	}
+	sr, err := eng.AllPairs(ctx, simstar.MeasureSimRankMatrix)
+	if err != nil {
+		panic(err)
+	}
 
 	show := func(a, bl string) {
 		i, _ := g.NodeByLabel(a)
@@ -55,11 +65,15 @@ func main() {
 	show("preprint", "followup2") // nothing cites preprint; preprint cannot reach followup2
 
 	// Single-source top-k: "papers most similar to followup1" in O(Km)
-	// without materialising the n×n matrix.
+	// without materialising the n×n matrix — the engine serves it off the
+	// cached transition matrix.
 	q, _ := g.NodeByLabel("followup1")
-	scores := core.SingleSourceGeometric(g, q, opt)
+	top, err := eng.TopK(ctx, simstar.MeasureGeometric, q, 3)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("\ntop-3 most similar to followup1:")
-	for _, r := range core.TopK(scores, 3, q) {
+	for _, r := range top {
 		fmt.Printf("  %-10s %.4f\n", g.Label(r.Node), r.Score)
 	}
 }

@@ -1,41 +1,39 @@
 // Webranking: "related pages" on an R-MAT webgraph — the paper's Web-Google
 // scenario. Demonstrates the exponential SimRank* variant (fastest at equal
-// accuracy), threshold sieving for sparse storage of results, and the
-// asymmetry pitfall of RWR on the web.
+// accuracy), accuracy-driven iteration counts and threshold sieving through
+// the simstar options, and the asymmetry pitfall of RWR on the web.
 //
 //	go run ./examples/webranking
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/rwr"
+	"repro/simstar"
 )
 
 func main() {
 	g := dataset.RMATDefault(9, 6, 99) // 512 pages, heavy-tailed links
 	fmt.Printf("webgraph: %d pages, %d links, density %.1f\n\n", g.N(), g.M(), g.Density())
 
-	// Accuracy-driven iteration counts: the exponential form reaches
+	// Accuracy-driven iteration counts (WithEps) and threshold sieving
+	// (WithSieve) are engine-wide options; the exponential form reaches
 	// ε = 0.001 in far fewer iterations than the geometric form.
-	opt := core.Options{C: 0.6, Eps: 0.001}
-	fmt.Printf("iterations for ε=0.001: geometric K=%d, exponential K=%d\n\n",
-		opt.IterationsGeometric(), opt.IterationsExponential())
+	ctx := context.Background()
+	eng := simstar.NewEngine(g,
+		simstar.WithC(0.6), simstar.WithEps(0.001), simstar.WithSieve(1e-4))
 
 	// All-pairs with threshold sieving: drop scores below 1e-4 as the paper
 	// does, keeping the result sparse enough to store.
-	s := core.ExponentialMemo(g, core.Options{C: 0.6, Eps: 0.001, Sieve: 1e-4})
-	nonzero := 0
-	for _, v := range s.Data {
-		if v != 0 {
-			nonzero++
-		}
+	s, err := eng.AllPairs(ctx, simstar.MeasureExponentialMemo)
+	if err != nil {
+		panic(err)
 	}
 	total := g.N() * g.N()
 	fmt.Printf("sieved score matrix: %d/%d entries kept (%.1f%%)\n\n",
-		nonzero, total, 100*float64(nonzero)/float64(total))
+		s.NNZ(), total, 100*float64(s.NNZ())/float64(total))
 
 	// Query: the most linked-to page among those that link out the least —
 	// a content sink (think a PDF or a landing page). RWR is starved here:
@@ -54,15 +52,20 @@ func main() {
 		}
 	}
 	fmt.Printf("related pages for sink %d (in-degree %d, out-degree %d):\n", q, best, g.OutDeg(q))
-	row := make([]float64, g.N())
-	copy(row, s.Row(q))
-	for i, r := range core.TopK(row, 5, q) {
+	row := s.Row(q)
+	for i, r := range simstar.TopK(row, 5, q) {
 		fmt.Printf("  %d. page %-4d score %.4f\n", i+1, r.Node, r.Score)
 	}
 
 	// RWR asymmetry: a hub is reachable from many pages, but reaches few —
 	// so RWR "related pages" for a hub is starved while SimRank* is not.
-	rv := rwr.SingleSource(g, q, rwr.Options{C: 0.6, K: 13})
+	// The same engine serves it off the cached forward transition matrix
+	// (ε=0.001 resolves to K=13 under the geometric bound); With() drops
+	// the sieve for this query so even sub-threshold RWR mass counts.
+	rv, err := eng.With(simstar.WithSieve(0)).SingleSource(ctx, simstar.MeasureRWR, q)
+	if err != nil {
+		panic(err)
+	}
 	rwNonzero := 0
 	for i, v := range rv {
 		if i != q && v > 0 {

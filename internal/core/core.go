@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/biclique"
@@ -101,19 +102,23 @@ type applyFn func(dst, src *dense.Matrix)
 //
 // exploiting S_k symmetry: S_k·Qᵀ = (Q·S_k)ᵀ, so each iteration costs one
 // sparse×dense product (the "single summation" the paper contrasts with
-// SimRank's double one).
-func geometricIterate(n int, apply applyFn, opt Options) *dense.Matrix {
+// SimRank's double one). The context is checked between iterations, so
+// cancellation and deadlines abort a long run at iteration granularity.
+func geometricIterate(ctx context.Context, n int, apply applyFn, opt Options) (*dense.Matrix, error) {
 	opt = opt.withDefaults()
 	iters := opt.IterationsGeometric()
 	s := dense.New(n, n)
 	s.AddDiag(1 - opt.C)
 	m := dense.New(n, n)
 	for k := 0; k < iters; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		apply(m, s) // m = Q·S_k
 		assembleSymmetric(s, m, opt.C)
 	}
 	sieve(s, opt.Sieve)
-	return s
+	return s, nil
 }
 
 // assembleSymmetric computes s = (C/2)·(m + mᵀ) + (1−C)·I with tiled
@@ -152,8 +157,21 @@ func assembleSymmetric(s, m *dense.Matrix, c float64) {
 // Geometric computes all-pairs geometric SimRank* with plain CSR iterations
 // (the paper's iter-gSR*, O(Knm) time).
 func Geometric(g *graph.Graph, opt Options) *dense.Matrix {
-	q := sparse.BackwardTransition(g)
-	return geometricIterate(g.N(), q.MulDenseInto, opt)
+	s, _ := GeometricCtx(context.Background(), g, opt)
+	return s
+}
+
+// GeometricCtx is Geometric with cancellation: the context is checked
+// between iterations and the only possible error is ctx.Err().
+func GeometricCtx(ctx context.Context, g *graph.Graph, opt Options) (*dense.Matrix, error) {
+	return GeometricFromTransition(ctx, sparse.BackwardTransition(g), opt)
+}
+
+// GeometricFromTransition runs the geometric iterations against a pre-built
+// backward transition matrix Q, the per-query amortisation a serving engine
+// needs: build Q once, answer many queries.
+func GeometricFromTransition(ctx context.Context, q *sparse.CSR, opt Options) (*dense.Matrix, error) {
+	return geometricIterate(ctx, q.R, q.MulDenseInto, opt)
 }
 
 // GeometricMemo computes all-pairs geometric SimRank* through the
@@ -168,8 +186,15 @@ func GeometricMemo(g *graph.Graph, opt Options) *dense.Matrix {
 // letting callers amortise mining across runs (and letting the harness time
 // the two phases separately, as the paper's Fig. 6(f) does).
 func GeometricWithCompressed(g *graph.Graph, c *biclique.Compressed, opt Options) *dense.Matrix {
+	s, _ := GeometricFromCompressed(context.Background(), c, opt)
+	return s
+}
+
+// GeometricFromCompressed is GeometricWithCompressed with cancellation. A
+// fresh operator is built per call, so concurrent calls may share c.
+func GeometricFromCompressed(ctx context.Context, c *biclique.Compressed, opt Options) (*dense.Matrix, error) {
 	op := c.Operator()
-	return geometricIterate(g.N(), op.Apply, opt)
+	return geometricIterate(ctx, c.N, op.Apply, opt)
 }
 
 // exponentialIterate runs the Eq. (19) recurrence
@@ -177,7 +202,7 @@ func GeometricWithCompressed(g *graph.Graph, c *biclique.Compressed, opt Options
 //	R_0 = I, T_0 = 0;  T_{k+1} = T_k + (C/2)ᵏ/k!·R_k,  R_{k+1} = Q·R_k
 //
 // and returns S = e^{−C}·T·Tᵀ (Theorem 3's closed form, truncated).
-func exponentialIterate(n int, apply applyFn, opt Options) *dense.Matrix {
+func exponentialIterate(ctx context.Context, n int, apply applyFn, opt Options) (*dense.Matrix, error) {
 	opt = opt.withDefaults()
 	iters := opt.IterationsExponential()
 	r := dense.Identity(n)
@@ -185,6 +210,9 @@ func exponentialIterate(n int, apply applyFn, opt Options) *dense.Matrix {
 	t := dense.New(n, n)
 	coef := 1.0 // (C/2)^k / k! at k = 0
 	for k := 0; ; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t.Axpy(coef, r)
 		if k == iters {
 			break
@@ -196,14 +224,26 @@ func exponentialIterate(n int, apply applyFn, opt Options) *dense.Matrix {
 	s := dense.MulABT(t, t)
 	s.Scale(math.Exp(-opt.C))
 	sieve(s, opt.Sieve)
-	return s
+	return s, nil
 }
 
 // Exponential computes all-pairs exponential SimRank* (the paper's eSR*)
 // with plain CSR iterations.
 func Exponential(g *graph.Graph, opt Options) *dense.Matrix {
-	q := sparse.BackwardTransition(g)
-	return exponentialIterate(g.N(), q.MulDenseInto, opt)
+	s, _ := ExponentialCtx(context.Background(), g, opt)
+	return s
+}
+
+// ExponentialCtx is Exponential with cancellation checked between
+// iterations.
+func ExponentialCtx(ctx context.Context, g *graph.Graph, opt Options) (*dense.Matrix, error) {
+	return ExponentialFromTransition(ctx, sparse.BackwardTransition(g), opt)
+}
+
+// ExponentialFromTransition runs the exponential recurrence against a
+// pre-built backward transition matrix.
+func ExponentialFromTransition(ctx context.Context, q *sparse.CSR, opt Options) (*dense.Matrix, error) {
+	return exponentialIterate(ctx, q.R, q.MulDenseInto, opt)
 }
 
 // ExponentialMemo computes all-pairs exponential SimRank* through the
@@ -215,8 +255,15 @@ func ExponentialMemo(g *graph.Graph, opt Options) *dense.Matrix {
 
 // ExponentialWithCompressed is ExponentialMemo with a pre-built compression.
 func ExponentialWithCompressed(g *graph.Graph, c *biclique.Compressed, opt Options) *dense.Matrix {
+	s, _ := ExponentialFromCompressed(context.Background(), c, opt)
+	return s
+}
+
+// ExponentialFromCompressed is ExponentialWithCompressed with cancellation.
+// A fresh operator is built per call, so concurrent calls may share c.
+func ExponentialFromCompressed(ctx context.Context, c *biclique.Compressed, opt Options) (*dense.Matrix, error) {
 	op := c.Operator()
-	return exponentialIterate(g.N(), op.Apply, opt)
+	return exponentialIterate(ctx, c.N, op.Apply, opt)
 }
 
 // sieve zeroes entries below eps in place (threshold-sieved similarities —

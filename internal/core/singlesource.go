@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -24,20 +25,38 @@ import (
 //
 // so one backward sweep builds v = T_Kᵀ e_q and one forward sweep applies
 // T_K. Both match the corresponding all-pairs rows exactly (tested).
+//
+// The *FromTransition variants take a pre-built Q so a serving engine can
+// amortise the CSR construction across queries; the context is checked
+// between sweeps so deadlines and cancellation abort long runs.
 
 // SingleSourceGeometric returns the geometric SimRank* scores between q and
 // every node, identical to row q of Geometric(g, opt).
 func SingleSourceGeometric(g *graph.Graph, q int, opt Options) []float64 {
+	s, _ := SingleSourceGeometricFromTransition(context.Background(), sparse.BackwardTransition(g), q, opt)
+	return s
+}
+
+// SingleSourceGeometricCtx is SingleSourceGeometric with cancellation.
+func SingleSourceGeometricCtx(ctx context.Context, g *graph.Graph, q int, opt Options) ([]float64, error) {
+	return SingleSourceGeometricFromTransition(ctx, sparse.BackwardTransition(g), q, opt)
+}
+
+// SingleSourceGeometricFromTransition answers a geometric single-source
+// query against a pre-built backward transition matrix.
+func SingleSourceGeometricFromTransition(ctx context.Context, qm *sparse.CSR, q int, opt Options) ([]float64, error) {
 	opt = opt.withDefaults()
 	k := opt.IterationsGeometric()
-	n := g.N()
-	qm := sparse.BackwardTransition(g)
+	n := qm.R
 
 	// w_j = (Qᵀ)ʲ e_q for j = 0..K.
 	w := make([][]float64, k+1)
 	w[0] = make([]float64, n)
 	w[0][q] = 1
 	for j := 1; j <= k; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w[j] = qm.MulVecT(w[j-1])
 	}
 
@@ -58,6 +77,9 @@ func SingleSourceGeometric(g *graph.Graph, q int, opt Options) []float64 {
 	// Horner: z = y_K; z = Q·z + y_α for α = K−1 .. 0.
 	z := y[k]
 	for alpha := k - 1; alpha >= 0; alpha-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		z = qm.MulVec(z)
 		for i, v := range y[alpha] {
 			z[i] += v
@@ -67,16 +89,27 @@ func SingleSourceGeometric(g *graph.Graph, q int, opt Options) []float64 {
 		z[i] *= 1 - opt.C
 	}
 	applySieveVec(z, opt.Sieve)
-	return z
+	return z, nil
 }
 
 // SingleSourceExponential returns the exponential SimRank* scores between q
 // and every node, identical to row q of Exponential(g, opt).
 func SingleSourceExponential(g *graph.Graph, q int, opt Options) []float64 {
+	s, _ := SingleSourceExponentialFromTransition(context.Background(), sparse.BackwardTransition(g), q, opt)
+	return s
+}
+
+// SingleSourceExponentialCtx is SingleSourceExponential with cancellation.
+func SingleSourceExponentialCtx(ctx context.Context, g *graph.Graph, q int, opt Options) ([]float64, error) {
+	return SingleSourceExponentialFromTransition(ctx, sparse.BackwardTransition(g), q, opt)
+}
+
+// SingleSourceExponentialFromTransition answers an exponential single-source
+// query against a pre-built backward transition matrix.
+func SingleSourceExponentialFromTransition(ctx context.Context, qm *sparse.CSR, q int, opt Options) ([]float64, error) {
 	opt = opt.withDefaults()
 	k := opt.IterationsExponential()
-	n := g.N()
-	qm := sparse.BackwardTransition(g)
+	n := qm.R
 
 	// v = T_Kᵀ e_q = Σ_j (C/2)ʲ/j!·(Qᵀ)ʲ e_q.
 	v := make([]float64, n)
@@ -84,6 +117,9 @@ func SingleSourceExponential(g *graph.Graph, q int, opt Options) []float64 {
 	cur[q] = 1
 	coef := 1.0
 	for j := 0; ; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for i, x := range cur {
 			v[i] += coef * x
 		}
@@ -99,6 +135,9 @@ func SingleSourceExponential(g *graph.Graph, q int, opt Options) []float64 {
 	cur = v
 	coef = 1.0
 	for i := 0; ; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for idx, x := range cur {
 			s[idx] += coef * x
 		}
@@ -113,7 +152,7 @@ func SingleSourceExponential(g *graph.Graph, q int, opt Options) []float64 {
 		s[i] *= scale
 	}
 	applySieveVec(s, opt.Sieve)
-	return s
+	return s, nil
 }
 
 func applySieveVec(x []float64, eps float64) {
@@ -133,28 +172,73 @@ type Ranked struct {
 	Score float64
 }
 
+// rankedBelow is the total order of top-k selection: a ranks below b when
+// its score is lower, or at equal score when its node id is larger — the
+// deterministic tie-break by node id.
+func rankedBelow(a, b Ranked) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Node > b.Node
+}
+
 // TopK returns the k highest-scoring nodes from a score vector, excluding
 // the nodes in `exclude` (typically the query itself). Ties break by node id
-// for determinism.
+// for determinism. Selection uses a bounded min-heap over the candidates —
+// O(n log k) instead of a full O(n log n) sort, the difference between a
+// per-query sort of millions of nodes and a cheap scan when k is small.
 func TopK(scores []float64, k int, exclude ...int) []Ranked {
+	if k <= 0 {
+		return nil
+	}
 	skip := make(map[int]bool, len(exclude))
 	for _, e := range exclude {
 		skip[e] = true
 	}
-	all := make([]Ranked, 0, len(scores))
+	// h is a min-heap under rankedBelow: h[0] is the weakest kept entry.
+	h := make([]Ranked, 0, k)
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !rankedBelow(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(h) && rankedBelow(h[l], h[min]) {
+				min = l
+			}
+			if r < len(h) && rankedBelow(h[r], h[min]) {
+				min = r
+			}
+			if min == i {
+				break
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
+		}
+	}
 	for i, s := range scores {
-		if !skip[i] {
-			all = append(all, Ranked{Node: i, Score: s})
+		if skip[i] {
+			continue
+		}
+		r := Ranked{Node: i, Score: s}
+		if len(h) < k {
+			h = append(h, r)
+			siftUp(len(h) - 1)
+		} else if rankedBelow(h[0], r) {
+			h[0] = r
+			siftDown()
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score > all[j].Score
-		}
-		return all[i].Node < all[j].Node
-	})
-	if k > len(all) {
-		k = len(all)
-	}
-	return all[:k]
+	// Order the k survivors best-first (score descending, node id ascending).
+	sort.Slice(h, func(i, j int) bool { return rankedBelow(h[j], h[i]) })
+	return h
 }

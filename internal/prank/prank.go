@@ -10,6 +10,8 @@
 package prank
 
 import (
+	"context"
+
 	"repro/internal/dense"
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -44,11 +46,20 @@ func (o Options) withDefaults() Options {
 // AllPairs computes all-pairs P-Rank with partial sums memoization over both
 // in- and out-neighbour sets (psum-PR), O(K·n·m) time.
 func AllPairs(g *graph.Graph, opt Options) *dense.Matrix {
+	s, _ := AllPairsCtx(context.Background(), g, opt)
+	return s
+}
+
+// AllPairsCtx is AllPairs with cancellation checked between iterations.
+func AllPairsCtx(ctx context.Context, g *graph.Graph, opt Options) (*dense.Matrix, error) {
 	opt = opt.withDefaults()
 	n := g.N()
 	s := dense.Identity(n)
 	next := dense.New(n, n)
 	for k := 0; k < opt.K; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		par.For(n, 0, func(lo, hi int) {
 			pin := make([]float64, n)
 			pout := make([]float64, n)
@@ -98,7 +109,7 @@ func AllPairs(g *graph.Graph, opt Options) *dense.Matrix {
 			}
 		}
 	}
-	return s
+	return s, nil
 }
 
 // MatrixForm computes P-Rank under the (1−C)-normalised convention that
@@ -106,12 +117,21 @@ func AllPairs(g *graph.Graph, opt Options) *dense.Matrix {
 // of being pinned to 1, so scores are directly comparable with SimRank* and
 // the matrix-form SimRank — the convention of the paper's Figure-1 table.
 func MatrixForm(g *graph.Graph, opt Options) *dense.Matrix {
+	s, _ := MatrixFormCtx(context.Background(), g, opt)
+	return s
+}
+
+// MatrixFormCtx is MatrixForm with cancellation checked between iterations.
+func MatrixFormCtx(ctx context.Context, g *graph.Graph, opt Options) (*dense.Matrix, error) {
 	opt = opt.withDefaults()
 	n := g.N()
 	s := dense.New(n, n)
 	s.AddDiag(1 - opt.C)
 	next := dense.New(n, n)
 	for k := 0; k < opt.K; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		par.For(n, 0, func(lo, hi int) {
 			pin := make([]float64, n)
 			pout := make([]float64, n)
@@ -159,7 +179,7 @@ func MatrixForm(g *graph.Graph, opt Options) *dense.Matrix {
 			}
 		}
 	}
-	return s
+	return s, nil
 }
 
 // Naive computes P-Rank with the direct double summation; test oracle.

@@ -11,6 +11,8 @@
 package rwr
 
 import (
+	"context"
+
 	"repro/internal/dense"
 	"repro/internal/graph"
 	"repro/internal/sparse"
@@ -41,13 +43,27 @@ func (o Options) withDefaults() Options {
 // iterating S_{k+1} = C·W·S_k + (1−C)·Iₙ; row i holds the RWR scores with
 // respect to query node i.
 func AllPairs(g *graph.Graph, opt Options) *dense.Matrix {
+	s, _ := AllPairsFromTransition(context.Background(), sparse.ForwardTransition(g), opt)
+	return s
+}
+
+// AllPairsCtx is AllPairs with cancellation checked between iterations.
+func AllPairsCtx(ctx context.Context, g *graph.Graph, opt Options) (*dense.Matrix, error) {
+	return AllPairsFromTransition(ctx, sparse.ForwardTransition(g), opt)
+}
+
+// AllPairsFromTransition iterates against a pre-built forward transition
+// matrix W, letting a serving engine amortise the build across queries.
+func AllPairsFromTransition(ctx context.Context, w *sparse.CSR, opt Options) (*dense.Matrix, error) {
 	opt = opt.withDefaults()
-	n := g.N()
-	w := sparse.ForwardTransition(g)
+	n := w.R
 	s := dense.New(n, n)
 	s.AddDiag(1 - opt.C)
 	m := dense.New(n, n)
 	for k := 0; k < opt.K; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w.MulDenseInto(m, s)
 		m.Scale(opt.C)
 		m.AddDiag(1 - opt.C)
@@ -60,22 +76,36 @@ func AllPairs(g *graph.Graph, opt Options) *dense.Matrix {
 			}
 		}
 	}
-	return s
+	return s, nil
 }
 
 // SingleSource returns the RWR scores of query q against all nodes —
 // personalised PageRank restarted at q, truncated at K terms. It equals row
 // q of AllPairs and costs O(K·m).
 func SingleSource(g *graph.Graph, q int, opt Options) []float64 {
+	s, _ := SingleSourceFromTransition(context.Background(), sparse.ForwardTransition(g), q, opt)
+	return s
+}
+
+// SingleSourceCtx is SingleSource with cancellation.
+func SingleSourceCtx(ctx context.Context, g *graph.Graph, q int, opt Options) ([]float64, error) {
+	return SingleSourceFromTransition(ctx, sparse.ForwardTransition(g), q, opt)
+}
+
+// SingleSourceFromTransition answers one query against a pre-built forward
+// transition matrix.
+func SingleSourceFromTransition(ctx context.Context, w *sparse.CSR, q int, opt Options) ([]float64, error) {
 	opt = opt.withDefaults()
-	n := g.N()
-	w := sparse.ForwardTransition(g)
+	n := w.R
 	// Row q of Σ Cᵏ Wᵏ: iterate vᵀ ← vᵀW, i.e. v ← Wᵀv.
 	cur := make([]float64, n)
 	cur[q] = 1
 	out := make([]float64, n)
 	coef := 1 - opt.C
 	for k := 0; ; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for i, x := range cur {
 			out[i] += coef * x
 		}
@@ -92,5 +122,5 @@ func SingleSource(g *graph.Graph, q int, opt Options) []float64 {
 			}
 		}
 	}
-	return out
+	return out, nil
 }

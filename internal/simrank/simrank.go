@@ -15,6 +15,8 @@
 package simrank
 
 import (
+	"context"
+
 	"repro/internal/dense"
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -84,11 +86,20 @@ func Naive(g *graph.Graph, opt Options) *dense.Matrix {
 // Partial_{I(b)}(x) = Σ_{y∈I(b)} s_k(x,y) is built once in O(n·|I(b)|) and
 // reused for every a, giving O(n·m) per iteration (Eq. 16).
 func PSum(g *graph.Graph, opt Options) *dense.Matrix {
+	s, _ := PSumCtx(context.Background(), g, opt)
+	return s
+}
+
+// PSumCtx is PSum with cancellation checked between iterations.
+func PSumCtx(ctx context.Context, g *graph.Graph, opt Options) (*dense.Matrix, error) {
 	opt = opt.withDefaults()
 	n := g.N()
 	s := dense.Identity(n)
 	next := dense.New(n, n)
 	for k := 0; k < opt.K; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		par.For(n, 0, func(lo, hi int) {
 			partial := make([]float64, n)
 			for b := lo; b < hi; b++ {
@@ -131,7 +142,7 @@ func PSum(g *graph.Graph, opt Options) *dense.Matrix {
 		s, next = next, s
 	}
 	sieveMat(s, opt.Sieve)
-	return s
+	return s, nil
 }
 
 // MatrixForm computes all-pairs SimRank by iterating the Eq. (3) fixed point
@@ -139,13 +150,27 @@ func PSum(g *graph.Graph, opt Options) *dense.Matrix {
 // iteration, versus SimRank*'s one (the constant-factor gap the paper
 // highlights in Sec. 4.2).
 func MatrixForm(g *graph.Graph, opt Options) *dense.Matrix {
+	s, _ := MatrixFormFromTransition(context.Background(), sparse.BackwardTransition(g), opt)
+	return s
+}
+
+// MatrixFormCtx is MatrixForm with cancellation checked between iterations.
+func MatrixFormCtx(ctx context.Context, g *graph.Graph, opt Options) (*dense.Matrix, error) {
+	return MatrixFormFromTransition(ctx, sparse.BackwardTransition(g), opt)
+}
+
+// MatrixFormFromTransition iterates against a pre-built backward transition
+// matrix Q.
+func MatrixFormFromTransition(ctx context.Context, q *sparse.CSR, opt Options) (*dense.Matrix, error) {
 	opt = opt.withDefaults()
-	n := g.N()
-	q := sparse.BackwardTransition(g)
+	n := q.R
 	s := dense.New(n, n)
 	s.AddDiag(1 - opt.C)
 	m1 := dense.New(n, n)
 	for k := 0; k < opt.K; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		q.MulDenseInto(m1, s) // m1 = Q·S_k
 		// S_{k+1} = C·(Q·m1ᵀ)ᵀ + (1−C)I; m1ᵀ = S_k·Qᵀ ... compute m2 = Q·m1ᵀ.
 		m1t := m1.Transpose()
@@ -155,7 +180,7 @@ func MatrixForm(g *graph.Graph, opt Options) *dense.Matrix {
 	}
 	s.Symmetrize()
 	sieveMat(s, opt.Sieve)
-	return s
+	return s, nil
 }
 
 func sieveMat(m *dense.Matrix, eps float64) {

@@ -15,6 +15,7 @@
 package sparsesim
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
@@ -115,6 +116,12 @@ func (s *Scores) TopK(q, k int) ([]int32, []float64) {
 // S_k·Qᵀ term is its transpose by symmetry, so each iteration computes M =
 // Q·S_k sparsely and assembles S_{k+1}[i][j] = (C/2)·(M[i][j] + M[j][i]).
 func Geometric(g *graph.Graph, opt Options) *Scores {
+	s, _ := GeometricCtx(context.Background(), g, opt)
+	return s
+}
+
+// GeometricCtx is Geometric with cancellation checked between iterations.
+func GeometricCtx(ctx context.Context, g *graph.Graph, opt Options) (*Scores, error) {
 	opt = opt.withDefaults()
 	n := g.N()
 	s := &Scores{N: n, cols: make([][]int32, n), vals: make([][]float64, n)}
@@ -125,6 +132,9 @@ func Geometric(g *graph.Graph, opt Options) *Scores {
 	mCols := make([][]int32, n)
 	mVals := make([][]float64, n)
 	for k := 0; k < opt.K; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// M = Q·S_k, computed per row with a scatter accumulator.
 		par.For(n, 0, func(lo, hi int) {
 			acc := make([]float64, n)
@@ -203,5 +213,5 @@ func Geometric(g *graph.Graph, opt Options) *Scores {
 			}
 		})
 	}
-	return s
+	return s, nil
 }

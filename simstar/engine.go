@@ -1,0 +1,201 @@
+package simstar
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/biclique"
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/rwr"
+	"repro/internal/simrank"
+	"repro/internal/sparse"
+)
+
+// compress mines the biclique compression for a standalone measure call.
+// Engine callers hit the cached copy instead.
+func compress(g *Graph, cfg config) *biclique.Compressed {
+	return biclique.Compress(g, cfg.miner.internal())
+}
+
+// Engine answers similarity queries for one graph with preprocessing done
+// once at construction instead of per call. NewEngine eagerly builds and
+// caches:
+//
+//   - the CSR backward transition matrix Q (SimRank-family measures),
+//   - the CSR forward transition matrix W (RWR),
+//   - the biclique edge-concentration compression (the memo-* variants).
+//
+// Standalone Measure calls rebuild those structures on every invocation —
+// an O(m) (and for the compression, far worse) cost that a system serving
+// heavy query traffic cannot pay per request. All cached structures are
+// immutable after construction, so an Engine serves concurrent
+// SingleSource / TopK / AllPairs queries without locking.
+type Engine struct {
+	g    *Graph
+	cfg  config
+	opts []Option
+
+	backward *sparse.CSR          // Q: row-normalised transposed adjacency
+	forward  *sparse.CSR          // W: row-normalised adjacency
+	comp     *biclique.Compressed // edge-concentration compression
+
+	stats EngineStats
+}
+
+// EngineStats reports what NewEngine built and how long it took.
+type EngineStats struct {
+	Nodes, Edges int
+	// CompressedEdges is m̃, the edge count of the compressed bigraph.
+	CompressedEdges int
+	// ConcentrationNodes is the number of mined bicliques.
+	ConcentrationNodes int
+	// CompressionRatio is (1 − m̃/m)·100%.
+	CompressionRatio float64
+	// TransitionTime covers building both CSR transition matrices;
+	// CompressionTime covers the biclique mining.
+	TransitionTime  time.Duration
+	CompressionTime time.Duration
+}
+
+// NewEngine builds the per-graph caches and returns a query engine. The
+// options become the engine's defaults for every query it serves.
+func NewEngine(g *Graph, opts ...Option) *Engine {
+	e := &Engine{g: g, cfg: buildConfig(opts), opts: opts}
+	t0 := time.Now()
+	e.backward = sparse.BackwardTransition(g)
+	e.forward = sparse.ForwardTransition(g)
+	e.stats.TransitionTime = time.Since(t0)
+	t0 = time.Now()
+	e.comp = biclique.Compress(g, e.cfg.miner.internal())
+	e.stats.CompressionTime = time.Since(t0)
+	e.stats.Nodes = g.N()
+	e.stats.Edges = g.M()
+	e.stats.CompressedEdges = e.comp.MCompressed
+	e.stats.ConcentrationNodes = e.comp.NumConcentration()
+	e.stats.CompressionRatio = e.comp.CompressionRatio()
+	return e
+}
+
+// Graph returns the graph the engine serves.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// With returns an engine that shares the receiver's graph and cached
+// structures but applies opts on top of the receiver's options —
+// per-request parameter overrides (a different K, a deadline-driven ε)
+// without repeating the preprocessing. The receiver is not modified.
+// Structure-shaping options are fixed at construction: a WithMiner passed
+// here does not re-mine the shared compression (build a new Engine for
+// that).
+func (e *Engine) With(opts ...Option) *Engine {
+	ne := *e
+	ne.opts = append(append([]Option(nil), e.opts...), opts...)
+	ne.cfg = buildConfig(ne.opts)
+	return &ne
+}
+
+// Stats returns the preprocessing summary.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// builtinName resolves measureName through the registry and reports the
+// canonical built-in name it denotes, or "" when the name is bound to a
+// user-registered implementation — a re-registered built-in name must get
+// the override, not the engine's fast path.
+func (e *Engine) builtinName(measureName string) (string, Measure, error) {
+	m, err := Lookup(measureName, e.opts...)
+	if err != nil {
+		return "", nil, err
+	}
+	if bm, ok := m.(*measure); ok {
+		return bm.name, m, nil
+	}
+	return "", m, nil
+}
+
+// SingleSource returns the scores of query node q against every node under
+// the named measure, served from the cached structures where the measure
+// supports it.
+func (e *Engine) SingleSource(ctx context.Context, measureName string, q int) ([]float64, error) {
+	if err := e.checkQuery(ctx, q); err != nil {
+		return nil, err
+	}
+	builtin, m, err := e.builtinName(measureName)
+	if err != nil {
+		return nil, err
+	}
+	switch builtin {
+	// Single-source SimRank* factors through walk vectors and never
+	// materialises the matrix, so the memo variants share the iterative
+	// fast path (the results are identical).
+	case MeasureGeometric, MeasureGeometricMemo:
+		return core.SingleSourceGeometricFromTransition(ctx, e.backward, q, e.cfg.coreOptions())
+	case MeasureExponential, MeasureExponentialMemo:
+		return core.SingleSourceExponentialFromTransition(ctx, e.backward, q, e.cfg.coreOptions())
+	case MeasureRWR:
+		return rwr.SingleSourceFromTransition(ctx, e.forward, q, e.cfg.rwrOptions())
+	}
+	return m.SingleSource(ctx, e.g, q)
+}
+
+// TopK returns the k nodes most similar to q under the named measure,
+// excluding q itself and any nodes in exclude (e.g. existing neighbours
+// when recommending new links). Ties break by node id.
+func (e *Engine) TopK(ctx context.Context, measureName string, q, k int, exclude ...int) ([]Ranked, error) {
+	scores, err := e.SingleSource(ctx, measureName, q)
+	if err != nil {
+		return nil, err
+	}
+	return TopK(scores, k, append([]int{q}, exclude...)...), nil
+}
+
+// AllPairs computes the full similarity matrix under the named measure,
+// reusing the cached transition matrices and compression.
+func (e *Engine) AllPairs(ctx context.Context, measureName string) (*Scores, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	builtin, m, err := e.builtinName(measureName)
+	if err != nil {
+		return nil, err
+	}
+	opt := e.cfg.coreOptions()
+	switch builtin {
+	case MeasureGeometric:
+		m, err := core.GeometricFromTransition(ctx, e.backward, opt)
+		return wrapDense(m, err)
+	case MeasureGeometricMemo:
+		m, err := core.GeometricFromCompressed(ctx, e.comp, opt)
+		return wrapDense(m, err)
+	case MeasureExponential:
+		m, err := core.ExponentialFromTransition(ctx, e.backward, opt)
+		return wrapDense(m, err)
+	case MeasureExponentialMemo:
+		m, err := core.ExponentialFromCompressed(ctx, e.comp, opt)
+		return wrapDense(m, err)
+	case MeasureSimRankMatrix:
+		m, err := simrank.MatrixFormFromTransition(ctx, e.backward, e.cfg.simrankOptions())
+		return wrapDense(m, err)
+	case MeasureRWR:
+		m, err := rwr.AllPairsFromTransition(ctx, e.forward, e.cfg.rwrOptions())
+		return wrapDense(m, err)
+	}
+	return m.AllPairs(ctx, e.g)
+}
+
+func wrapDense(m *dense.Matrix, err error) (*Scores, error) {
+	if err != nil {
+		return nil, err
+	}
+	return denseScores(m), nil
+}
+
+func (e *Engine) checkQuery(ctx context.Context, q int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if q < 0 || q >= e.g.N() {
+		return fmt.Errorf("simstar: query node %d out of range [0, %d)", q, e.g.N())
+	}
+	return nil
+}

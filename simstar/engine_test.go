@@ -1,0 +1,219 @@
+package simstar_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/simstar"
+)
+
+// Engine queries must return exactly what the standalone measures return —
+// the cache changes the cost, never the answer.
+func TestEngineMatchesMeasures(t *testing.T) {
+	g := toyGraph(t)
+	opts := []simstar.Option{simstar.WithC(0.6), simstar.WithK(5)}
+	eng := simstar.NewEngine(g, opts...)
+	for _, name := range []string{
+		simstar.MeasureGeometric, simstar.MeasureGeometricMemo,
+		simstar.MeasureExponential, simstar.MeasureExponentialMemo,
+		simstar.MeasureSimRank, simstar.MeasureSimRankMatrix,
+		simstar.MeasurePRank, simstar.MeasureRWR, simstar.MeasureSparse,
+	} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			m, err := simstar.Lookup(name, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantAll, err := m.AllPairs(ctx, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotAll, err := eng.AllPairs(ctx, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < g.N(); i++ {
+				for j := 0; j < g.N(); j++ {
+					if d := math.Abs(gotAll.At(i, j) - wantAll.At(i, j)); d > 1e-12 {
+						t.Fatalf("AllPairs(%d,%d) differs by %g", i, j, d)
+					}
+				}
+			}
+			want, err := m.SingleSource(ctx, g, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.SingleSource(ctx, name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if d := math.Abs(got[j] - want[j]); d > 1e-12 {
+					t.Fatalf("SingleSource[%d] differs by %g", j, d)
+				}
+			}
+		})
+	}
+}
+
+func TestEngineTopK(t *testing.T) {
+	g := toyGraph(t)
+	eng := simstar.NewEngine(g, simstar.WithK(8))
+	ctx := context.Background()
+	q, _ := g.NodeByLabel("followup1")
+	top, err := eng.TopK(ctx, simstar.MeasureGeometric, q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("got %d results, want 3", len(top))
+	}
+	scores, _ := eng.SingleSource(ctx, simstar.MeasureGeometric, q)
+	want := simstar.TopK(scores, 3, q)
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopK[%d] = %+v, want %+v", i, top[i], want[i])
+		}
+	}
+	for _, r := range top {
+		if r.Node == q {
+			t.Fatal("TopK must exclude the query node")
+		}
+	}
+	// Exclusions drop the named nodes from the ranking.
+	ex := want[0].Node
+	top2, err := eng.TopK(ctx, simstar.MeasureGeometric, q, 3, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range top2 {
+		if r.Node == ex {
+			t.Fatalf("excluded node %d present in result", ex)
+		}
+	}
+}
+
+// The engine must serve concurrent queries off its shared caches: same
+// answers under contention as alone.
+func TestEngineConcurrentQueries(t *testing.T) {
+	g := toyGraph(t)
+	eng := simstar.NewEngine(g, simstar.WithK(6))
+	ctx := context.Background()
+	names := []string{
+		simstar.MeasureGeometric, simstar.MeasureGeometricMemo,
+		simstar.MeasureExponential, simstar.MeasureRWR,
+	}
+	want := make(map[string][]float64)
+	for _, name := range names {
+		row, err := eng.SingleSource(ctx, name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = row
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 16; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := names[w%len(names)]
+			for rep := 0; rep < 4; rep++ {
+				got, err := eng.SingleSource(ctx, name, 0)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for j := range got {
+					if got[j] != want[name][j] {
+						errc <- errors.New("concurrent result differs from serial result")
+						return
+					}
+				}
+				if _, err := eng.AllPairs(ctx, name); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	g := toyGraph(t)
+	eng := simstar.NewEngine(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.SingleSource(ctx, simstar.MeasureGeometric, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SingleSource error = %v, want context.Canceled", err)
+	}
+	if _, err := eng.AllPairs(ctx, simstar.MeasureRWR); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AllPairs error = %v, want context.Canceled", err)
+	}
+	if _, err := eng.TopK(ctx, simstar.MeasureGeometric, 0, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopK error = %v, want context.Canceled", err)
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	g := toyGraph(t)
+	eng := simstar.NewEngine(g)
+	st := eng.Stats()
+	if st.Nodes != g.N() || st.Edges != g.M() {
+		t.Fatalf("stats %+v disagree with graph n=%d m=%d", st, g.N(), g.M())
+	}
+	if st.CompressedEdges <= 0 || st.CompressedEdges > st.Edges {
+		t.Fatalf("compressed edges %d out of range (m=%d)", st.CompressedEdges, st.Edges)
+	}
+	if eng.Graph() != g {
+		t.Fatal("Graph() must return the served graph")
+	}
+}
+
+// Re-registering a built-in name must override the engine fast path too:
+// the same name may not give different implementations depending on
+// whether the caller goes through Lookup or an Engine.
+func TestEngineHonoursRegistryOverride(t *testing.T) {
+	const name = "test-override-rwr"
+	simstar.Register(name, func(opts ...simstar.Option) simstar.Measure {
+		return constantMeasure{}
+	})
+	simstar.RegisterAlias("test-override-alias", name)
+	g := toyGraph(t)
+	eng := simstar.NewEngine(g)
+	for _, query := range []string{name, "test-override-alias"} {
+		row, err := eng.SingleSource(context.Background(), query, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0] != 1 {
+			t.Fatalf("%q: engine served %g, want the override's constant 1", query, row[0])
+		}
+	}
+}
+
+func TestEngineRejectsBadQueries(t *testing.T) {
+	g := toyGraph(t)
+	eng := simstar.NewEngine(g)
+	ctx := context.Background()
+	if _, err := eng.SingleSource(ctx, simstar.MeasureGeometric, -1); err == nil {
+		t.Fatal("want error for negative query node")
+	}
+	if _, err := eng.SingleSource(ctx, "no-such-measure", 0); err == nil {
+		t.Fatal("want error for unknown measure")
+	}
+	if _, err := eng.AllPairs(ctx, "no-such-measure"); err == nil {
+		t.Fatal("want error for unknown measure")
+	}
+}

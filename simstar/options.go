@@ -1,0 +1,119 @@
+package simstar
+
+import (
+	"repro/internal/biclique"
+	"repro/internal/core"
+	"repro/internal/prank"
+	"repro/internal/rwr"
+	"repro/internal/simrank"
+	"repro/internal/sparsesim"
+)
+
+// Option configures a Measure or an Engine. The one functional-option set
+// replaces the per-package options structs the measures used to take; each
+// measure reads the fields it understands and ignores the rest.
+type Option func(*config)
+
+// config carries every tunable across the measure family. Zero values mean
+// "use the paper's default" (C=0.6, K=5, λ=0.5, δ=1e-4), resolved by each
+// measure's own defaulting so simstar and direct internal calls agree.
+type config struct {
+	c      float64
+	k      int
+	eps    float64
+	sieve  float64
+	lambda float64
+	delta  float64
+	rank   int
+	miner  MinerOptions
+}
+
+// MinerOptions controls the biclique miner behind the memoized SimRank*
+// variants and the Engine's cached compression.
+type MinerOptions struct {
+	// MinSources and MinTargets bound biclique dimensions (both >= 2;
+	// smaller bicliques never save edges).
+	MinSources, MinTargets int
+	// Passes is the number of pair-seeded greedy sweeps; 0 means the default.
+	Passes int
+	// MaxPairsPerNode caps source pairs enumerated per node; 0 = default.
+	MaxPairsPerNode int
+	// DisablePairMining keeps only the identical-set pass.
+	DisablePairMining bool
+}
+
+func (m MinerOptions) internal() biclique.Options {
+	return biclique.Options{
+		MinSources:        m.MinSources,
+		MinTargets:        m.MinTargets,
+		Passes:            m.Passes,
+		MaxPairsPerNode:   m.MaxPairsPerNode,
+		DisablePairMining: m.DisablePairMining,
+	}
+}
+
+// WithC sets the damping factor in (0, 1). Default 0.6.
+func WithC(c float64) Option { return func(cfg *config) { cfg.c = c } }
+
+// WithK sets the iteration count (series truncation length). Default 5.
+// Ignored when WithEps selects the count from the error bounds.
+func WithK(k int) Option { return func(cfg *config) { cfg.k = k } }
+
+// WithEps derives the iteration count from the convergence bounds instead
+// of WithK: the smallest K with Cᵏ⁺¹ <= eps (geometric) or
+// Cᵏ⁺¹/(k+1)! <= eps (exponential).
+func WithEps(eps float64) Option { return func(cfg *config) { cfg.eps = eps } }
+
+// WithSieve zeroes result entries below the threshold after the final
+// iteration (the paper clips at 1e-4 to save space).
+func WithSieve(eps float64) Option { return func(cfg *config) { cfg.sieve = eps } }
+
+// WithMiner configures the biclique miner used by the memoized variants and
+// the Engine's cached compression.
+func WithMiner(m MinerOptions) Option { return func(cfg *config) { cfg.miner = m } }
+
+// WithLambda balances P-Rank's in-link (λ) versus out-link (1−λ) evidence.
+// Default 0.5. Only P-Rank reads it.
+func WithLambda(l float64) Option { return func(cfg *config) { cfg.lambda = l } }
+
+// WithDelta sets the in-flight sieving threshold of the sparse SimRank*
+// solver (entries below δ are dropped during iteration, not after).
+// Default 1e-4. Only the sparse measure reads it.
+func WithDelta(d float64) Option { return func(cfg *config) { cfg.delta = d } }
+
+func buildConfig(opts []Option) config {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+func (cfg config) coreOptions() core.Options {
+	return core.Options{C: cfg.c, K: cfg.k, Eps: cfg.eps, Sieve: cfg.sieve, Mine: cfg.miner.internal()}
+}
+
+// iterations resolves the iteration count for measures whose options structs
+// have no Eps field; they follow the geometric convergence bound Cᵏ⁺¹ <= ε.
+func (cfg config) iterations() int {
+	if cfg.eps > 0 {
+		return cfg.coreOptions().IterationsGeometric()
+	}
+	return cfg.k
+}
+
+func (cfg config) simrankOptions() simrank.Options {
+	return simrank.Options{C: cfg.c, K: cfg.iterations(), Sieve: cfg.sieve}
+}
+
+func (cfg config) prankOptions() prank.Options {
+	return prank.Options{C: cfg.c, K: cfg.iterations(), Lambda: cfg.lambda, Sieve: cfg.sieve}
+}
+
+func (cfg config) rwrOptions() rwr.Options {
+	return rwr.Options{C: cfg.c, K: cfg.iterations(), Sieve: cfg.sieve}
+}
+
+func (cfg config) sparseOptions() sparsesim.Options {
+	return sparsesim.Options{C: cfg.c, K: cfg.iterations(), Delta: cfg.delta}
+}

@@ -1,0 +1,76 @@
+package simstar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory instantiates a Measure with the given options. Factories rather
+// than instances are registered so each caller binds its own parameters.
+type Factory func(opts ...Option) Measure
+
+var registry = struct {
+	sync.RWMutex
+	factories map[string]Factory
+	aliases   map[string]string
+}{
+	factories: make(map[string]Factory),
+	aliases:   make(map[string]string),
+}
+
+// Register adds a measure factory under a name (case-insensitive). Tools
+// and servers select measures by these names; registering an existing name
+// replaces the previous factory, so applications may override built-ins.
+func Register(name string, f Factory) {
+	if f == nil {
+		panic("simstar: Register with nil factory")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	registry.factories[strings.ToLower(name)] = f
+}
+
+// RegisterAlias makes alias resolve to the measure registered under name.
+func RegisterAlias(alias, name string) {
+	registry.Lock()
+	defer registry.Unlock()
+	registry.aliases[strings.ToLower(alias)] = strings.ToLower(name)
+}
+
+// canonical resolves aliases and case to the registered name.
+func canonical(name string) string {
+	n := strings.ToLower(name)
+	registry.RLock()
+	defer registry.RUnlock()
+	if target, ok := registry.aliases[n]; ok {
+		return target
+	}
+	return n
+}
+
+// Lookup instantiates the measure registered under name (or one of its
+// aliases) with the given options.
+func Lookup(name string, opts ...Option) (Measure, error) {
+	key := canonical(name)
+	registry.RLock()
+	f, ok := registry.factories[key]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("simstar: unknown measure %q (have: %s)", name, strings.Join(Names(), ", "))
+	}
+	return f(opts...), nil
+}
+
+// Names returns the registered canonical measure names, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.factories))
+	for n := range registry.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

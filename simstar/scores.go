@@ -1,0 +1,70 @@
+package simstar
+
+import (
+	"repro/internal/dense"
+	"repro/internal/sparsesim"
+)
+
+// Scores is an all-pairs similarity result. Depending on the measure it
+// wraps either a dense n×n matrix or the sparse threshold-sieved rows of
+// the large-graph solver; the accessors hide the difference.
+type Scores struct {
+	n      int
+	dense  *dense.Matrix
+	sparse *sparsesim.Scores
+}
+
+func denseScores(m *dense.Matrix) *Scores      { return &Scores{n: m.Rows, dense: m} }
+func sparseScores(s *sparsesim.Scores) *Scores { return &Scores{n: s.N, sparse: s} }
+
+// ScoresFromRows builds a dense Scores from a square slice of rows, for
+// Measure implementations outside this package. The rows are copied.
+func ScoresFromRows(rows [][]float64) *Scores {
+	return denseScores(dense.FromRows(rows))
+}
+
+// N returns the number of nodes scored.
+func (s *Scores) N() int { return s.n }
+
+// At returns the similarity of (i, j); 0 if the entry was sieved out.
+func (s *Scores) At(i, j int) float64 {
+	if s.dense != nil {
+		return s.dense.At(i, j)
+	}
+	return s.sparse.At(i, j)
+}
+
+// Row returns the scores of node i against every node as a fresh dense
+// slice, safe for the caller to modify.
+func (s *Scores) Row(i int) []float64 {
+	out := make([]float64, s.n)
+	if s.dense != nil {
+		copy(out, s.dense.Row(i))
+		return out
+	}
+	cols, vals := s.sparse.Row(i)
+	for k, c := range cols {
+		out[c] = vals[k]
+	}
+	return out
+}
+
+// NNZ returns the number of non-zero entries stored.
+func (s *Scores) NNZ() int {
+	if s.dense != nil {
+		nz := 0
+		for _, v := range s.dense.Data {
+			if v != 0 {
+				nz++
+			}
+		}
+		return nz
+	}
+	return s.sparse.NNZ()
+}
+
+// TopK returns the k highest-scoring nodes of row q, excluding q itself and
+// any nodes in exclude, ties broken by node id.
+func (s *Scores) TopK(q, k int, exclude ...int) []Ranked {
+	return TopK(s.Row(q), k, append([]int{q}, exclude...)...)
+}

@@ -1,0 +1,14 @@
+package simstar
+
+import "repro/internal/core"
+
+// Ranked is one entry of a top-k result.
+type Ranked = core.Ranked
+
+// TopK returns the k highest-scoring nodes from a score vector, excluding
+// the nodes in exclude (typically the query itself). Selection runs in
+// O(n log k) with a bounded min-heap; ties break by node id for
+// determinism.
+func TopK(scores []float64, k int, exclude ...int) []Ranked {
+	return core.TopK(scores, k, exclude...)
+}

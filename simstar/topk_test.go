@@ -1,0 +1,78 @@
+package simstar_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/simstar"
+)
+
+// sortTopK is the O(n log n) reference the heap selection replaced.
+func sortTopK(scores []float64, k int, exclude ...int) []simstar.Ranked {
+	skip := make(map[int]bool)
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	all := make([]simstar.Ranked, 0, len(scores))
+	for i, s := range scores {
+		if !skip[i] {
+			all = append(all, simstar.Ranked{Node: i, Score: s})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Node < all[j].Node
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func TestTopKMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		scores := make([]float64, n)
+		for i := range scores {
+			// Coarse buckets force plenty of score ties to exercise the
+			// node-id tie-break.
+			scores[i] = float64(rng.Intn(5)) / 4
+		}
+		k := rng.Intn(n + 3)
+		var exclude []int
+		for e := 0; e < rng.Intn(3); e++ {
+			exclude = append(exclude, rng.Intn(n))
+		}
+		got := simstar.TopK(scores, k, exclude...)
+		want := sortTopK(scores, k, exclude...)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: [%d] = %+v, want %+v (n=%d k=%d)", trial, i, got[i], want[i], n, k)
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	if got := simstar.TopK(nil, 5); len(got) != 0 {
+		t.Fatalf("empty scores: got %d entries", len(got))
+	}
+	if got := simstar.TopK([]float64{1, 2, 3}, 0); got != nil {
+		t.Fatalf("k=0: got %v", got)
+	}
+	if got := simstar.TopK([]float64{1, 2, 3}, -1); got != nil {
+		t.Fatalf("k<0: got %v", got)
+	}
+	// k larger than candidate count returns every candidate, ordered.
+	got := simstar.TopK([]float64{0.1, 0.9, 0.5}, 10, 1)
+	if len(got) != 2 || got[0].Node != 2 || got[1].Node != 0 {
+		t.Fatalf("k>n: got %+v", got)
+	}
+}
