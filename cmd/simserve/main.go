@@ -1,0 +1,107 @@
+// Command simserve serves simstar similarity queries over HTTP/JSON: the
+// serving layer the ROADMAP's north star asks for, put on top of the
+// Engine's amortised preprocessing and the MultiSource/BatchTopK batch
+// paths. One process serves one graph at a time; loading a new graph swaps
+// in a freshly-preprocessed engine (and with it a fresh result cache)
+// without interrupting queries already running against the old one.
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness + whether a graph is loaded
+//	GET  /v1/measures      registered measure names
+//	GET  /v1/stats         engine preprocessing + result-cache + process stats
+//	POST /v1/graph         load/replace the graph (JSON edges or text edge list)
+//	POST /v1/query/single  one single-source score vector
+//	POST /v1/query/topk    one ranked top-k query
+//	POST /v1/query/batch   many queries in one request (mode: scores | topk)
+//
+// Each request's context flows into the iterative kernels, so a client
+// disconnect aborts the computation mid-iteration. SIGINT/SIGTERM drain
+// in-flight requests before exit (bounded by -drain).
+//
+// See README.md for curl examples and ARCHITECTURE.md for the request
+// lifecycle.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/simstar"
+)
+
+func main() {
+	addr := flag.String("addr", ":8451", "listen address")
+	graphPath := flag.String("graph", "", "edge-list file to serve at startup (optional; POST /v1/graph works any time)")
+	c := flag.Float64("c", 0, "damping factor for the startup engine (0 = paper default)")
+	k := flag.Int("k", 0, "iteration count for the startup engine (0 = paper default)")
+	cacheSize := flag.Int("cache", 0, "result-cache capacity in entries (0 = default, negative = disabled)")
+	drain := flag.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight requests")
+	flag.Parse()
+
+	srv := newServer()
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			log.Fatalf("simserve: %v", err)
+		}
+		g, err := simstar.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("simserve: %s: %v", *graphPath, err)
+		}
+		var opts []simstar.Option
+		if *c > 0 {
+			opts = append(opts, simstar.WithC(*c))
+		}
+		if *k > 0 {
+			opts = append(opts, simstar.WithK(*k))
+		}
+		if *cacheSize != 0 {
+			opts = append(opts, simstar.WithCacheSize(*cacheSize))
+		}
+		eng := simstar.NewEngine(g, opts...)
+		srv.swap(eng)
+		st := eng.Stats()
+		log.Printf("simserve: serving %s: %d nodes, %d edges (compression %.1f%% in %v)",
+			*graphPath, st.Nodes, st.Edges, st.CompressionRatio, st.CompressionTime.Round(time.Millisecond))
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("simserve: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("simserve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("simserve: shutting down (draining up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		// Drain window exhausted: cut the stragglers' connections, which
+		// cancels their request contexts and thereby their kernels.
+		httpSrv.Close()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("simserve: shutdown: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "simserve: drain window exhausted, connections closed")
+	}
+}

@@ -1,0 +1,582 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/simstar"
+)
+
+// server is the HTTP face of one simstar.Engine. The engine pointer swaps
+// atomically under mu when a new graph is loaded; queries in flight keep the
+// engine they started with (engines are immutable per graph, so a swap can
+// never corrupt them — old ones simply fall out of use). Everything else a
+// request needs flows through its context, so client disconnects and server
+// shutdown cancel the kernels mid-iteration.
+type server struct {
+	mu      sync.RWMutex
+	eng     *simstar.Engine
+	loaded  time.Time
+	started time.Time
+	served  atomic.Int64
+}
+
+func newServer() *server {
+	return &server{started: time.Now()}
+}
+
+// engine returns the currently-served engine, or nil before the first load.
+func (s *server) engine() *simstar.Engine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng
+}
+
+// swap installs a freshly-built engine. The previous engine's result cache
+// dies with it — exactly the invalidation-on-graph-change the cache design
+// wants, with no epochs or locks on the query path.
+func (s *server) swap(eng *simstar.Engine) {
+	s.mu.Lock()
+	s.eng = eng
+	s.loaded = time.Now()
+	s.mu.Unlock()
+}
+
+// handler builds the route table. Method-qualified patterns (Go 1.22
+// net/http) give 405s for free.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/measures", s.handleMeasures)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/graph", s.handleLoadGraph)
+	mux.HandleFunc("POST /v1/query/single", s.handleSingle)
+	mux.HandleFunc("POST /v1/query/topk", s.handleTopK)
+	mux.HandleFunc("POST /v1/query/batch", s.handleBatch)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.served.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// statusClientClosedRequest is nginx's conventional status for requests the
+// client abandoned; there is no standard code, and 4xx is the right class.
+const statusClientClosedRequest = 499
+
+// writeJSON writes v with status code; encoding errors at this point can
+// only mean a dead connection, so they are dropped.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeError maps an error to a JSON error payload: context cancellation
+// (client gone), deadline overrun and oversized bodies get their own
+// statuses so operators can tell load problems from bad requests in access
+// logs.
+func writeError(w http.ResponseWriter, code int, err error) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, context.Canceled):
+		code = statusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.As(err, &tooBig):
+		code = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// Body limits: one request must not be able to OOM the server. Graphs are
+// bulk data and get a generous cap; query payloads are small by nature.
+// maxGraphNodes bounds the node-id space the same way — a 30-byte request
+// naming node 10⁹ must not allocate gigabytes of CSR offsets (and ids past
+// int32 would silently wrap in the graph builder).
+const (
+	maxGraphBody  = 1 << 30 // 1 GiB of edge list
+	maxQueryBody  = 8 << 20 // 8 MiB of queries
+	maxGraphNodes = 1 << 24 // ~16.8M nodes
+)
+
+// optionsJSON is the wire form of the simstar options a request may set.
+// Pointers distinguish "absent" from zero so e.g. {"k": 0} still means
+// "override K to the default-resolving zero" only when explicitly sent.
+type optionsJSON struct {
+	C         *float64 `json:"c,omitempty"`
+	K         *int     `json:"k,omitempty"`
+	Eps       *float64 `json:"eps,omitempty"`
+	Sieve     *float64 `json:"sieve,omitempty"`
+	Lambda    *float64 `json:"lambda,omitempty"`
+	Delta     *float64 `json:"delta,omitempty"`
+	Rank      *int     `json:"rank,omitempty"`
+	Workers   *int     `json:"workers,omitempty"`
+	CacheSize *int     `json:"cache_size,omitempty"`
+}
+
+func (o *optionsJSON) options() []simstar.Option {
+	if o == nil {
+		return nil
+	}
+	var opts []simstar.Option
+	if o.C != nil {
+		opts = append(opts, simstar.WithC(*o.C))
+	}
+	if o.K != nil {
+		opts = append(opts, simstar.WithK(*o.K))
+	}
+	if o.Eps != nil {
+		opts = append(opts, simstar.WithEps(*o.Eps))
+	}
+	if o.Sieve != nil {
+		opts = append(opts, simstar.WithSieve(*o.Sieve))
+	}
+	if o.Lambda != nil {
+		opts = append(opts, simstar.WithLambda(*o.Lambda))
+	}
+	if o.Delta != nil {
+		opts = append(opts, simstar.WithDelta(*o.Delta))
+	}
+	if o.Rank != nil {
+		opts = append(opts, simstar.WithRank(*o.Rank))
+	}
+	if o.Workers != nil {
+		opts = append(opts, simstar.WithWorkers(*o.Workers))
+	}
+	if o.CacheSize != nil {
+		opts = append(opts, simstar.WithCacheSize(*o.CacheSize))
+	}
+	return opts
+}
+
+// graphRequest loads or replaces the served graph. Exactly one of EdgeList
+// (the SNAP-style text format ReadGraph parses) or Edges (+ optional Nodes
+// floor) must be set. Options become the new engine's defaults.
+type graphRequest struct {
+	EdgeList string       `json:"edge_list,omitempty"`
+	Edges    [][2]int     `json:"edges,omitempty"`
+	Nodes    int          `json:"nodes,omitempty"`
+	Options  *optionsJSON `json:"options,omitempty"`
+}
+
+type graphResponse struct {
+	Nodes              int     `json:"nodes"`
+	Edges              int     `json:"edges"`
+	CompressedEdges    int     `json:"compressed_edges"`
+	ConcentrationNodes int     `json:"concentration_nodes"`
+	CompressionRatio   float64 `json:"compression_ratio"`
+	TransitionMillis   float64 `json:"transition_ms"`
+	CompressionMillis  float64 `json:"compression_ms"`
+}
+
+func engineStatsJSON(st simstar.EngineStats) graphResponse {
+	return graphResponse{
+		Nodes:              st.Nodes,
+		Edges:              st.Edges,
+		CompressedEdges:    st.CompressedEdges,
+		ConcentrationNodes: st.ConcentrationNodes,
+		CompressionRatio:   st.CompressionRatio,
+		TransitionMillis:   float64(st.TransitionTime.Microseconds()) / 1e3,
+		CompressionMillis:  float64(st.CompressionTime.Microseconds()) / 1e3,
+	}
+}
+
+// handleLoadGraph builds the engine for a new graph and swaps it in. The
+// body may also be a raw text edge list (any non-JSON content type).
+func (s *server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxGraphBody)
+	var req graphRequest
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") || ct == "" {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding graph request: %w", err))
+			return
+		}
+	} else {
+		raw, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading edge list body: %w", err))
+			return
+		}
+		req.EdgeList = string(raw)
+	}
+	var g *simstar.Graph
+	switch {
+	case req.EdgeList != "" && req.Edges != nil:
+		writeError(w, http.StatusBadRequest, errors.New("edge_list and edges are mutually exclusive"))
+		return
+	case req.EdgeList != "":
+		if err := checkEdgeListIDs(req.EdgeList); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var err error
+		g, err = simstar.ReadGraph(strings.NewReader(req.EdgeList))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.Edges != nil:
+		if req.Nodes > maxGraphNodes {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("nodes %d exceeds the limit of %d", req.Nodes, maxGraphNodes))
+			return
+		}
+		for _, e := range req.Edges {
+			if e[0] < 0 || e[1] < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("negative node id in edge %v", e))
+				return
+			}
+			if e[0] >= maxGraphNodes || e[1] >= maxGraphNodes {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("node id in edge %v exceeds the limit of %d", e, maxGraphNodes))
+				return
+			}
+		}
+		g = simstar.GraphFromEdges(req.Nodes, req.Edges)
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("need edge_list or edges"))
+		return
+	}
+	eng := simstar.NewEngine(g, req.Options.options()...)
+	s.swap(eng)
+	writeJSON(w, http.StatusOK, engineStatsJSON(eng.Stats()))
+}
+
+// checkEdgeListIDs pre-scans a numeric edge list for node ids past
+// maxGraphNodes before the graph builder allocates O(max id) state. It
+// mirrors ReadGraph's format: once any endpoint is non-numeric the whole
+// file is labelled — node count is then bounded by the (already capped)
+// body size — so scanning stops there.
+func checkEdgeListIDs(edgeList string) error {
+	sc := bufio.NewScanner(strings.NewReader(edgeList))
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return fmt.Errorf("edge list line %q: want two fields", line)
+		}
+		u, errU := strconv.Atoi(fields[0])
+		v, errV := strconv.Atoi(fields[1])
+		if errU != nil || errV != nil {
+			return nil // labelled graph
+		}
+		if u >= maxGraphNodes || v >= maxGraphNodes {
+			return fmt.Errorf("node id %d exceeds the limit of %d", max(u, v), maxGraphNodes)
+		}
+	}
+	return nil
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true, "graph_loaded": s.engine() != nil})
+}
+
+func (s *server) handleMeasures(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"measures": simstar.Names()})
+}
+
+// cacheStatsJSON is the wire form of simstar.CacheStats.
+type cacheStatsJSON struct {
+	Capacity  int    `json:"capacity"`
+	Size      int    `json:"size"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+type statsResponse struct {
+	Engine       *graphResponse  `json:"engine,omitempty"`
+	Cache        *cacheStatsJSON `json:"cache,omitempty"`
+	GraphLoaded  bool            `json:"graph_loaded"`
+	LoadedAgoMs  float64         `json:"graph_loaded_ago_ms,omitempty"`
+	UptimeMs     float64         `json:"uptime_ms"`
+	RequestCount int64           `json:"requests"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		UptimeMs:     float64(time.Since(s.started).Microseconds()) / 1e3,
+		RequestCount: s.served.Load(),
+	}
+	s.mu.RLock()
+	eng, loaded := s.eng, s.loaded
+	s.mu.RUnlock()
+	if eng != nil {
+		est := engineStatsJSON(eng.Stats())
+		cs := eng.CacheStats()
+		resp.Engine = &est
+		resp.Cache = &cacheStatsJSON{
+			Capacity:  cs.Capacity,
+			Size:      cs.Size,
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+		}
+		resp.GraphLoaded = true
+		resp.LoadedAgoMs = float64(time.Since(loaded).Microseconds()) / 1e3
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryJSON is one query on the wire: the node addressed by index or, on
+// labelled graphs, by label.
+type queryJSON struct {
+	Measure string       `json:"measure"`
+	Node    *int         `json:"node,omitempty"`
+	Label   string       `json:"label,omitempty"`
+	K       int          `json:"k,omitempty"`
+	Exclude []int        `json:"exclude,omitempty"`
+	Options *optionsJSON `json:"options,omitempty"`
+}
+
+// resolveNode maps the wire query to a node id on g.
+func (q *queryJSON) resolveNode(g *simstar.Graph) (int, error) {
+	switch {
+	case q.Node != nil && q.Label != "":
+		return 0, errors.New("node and label are mutually exclusive")
+	case q.Node != nil:
+		return *q.Node, nil
+	case q.Label != "":
+		id, ok := g.NodeByLabel(q.Label)
+		if !ok {
+			return 0, fmt.Errorf("no node labelled %q", q.Label)
+		}
+		return id, nil
+	default:
+		return 0, errors.New("need node or label")
+	}
+}
+
+// toQuery converts the wire form to a batch Query.
+func (q *queryJSON) toQuery(g *simstar.Graph) (simstar.Query, error) {
+	node, err := q.resolveNode(g)
+	if err != nil {
+		return simstar.Query{}, err
+	}
+	if q.Measure == "" {
+		return simstar.Query{}, errors.New("need measure")
+	}
+	return simstar.Query{
+		Measure: q.Measure,
+		Node:    node,
+		K:       q.K,
+		Exclude: q.Exclude,
+		Opts:    q.Options.options(),
+	}, nil
+}
+
+// requireEngine fetches the current engine or answers 409.
+func (s *server) requireEngine(w http.ResponseWriter) *simstar.Engine {
+	eng := s.engine()
+	if eng == nil {
+		writeError(w, http.StatusConflict, errors.New("no graph loaded; POST /v1/graph first"))
+	}
+	return eng
+}
+
+func decodeQuery(w http.ResponseWriter, r *http.Request, g *simstar.Graph) (simstar.Query, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var qj queryJSON
+	if err := json.NewDecoder(r.Body).Decode(&qj); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding query: %w", err))
+		return simstar.Query{}, false
+	}
+	q, err := qj.toQuery(g)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return simstar.Query{}, false
+	}
+	return q, true
+}
+
+type singleResponse struct {
+	Measure string    `json:"measure"`
+	Node    int       `json:"node"`
+	Label   string    `json:"label,omitempty"`
+	Cached  bool      `json:"cached"`
+	Scores  []float64 `json:"scores"`
+}
+
+func (s *server) handleSingle(w http.ResponseWriter, r *http.Request) {
+	eng := s.requireEngine(w)
+	if eng == nil {
+		return
+	}
+	q, ok := decodeQuery(w, r, eng.Graph())
+	if !ok {
+		return
+	}
+	// One-element batch: same cache, same validation, same kernels.
+	res := eng.MultiSource(r.Context(), []simstar.Query{q})[0]
+	if res.Err != nil {
+		writeError(w, http.StatusBadRequest, res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, singleResponse{
+		Measure: q.Measure,
+		Node:    q.Node,
+		Label:   labelOf(eng.Graph(), q.Node),
+		Cached:  res.Cached,
+		Scores:  res.Scores,
+	})
+}
+
+type rankedJSON struct {
+	Node  int     `json:"node"`
+	Label string  `json:"label,omitempty"`
+	Score float64 `json:"score"`
+}
+
+func rankedList(g *simstar.Graph, top []simstar.Ranked) []rankedJSON {
+	out := make([]rankedJSON, len(top))
+	for i, r := range top {
+		out[i] = rankedJSON{Node: r.Node, Label: labelOf(g, r.Node), Score: r.Score}
+	}
+	return out
+}
+
+func labelOf(g *simstar.Graph, node int) string {
+	if !g.Labeled() {
+		return ""
+	}
+	return g.Label(node)
+}
+
+type topKResponse struct {
+	Measure string       `json:"measure"`
+	Node    int          `json:"node"`
+	Label   string       `json:"label,omitempty"`
+	Cached  bool         `json:"cached"`
+	Top     []rankedJSON `json:"top"`
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	eng := s.requireEngine(w)
+	if eng == nil {
+		return
+	}
+	q, ok := decodeQuery(w, r, eng.Graph())
+	if !ok {
+		return
+	}
+	res := eng.BatchTopK(r.Context(), []simstar.Query{q})[0]
+	if res.Err != nil {
+		writeError(w, http.StatusBadRequest, res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, topKResponse{
+		Measure: q.Measure,
+		Node:    q.Node,
+		Label:   labelOf(eng.Graph(), q.Node),
+		Cached:  res.Cached,
+		Top:     rankedList(eng.Graph(), res.Top),
+	})
+}
+
+// batchRequest runs a batch of queries. Mode selects what each query
+// returns: "scores" (default) full vectors via MultiSource, "topk" ranked
+// lists via BatchTopK.
+type batchRequest struct {
+	Mode    string      `json:"mode,omitempty"`
+	Queries []queryJSON `json:"queries"`
+}
+
+type batchResultJSON struct {
+	// Node is present only when the query resolved to a node; a query that
+	// failed resolution (e.g. an unknown label) has no node to report.
+	Node   *int         `json:"node,omitempty"`
+	Label  string       `json:"label,omitempty"`
+	Cached bool         `json:"cached,omitempty"`
+	Scores []float64    `json:"scores,omitempty"`
+	Top    []rankedJSON `json:"top,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchResultJSON `json:"results"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	eng := s.requireEngine(w)
+	if eng == nil {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding batch request: %w", err))
+		return
+	}
+	topk := false
+	switch req.Mode {
+	case "", "scores":
+	case "topk":
+		topk = true
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want scores or topk)", req.Mode))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	// Queries that fail wire-level resolution (unknown label, missing
+	// measure) answer in their own slot and never reach the engine — no
+	// spurious cache misses, no made-up node ids in the response.
+	g := eng.Graph()
+	resp := batchResponse{Results: make([]batchResultJSON, len(req.Queries))}
+	queries := make([]simstar.Query, 0, len(req.Queries))
+	slot := make([]int, 0, len(req.Queries))
+	for i := range req.Queries {
+		q, err := req.Queries[i].toQuery(g)
+		if err != nil {
+			resp.Results[i] = batchResultJSON{Label: req.Queries[i].Label, Error: err.Error()}
+			continue
+		}
+		queries = append(queries, q)
+		slot = append(slot, i)
+	}
+	var results []simstar.Result
+	if topk {
+		results = eng.BatchTopK(r.Context(), queries)
+	} else {
+		results = eng.MultiSource(r.Context(), queries)
+	}
+	// The whole batch answers 200 unless the request itself died: per-query
+	// failures ride in their result slot.
+	if err := r.Context().Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	for j, res := range results {
+		node := queries[j].Node
+		out := batchResultJSON{Node: &node}
+		if res.Err != nil {
+			out.Error = res.Err.Error()
+		} else {
+			out.Label = labelOf(g, node)
+			out.Cached = res.Cached
+			out.Scores = res.Scores
+			out.Top = rankedList(g, res.Top)
+		}
+		resp.Results[slot[j]] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

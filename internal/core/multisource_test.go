@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+func multiTestGraph() *graph.Graph {
+	// A small digraph with co-citations, a chain, a sink and a source.
+	return graph.FromEdges(8, [][2]int{
+		{0, 1}, {0, 2}, {3, 0}, {4, 0}, {5, 3}, {5, 4}, {6, 3}, {6, 1}, {2, 1}, {7, 5},
+	})
+}
+
+// The blocked kernels promise bitwise equality with the single-source
+// kernels: same coefficients, same accumulation order.
+func TestMultiSourceMatchesSingleSourceBitwise(t *testing.T) {
+	g := multiTestGraph()
+	qm := sparse.BackwardTransition(g)
+	qt := qm.Transpose()
+	ctx := context.Background()
+	opt := Options{C: 0.6, K: 6}
+	nodes := []int{0, 3, 5, 7, 3} // includes a duplicate column
+
+	geo, err := MultiSourceGeometricFromTransition(ctx, qm, qt, nodes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := MultiSourceExponentialFromTransition(ctx, qm, qt, nodes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t_, q := range nodes {
+		wantG, err := SingleSourceGeometricFromTransition(ctx, qm, q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantE, err := SingleSourceExponentialFromTransition(ctx, qm, q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantG {
+			if geo[t_][i] != wantG[i] {
+				t.Fatalf("geometric col %d (node %d): [%d] = %g, want %g", t_, q, i, geo[t_][i], wantG[i])
+			}
+			if exp[t_][i] != wantE[i] {
+				t.Fatalf("exponential col %d (node %d): [%d] = %g, want %g", t_, q, i, exp[t_][i], wantE[i])
+			}
+		}
+	}
+}
+
+func TestMultiSourceEmptyAndCancelled(t *testing.T) {
+	g := multiTestGraph()
+	qm := sparse.BackwardTransition(g)
+	qt := qm.Transpose()
+	opt := Options{C: 0.6, K: 4}
+	if out, err := MultiSourceGeometricFromTransition(context.Background(), qm, qt, nil, opt); err != nil || out != nil {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MultiSourceGeometricFromTransition(ctx, qm, qt, []int{0, 1}, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("geometric: err = %v, want context.Canceled", err)
+	}
+	if _, err := MultiSourceExponentialFromTransition(ctx, qm, qt, []int{0, 1}, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("exponential: err = %v, want context.Canceled", err)
+	}
+}

@@ -187,9 +187,18 @@ func rankedBelow(a, b Ranked) bool {
 // for determinism. Selection uses a bounded min-heap over the candidates —
 // O(n log k) instead of a full O(n log n) sort, the difference between a
 // per-query sort of millions of nodes and a cheap scan when k is small.
+//
+// The boundaries are defined, not incidental: k <= 0 returns an empty
+// result, and k greater than the number of candidates (len(scores) minus
+// the excluded nodes) returns every candidate, fully ordered.
 func TopK(scores []float64, k int, exclude ...int) []Ranked {
 	if k <= 0 {
 		return nil
+	}
+	// Clamp before allocating: the heap can never hold more than one entry
+	// per score, so an oversized k must not size the backing array.
+	if k > len(scores) {
+		k = len(scores)
 	}
 	skip := make(map[int]bool, len(exclude))
 	for _, e := range exclude {

@@ -5,8 +5,10 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Workers is the default parallelism degree.
@@ -51,4 +53,47 @@ func ForEach(n, workers int, fn func(i int)) {
 			fn(i)
 		}
 	})
+}
+
+// ForEachCtx runs fn(i) for each i in [0, n) across workers and returns
+// ctx.Err(). Unlike For/ForEach it hands out indices one at a time from a
+// shared counter, so it load-balances items of very different cost — the
+// shape of a query batch, where one heavy query must not serialise a whole
+// chunk behind it. Workers stop picking up new items as soon as ctx is
+// cancelled; items already running are the callee's responsibility (fn is
+// expected to observe ctx itself). Indices not dispatched are skipped, which
+// the non-nil return signals to the caller.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
 }

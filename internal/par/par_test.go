@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 )
@@ -28,6 +30,39 @@ func TestForEach(t *testing.T) {
 	ForEach(100, 4, func(i int) { atomic.AddInt64(&sum, int64(i)) })
 	if sum != 4950 {
 		t.Fatalf("sum = %d, want 4950", sum)
+	}
+}
+
+func TestForEachCtxCoversRange(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			seen := make([]int32, n)
+			if err := ForEachCtx(context.Background(), n, workers, func(i int) {
+				atomic.AddInt32(&seen[i], 1)
+			}); err != nil {
+				t.Fatalf("workers=%d n=%d: err = %v", workers, n, err)
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran int64
+		err := ForEachCtx(ctx, 100, workers, func(i int) { atomic.AddInt64(&ran, 1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran != 0 {
+			t.Fatalf("workers=%d: %d items ran under a pre-cancelled context", workers, ran)
+		}
 	}
 }
 

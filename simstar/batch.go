@@ -1,0 +1,294 @@
+package simstar
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/rwr"
+	"repro/internal/sparse"
+)
+
+// Query is one single-source unit of work in a batch. The zero value of the
+// optional fields means "use the engine's defaults": no per-query option
+// overrides, no exclusions, and — for BatchTopK — K <= 0 yields an empty
+// ranking, per the TopK boundary contract.
+type Query struct {
+	// Measure is the registry name (or alias) of the measure to run.
+	Measure string
+	// Node is the query node.
+	Node int
+	// K is the ranking size for BatchTopK; MultiSource ignores it.
+	K int
+	// Exclude lists nodes to drop from a BatchTopK ranking, in addition to
+	// the query node itself; MultiSource ignores it.
+	Exclude []int
+	// Opts are layered on top of the engine's options for this query only,
+	// exactly as Engine.With would apply them (so structure-shaping options
+	// like WithMiner do not re-mine; see Engine.With).
+	Opts []Option
+}
+
+// Result is the outcome of one Query in a batch. Results are positional:
+// the i-th Result answers the i-th Query. Exactly one of Scores/Top is
+// populated on success — Scores by MultiSource, Top by BatchTopK — and Err
+// is non-nil otherwise. One query failing never fails its batch.
+type Result struct {
+	// Scores is the full score vector of the query node against every node
+	// (MultiSource only). The slice is the caller's to keep and mutate.
+	Scores []float64
+	// Top is the ranked result (BatchTopK only).
+	Top []Ranked
+	// Cached reports whether the underlying score vector was served from
+	// the engine's result cache rather than computed.
+	Cached bool
+	// Err is the per-query error: an unknown measure, an out-of-range
+	// node, or ctx's error for queries cancelled or skipped mid-batch.
+	Err error
+}
+
+// MultiSource answers a batch of single-source queries, sharing work three
+// ways no serial loop of SingleSource calls can:
+//
+//   - Cache first: queries answered recently come straight from the
+//     engine's result cache, and duplicate queries inside one batch are
+//     computed once.
+//   - Blocked kernels: queries on the same measure family with the same
+//     parameters (SimRank* geometric/exponential and RWR — the measures
+//     with native single-source forms) are stacked into n×B blocks and
+//     answered by one blocked sweep per iteration over the cached
+//     transition structure, instead of one sweep per query.
+//   - Fan-out: everything else is spread across a worker pool (WithWorkers
+//     bounds it; the default is one worker per CPU), dispatching queries
+//     from a shared counter so one expensive query does not serialise a
+//     chunk of the batch behind it.
+//
+// Each query may carry Opts overriding the engine's parameters for that
+// query alone. Cancellation is two-level: ctx aborts the kernels of queries
+// already running (they return ctx's error in their Result) and stops
+// undispatched queries from starting, which report ctx's error likewise.
+// The returned slice always has len(queries) entries, in query order, and
+// every entry's scores are identical to what SingleSource returns for that
+// query — batching changes the cost, never the answer.
+func (e *Engine) MultiSource(ctx context.Context, queries []Query) []Result {
+	return e.batch(ctx, queries, false)
+}
+
+// BatchTopK is MultiSource for ranked queries: it answers each Query with
+// the Query.K nodes most similar to Query.Node under Query.Measure,
+// excluding the query node and Query.Exclude, with ties broken by node id.
+// Boundary semantics per query follow TopK: K <= 0 yields an empty Top,
+// K larger than the candidate count yields every candidate.
+func (e *Engine) BatchTopK(ctx context.Context, queries []Query) []Result {
+	return e.batch(ctx, queries, true)
+}
+
+// blockColumns caps the width of one blocked-kernel invocation. Each column
+// costs the kernel O(K·n) floats of workspace — the same transient footprint
+// as one single-source query — so the cap bounds batch memory at roughly 64
+// in-flight queries' worth regardless of batch size.
+const blockColumns = 64
+
+// blockKernel names a blocked multi-source kernel.
+type blockKernel int
+
+const (
+	blockNone blockKernel = iota
+	blockGeometric
+	blockExponential
+	blockRWR
+)
+
+// blockKernelFor maps a resolved built-in measure to its blocked kernel.
+// The memo variants share the iterative single-source fast path (see
+// Engine.SingleSource), so they block identically.
+func blockKernelFor(builtin string) blockKernel {
+	switch builtin {
+	case MeasureGeometric, MeasureGeometricMemo:
+		return blockGeometric
+	case MeasureExponential, MeasureExponentialMemo:
+		return blockExponential
+	case MeasureRWR:
+		return blockRWR
+	}
+	return blockNone
+}
+
+// batch is the shared implementation of MultiSource and BatchTopK.
+func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result {
+	results := make([]Result, len(queries))
+	done := make([]bool, len(queries))
+
+	finish := func(i int, scores []float64, cached bool) {
+		q := queries[i]
+		if topk {
+			results[i] = Result{
+				Top:    TopK(scores, q.K, append([]int{q.Node}, q.Exclude...)...),
+				Cached: cached,
+			}
+		} else {
+			results[i] = Result{Scores: scores, Cached: cached}
+		}
+		done[i] = true
+	}
+
+	// Phase 1: resolve each query, serve cache hits, and group the
+	// blockable remainder by (kernel, parameters).
+	type groupKey struct {
+		kernel blockKernel
+		params config
+	}
+	type group struct {
+		eng  *Engine
+		idx  []int // query indices, in order
+		keys []cacheKey
+	}
+	groups := make(map[groupKey]*group)
+	keys := make([]cacheKey, len(queries))
+	engs := make([]*Engine, len(queries))
+	var rest []int
+	for i, q := range queries {
+		eng := e
+		if len(q.Opts) > 0 {
+			eng = e.With(q.Opts...)
+		}
+		engs[i] = eng
+		if err := eng.checkQuery(ctx, q.Node); err != nil {
+			results[i] = Result{Err: err}
+			done[i] = true
+			continue
+		}
+		key := cacheKey{
+			measure: canonical(q.Measure),
+			gen:     registryGeneration(),
+			params:  eng.cfg.cacheParams(),
+			node:    q.Node,
+		}
+		keys[i] = key
+		if scores, ok := e.cache.get(key); ok {
+			finish(i, scores, true)
+			continue
+		}
+		builtin, _, err := eng.builtinName(q.Measure)
+		if err != nil {
+			results[i] = Result{Err: err}
+			done[i] = true
+			continue
+		}
+		kernel := blockKernelFor(builtin)
+		if kernel == blockNone {
+			rest = append(rest, i)
+			continue
+		}
+		gk := groupKey{kernel: kernel, params: key.params}
+		g := groups[gk]
+		if g == nil {
+			g = &group{eng: eng}
+			groups[gk] = g
+		}
+		g.idx = append(g.idx, i)
+		g.keys = append(g.keys, key)
+	}
+
+	// Phase 2: one blocked run per group, deduplicating nodes repeated
+	// within the group and chunked to bound workspace memory. The blocked
+	// kernels are row-parallel internally, so groups run sequentially.
+	for gk, g := range groups {
+		// Distinct nodes in first-appearance order; queryOf[node] lists the
+		// group positions wanting that node.
+		var nodes []int
+		queryOf := make(map[int][]int)
+		for pos, i := range g.idx {
+			node := queries[i].Node
+			if _, seen := queryOf[node]; !seen {
+				nodes = append(nodes, node)
+			}
+			queryOf[node] = append(queryOf[node], pos)
+		}
+		for lo := 0; lo < len(nodes); lo += blockColumns {
+			hi := lo + blockColumns
+			if hi > len(nodes) {
+				hi = len(nodes)
+			}
+			block, err := g.eng.runBlock(ctx, gk.kernel, nodes[lo:hi])
+			if err != nil {
+				for _, node := range nodes[lo:hi] {
+					for _, pos := range queryOf[node] {
+						results[g.idx[pos]] = Result{Err: err}
+						done[g.idx[pos]] = true
+					}
+				}
+				continue
+			}
+			for t, node := range nodes[lo:hi] {
+				for dup, pos := range queryOf[node] {
+					scores := block[t]
+					if dup > 0 {
+						// Duplicate queries each own their slice; the first
+						// takes the kernel's, the rest take copies.
+						scores = append([]float64(nil), block[t]...)
+					}
+					e.cache.put(g.keys[pos], scores)
+					finish(g.idx[pos], scores, false)
+				}
+			}
+		}
+	}
+
+	// Phase 3: fan the unblockable remainder across the worker pool. Like
+	// the blocked path, duplicate queries (same cache key) compute once:
+	// one representative per key runs, the rest share its result.
+	dup := make(map[cacheKey][]int)
+	var uniq []int
+	for _, i := range rest {
+		if _, seen := dup[keys[i]]; !seen {
+			uniq = append(uniq, i)
+		}
+		dup[keys[i]] = append(dup[keys[i]], i)
+	}
+	par.ForEachCtx(ctx, len(uniq), e.cfg.workers, func(j int) {
+		i := uniq[j]
+		scores, cached, err := engs[i].singleSource(ctx, queries[i].Measure, queries[i].Node)
+		for d, ii := range dup[keys[i]] {
+			switch {
+			case err != nil:
+				results[ii] = Result{Err: err}
+				done[ii] = true
+			case d == 0:
+				finish(ii, scores, cached)
+			default:
+				finish(ii, append([]float64(nil), scores...), cached)
+			}
+		}
+	})
+
+	// Queries the pool never dispatched (cancelled mid-batch) still owe the
+	// caller an answer.
+	for i := range results {
+		if !done[i] {
+			results[i] = Result{Err: ctx.Err()}
+		}
+	}
+	return results
+}
+
+// runBlock answers one chunk of same-kernel, same-parameter queries with the
+// blocked multi-source kernel over the engine's cached structures.
+func (e *Engine) runBlock(ctx context.Context, kernel blockKernel, nodes []int) ([][]float64, error) {
+	var backwardT, forwardT *sparse.CSR
+	switch kernel {
+	case blockGeometric, blockExponential:
+		backwardT, _ = e.transposed()
+	case blockRWR:
+		_, forwardT = e.transposed()
+	}
+	switch kernel {
+	case blockGeometric:
+		return core.MultiSourceGeometricFromTransition(ctx, e.backward, backwardT, nodes, e.cfg.coreOptions())
+	case blockExponential:
+		return core.MultiSourceExponentialFromTransition(ctx, e.backward, backwardT, nodes, e.cfg.coreOptions())
+	case blockRWR:
+		return rwr.MultiSourceFromTransition(ctx, e.forward, forwardT, nodes, e.cfg.rwrOptions())
+	}
+	panic("simstar: unreachable block kernel")
+}

@@ -76,6 +76,52 @@ func BenchmarkSingleSourceRWRRebuildPerCall(b *testing.B) {
 	}
 }
 
+// The batch layer's reason to exist: the same queries through MultiSource
+// versus a serial SingleSource loop. Both run with the result cache
+// disabled, so the gap is the blocked kernels (one SpMM sweep per iteration
+// for the whole block instead of one matvec per query) plus, on multi-core
+// hosts, the worker fan-out — not cache hits. Compare:
+//
+//	go test ./simstar -bench 'Batch' -benchmem
+const batchBenchQueries = 64
+
+func benchBatch(b *testing.B) (*simstar.Engine, []simstar.Query) {
+	b.Helper()
+	g := benchmarkGraph(b)
+	eng := simstar.NewEngine(g, simstar.WithC(0.6), simstar.WithK(5), simstar.WithCacheSize(-1))
+	queries := make([]simstar.Query, batchBenchQueries)
+	for i := range queries {
+		queries[i] = simstar.Query{Measure: simstar.MeasureGeometric, Node: (i * 37) % g.N()}
+	}
+	return eng, queries
+}
+
+func BenchmarkBatchMultiSource(b *testing.B) {
+	eng, queries := benchBatch(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range eng.MultiSource(ctx, queries) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchSerialSingleSource(b *testing.B) {
+	eng, queries := benchBatch(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := eng.SingleSource(ctx, q.Measure, q.Node); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // TopK on top of a cached single-source query: the full serving path.
 func BenchmarkEngineTopK(b *testing.B) {
 	g := benchmarkGraph(b)

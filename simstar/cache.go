@@ -1,0 +1,143 @@
+package simstar
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheSize is the capacity, in cached score vectors, of an Engine's
+// single-source result cache when WithCacheSize is not given.
+const DefaultCacheSize = 256
+
+// cacheKey identifies one cached single-source result. Two queries share an
+// entry exactly when they resolve to the same canonical measure under the
+// same registry generation, with the same numeric parameters, for the same
+// query node. config is a flat struct of comparable fields, so the key is
+// usable as a map key directly; the serving-only knobs (workers, cache
+// capacity) are stripped by cacheParams first.
+type cacheKey struct {
+	measure string
+	gen     uint64
+	params  config
+	node    int
+}
+
+// cacheEntry is what the LRU list holds.
+type cacheEntry struct {
+	key    cacheKey
+	scores []float64
+}
+
+// CacheStats reports the state and lifetime counters of an Engine's
+// single-source result cache.
+type CacheStats struct {
+	// Capacity is the maximum number of score vectors kept; 0 when the
+	// cache is disabled.
+	Capacity int
+	// Size is the number of score vectors currently cached.
+	Size int
+	// Hits and Misses count lookups since the cache was created or last
+	// purged. Evictions counts entries dropped to stay within Capacity.
+	Hits, Misses, Evictions uint64
+}
+
+// resultCache is a mutex-guarded LRU over single-source score vectors. The
+// Engine's other caches (transitions, compression) are immutable and need no
+// locking; this one is the first mutable shared state on the query path, so
+// every access goes through mu.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	items    map[cacheKey]*list.Element
+	lru      list.List // front = most recently used; values are *cacheEntry
+	stats    CacheStats
+}
+
+// newResultCache returns a cache bounded to capacity entries, or nil when
+// capacity < 0 (every method tolerates a nil receiver, reading as a miss).
+func newResultCache(capacity int) *resultCache {
+	if capacity < 0 {
+		return nil
+	}
+	if capacity == 0 {
+		capacity = DefaultCacheSize
+	}
+	c := &resultCache{capacity: capacity, items: make(map[cacheKey]*list.Element)}
+	c.lru.Init()
+	return c
+}
+
+// get returns a copy of the cached vector for key, if present. Copying on
+// the way out keeps callers free to mutate what they receive — the same
+// contract Scores.Row and the kernels already give.
+func (c *resultCache) get(key cacheKey) ([]float64, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.stats.Hits++
+	c.lru.MoveToFront(el)
+	src := el.Value.(*cacheEntry).scores
+	c.mu.Unlock()
+	// Stored vectors are immutable — put swaps the slice, never writes into
+	// it — so the O(n) copy happens outside the lock and concurrent hits
+	// don't serialise behind each other's memcpy.
+	out := make([]float64, len(src))
+	copy(out, src)
+	return out, true
+}
+
+// put stores a copy of scores under key, evicting from the LRU tail to stay
+// within capacity.
+func (c *resultCache) put(key cacheKey, scores []float64) {
+	if c == nil {
+		return
+	}
+	cp := make([]float64, len(scores))
+	copy(cp, scores)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).scores = cp
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.lru.PushFront(&cacheEntry{key: key, scores: cp})
+	for len(c.items) > c.capacity {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// purge drops every entry and resets the counters.
+func (c *resultCache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[cacheKey]*list.Element)
+	c.lru.Init()
+	c.stats = CacheStats{}
+}
+
+// snapshot returns the current stats.
+func (c *resultCache) snapshot() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Capacity = c.capacity
+	st.Size = len(c.items)
+	return st
+}

@@ -1,0 +1,211 @@
+package simstar_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/simstar"
+)
+
+// First query computes (a miss), the identical repeat is served from the
+// cache (a hit) — and byte-for-byte equal.
+func TestCacheHitMiss(t *testing.T) {
+	g := toyGraph(t)
+	ctx := context.Background()
+	eng := simstar.NewEngine(g, simstar.WithK(5))
+	first, err := eng.SingleSource(ctx, simstar.MeasureGeometric, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.CacheStats()
+	if st.Misses != 1 || st.Hits != 0 || st.Size != 1 {
+		t.Fatalf("after first query: %+v, want 1 miss, 0 hits, size 1", st)
+	}
+	second, err := eng.SingleSource(ctx, simstar.MeasureGeometric, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = eng.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("after repeat: %+v, want 1 hit, 1 miss", st)
+	}
+	for j := range first {
+		if first[j] != second[j] {
+			t.Fatalf("cached result differs at %d: %g vs %g", j, first[j], second[j])
+		}
+	}
+	// A different node, measure, or parameter set is a different key.
+	if _, err := eng.SingleSource(ctx, simstar.MeasureGeometric, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SingleSource(ctx, simstar.MeasureRWR, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.With(simstar.WithK(2)).SingleSource(ctx, simstar.MeasureGeometric, 1); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.CacheStats()
+	if st.Hits != 1 || st.Misses != 4 || st.Size != 4 {
+		t.Fatalf("after distinct keys: %+v, want 1 hit, 4 misses, size 4", st)
+	}
+}
+
+// Mutating a returned slice must not poison the cache.
+func TestCacheReturnsPrivateCopies(t *testing.T) {
+	g := toyGraph(t)
+	ctx := context.Background()
+	eng := simstar.NewEngine(g, simstar.WithK(5))
+	a, _ := eng.SingleSource(ctx, simstar.MeasureGeometric, 0)
+	want := a[0]
+	a[0] = -1
+	b, _ := eng.SingleSource(ctx, simstar.MeasureGeometric, 0)
+	if b[0] != want {
+		t.Fatalf("cache served a mutated vector: got %g, want %g", b[0], want)
+	}
+	b[0] = -2
+	c, _ := eng.SingleSource(ctx, simstar.MeasureGeometric, 0)
+	if c[0] != want {
+		t.Fatalf("cache hit returned a shared slice: got %g, want %g", c[0], want)
+	}
+}
+
+// The cache is size-bounded: old entries are evicted LRU-first.
+func TestCacheEviction(t *testing.T) {
+	g := toyGraph(t)
+	ctx := context.Background()
+	eng := simstar.NewEngine(g, simstar.WithK(5), simstar.WithCacheSize(2))
+	for q := 0; q < 3; q++ {
+		if _, err := eng.SingleSource(ctx, simstar.MeasureGeometric, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.CacheStats()
+	if st.Size != 2 || st.Capacity != 2 || st.Evictions != 1 {
+		t.Fatalf("after 3 inserts into capacity 2: %+v", st)
+	}
+	// Node 0 was evicted; nodes 1 and 2 are resident.
+	if _, err := eng.SingleSource(ctx, simstar.MeasureGeometric, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.CacheStats().Hits; got != 1 {
+		t.Fatalf("resident entry was not a hit: %+v", eng.CacheStats())
+	}
+	if _, err := eng.SingleSource(ctx, simstar.MeasureGeometric, 0); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.CacheStats()
+	if st.Hits != 1 || st.Evictions != 2 {
+		t.Fatalf("evicted entry was served as a hit: %+v", st)
+	}
+}
+
+// WithCacheSize(-1) disables the cache entirely.
+func TestCacheDisabled(t *testing.T) {
+	g := toyGraph(t)
+	ctx := context.Background()
+	eng := simstar.NewEngine(g, simstar.WithK(5), simstar.WithCacheSize(-1))
+	for i := 0; i < 3; i++ {
+		if _, err := eng.SingleSource(ctx, simstar.MeasureGeometric, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := eng.CacheStats(); st != (simstar.CacheStats{}) {
+		t.Fatalf("disabled cache reports activity: %+v", st)
+	}
+}
+
+// Engines derived with With share the cache, so a With(K=2) answer warms the
+// cache for any other engine view asking the same question.
+func TestCacheSharedAcrossWith(t *testing.T) {
+	g := toyGraph(t)
+	ctx := context.Background()
+	eng := simstar.NewEngine(g, simstar.WithK(5))
+	if _, err := eng.With(simstar.WithK(2)).SingleSource(ctx, simstar.MeasureGeometric, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.With(simstar.WithK(2)).SingleSource(ctx, simstar.MeasureGeometric, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("With-derived engines do not share the cache: %+v", st)
+	}
+}
+
+// Worker count and cache capacity are serving knobs: they must not split the
+// cache key space.
+func TestCacheKeyIgnoresServingKnobs(t *testing.T) {
+	g := toyGraph(t)
+	ctx := context.Background()
+	eng := simstar.NewEngine(g, simstar.WithK(5))
+	if _, err := eng.SingleSource(ctx, simstar.MeasureGeometric, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.With(simstar.WithWorkers(3)).SingleSource(ctx, simstar.MeasureGeometric, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.Hits != 1 {
+		t.Fatalf("WithWorkers changed the cache key: %+v", st)
+	}
+}
+
+// namedConstant is constantMeasure under a registrable name, so the
+// registry conformance sweep (which asserts Name() matches the key) stays
+// happy with test registrations from this file.
+type namedConstant struct {
+	constantMeasure
+	name string
+}
+
+func (m namedConstant) Name() string { return m.name }
+
+// Re-registering a measure name must invalidate cached results for it: the
+// registry generation is part of the key.
+func TestCacheInvalidatedByRegistryOverride(t *testing.T) {
+	const name = "test-cache-gen"
+	simstar.Register(name, func(opts ...simstar.Option) simstar.Measure {
+		return namedConstant{name: name}
+	})
+	g := toyGraph(t)
+	ctx := context.Background()
+	eng := simstar.NewEngine(g)
+	if _, err := eng.SingleSource(ctx, name, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SingleSource(ctx, name, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.Hits != 1 {
+		t.Fatalf("warm-up did not hit: %+v", st)
+	}
+	simstar.Register(name, func(opts ...simstar.Option) simstar.Measure {
+		return namedConstant{name: name}
+	})
+	if _, err := eng.SingleSource(ctx, name, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("re-registration served a stale cache entry: %+v", st)
+	}
+}
+
+// PurgeCache empties the cache and resets the counters.
+func TestCachePurge(t *testing.T) {
+	g := toyGraph(t)
+	ctx := context.Background()
+	eng := simstar.NewEngine(g, simstar.WithK(5))
+	if _, err := eng.SingleSource(ctx, simstar.MeasureGeometric, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.PurgeCache()
+	st := eng.CacheStats()
+	if st.Size != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("after purge: %+v", st)
+	}
+	if _, err := eng.SingleSource(ctx, simstar.MeasureGeometric, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("purged entry still resident: %+v", st)
+	}
+}

@@ -3,6 +3,7 @@ package simstar
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/biclique"
@@ -29,9 +30,11 @@ func compress(g *Graph, cfg config) *biclique.Compressed {
 //
 // Standalone Measure calls rebuild those structures on every invocation —
 // an O(m) (and for the compression, far worse) cost that a system serving
-// heavy query traffic cannot pay per request. All cached structures are
-// immutable after construction, so an Engine serves concurrent
-// SingleSource / TopK / AllPairs queries without locking.
+// heavy query traffic cannot pay per request. The preprocessed structures
+// are immutable after construction; the only mutable state is the
+// internally-synchronised single-source result cache, so an Engine serves
+// concurrent SingleSource / TopK / AllPairs / MultiSource / BatchTopK
+// queries safely without external locking.
 type Engine struct {
 	g    *Graph
 	cfg  config
@@ -41,11 +44,43 @@ type Engine struct {
 	forward  *sparse.CSR          // W: row-normalised adjacency
 	comp     *biclique.Compressed // edge-concentration compression
 
+	// cache holds recent single-source score vectors, keyed by (canonical
+	// measure, registry generation, parameters, query node). It is the one
+	// mutable structure the engine owns; it is shared — not copied — by the
+	// engines With returns, since they serve the same graph. A graph change
+	// means a new Engine and therefore a fresh, empty cache.
+	cache *resultCache
+
+	// tr holds the lazily-materialised transposes of the transition
+	// matrices, built on the first batch query (the blocked kernels want
+	// gather-form sweeps in both directions). Shared by pointer so engines
+	// derived through With reuse it and the sync.Once is never copied.
+	tr *transposes
+
 	stats EngineStats
+}
+
+// transposes is the Engine's lazily-built pair Qᵀ, Wᵀ.
+type transposes struct {
+	once      sync.Once
+	backwardT *sparse.CSR
+	forwardT  *sparse.CSR
+}
+
+// transposed returns the materialised transposes, building them on first
+// use. The O(m) build is paid once per engine graph, like the transitions
+// themselves, but only by callers of the batch paths.
+func (e *Engine) transposed() (backwardT, forwardT *sparse.CSR) {
+	e.tr.once.Do(func() {
+		e.tr.backwardT = e.backward.Transpose()
+		e.tr.forwardT = e.forward.Transpose()
+	})
+	return e.tr.backwardT, e.tr.forwardT
 }
 
 // EngineStats reports what NewEngine built and how long it took.
 type EngineStats struct {
+	// Nodes and Edges are the size of the served graph.
 	Nodes, Edges int
 	// CompressedEdges is m̃, the edge count of the compressed bigraph.
 	CompressedEdges int
@@ -53,9 +88,9 @@ type EngineStats struct {
 	ConcentrationNodes int
 	// CompressionRatio is (1 − m̃/m)·100%.
 	CompressionRatio float64
-	// TransitionTime covers building both CSR transition matrices;
+	// TransitionTime covers building both CSR transition matrices.
+	TransitionTime time.Duration
 	// CompressionTime covers the biclique mining.
-	TransitionTime  time.Duration
 	CompressionTime time.Duration
 }
 
@@ -63,6 +98,8 @@ type EngineStats struct {
 // options become the engine's defaults for every query it serves.
 func NewEngine(g *Graph, opts ...Option) *Engine {
 	e := &Engine{g: g, cfg: buildConfig(opts), opts: opts}
+	e.cache = newResultCache(e.cfg.cacheSize)
+	e.tr = &transposes{}
 	t0 := time.Now()
 	e.backward = sparse.BackwardTransition(g)
 	e.forward = sparse.ForwardTransition(g)
@@ -98,6 +135,19 @@ func (e *Engine) With(opts ...Option) *Engine {
 // Stats returns the preprocessing summary.
 func (e *Engine) Stats() EngineStats { return e.stats }
 
+// CacheStats returns the current state and lifetime counters of the
+// single-source result cache. Engines derived through With share the
+// receiver's cache and therefore report the same stats.
+func (e *Engine) CacheStats() CacheStats { return e.cache.snapshot() }
+
+// PurgeCache drops every cached single-source result and resets the cache
+// counters. Queries in flight are unaffected. There is normally no reason to
+// call this — the cache can never serve a stale answer for this engine's
+// graph, because the graph is immutable and re-registered measure names are
+// versioned out by the registry generation — but a server may want it to
+// release memory or to start a measurement epoch clean.
+func (e *Engine) PurgeCache() { e.cache.purge() }
+
 // builtinName resolves measureName through the registry and reports the
 // canonical built-in name it denotes, or "" when the name is bound to a
 // user-registered implementation — a re-registered built-in name must get
@@ -114,12 +164,43 @@ func (e *Engine) builtinName(measureName string) (string, Measure, error) {
 }
 
 // SingleSource returns the scores of query node q against every node under
-// the named measure, served from the cached structures where the measure
-// supports it.
+// the named measure. It is served from the cached transition structures
+// where the measure supports it, and from the result cache when the same
+// (measure, parameters, node) was answered recently. The returned slice is
+// the caller's to keep and mutate.
 func (e *Engine) SingleSource(ctx context.Context, measureName string, q int) ([]float64, error) {
+	scores, _, err := e.singleSource(ctx, measureName, q)
+	return scores, err
+}
+
+// singleSource is SingleSource plus a flag reporting whether the result came
+// out of the result cache — surfaced through batch Results and simserve
+// responses.
+func (e *Engine) singleSource(ctx context.Context, measureName string, q int) ([]float64, bool, error) {
 	if err := e.checkQuery(ctx, q); err != nil {
-		return nil, err
+		return nil, false, err
 	}
+	key := cacheKey{
+		measure: canonical(measureName),
+		gen:     registryGeneration(),
+		params:  e.cfg.cacheParams(),
+		node:    q,
+	}
+	if scores, ok := e.cache.get(key); ok {
+		return scores, true, nil
+	}
+	scores, err := e.computeSingleSource(ctx, measureName, q)
+	if err != nil {
+		return nil, false, err
+	}
+	e.cache.put(key, scores)
+	return scores, false, nil
+}
+
+// computeSingleSource is the uncached single-source path: the engine fast
+// paths over the cached transition matrices for the built-in measures, the
+// measure's own implementation otherwise.
+func (e *Engine) computeSingleSource(ctx context.Context, measureName string, q int) ([]float64, error) {
 	builtin, m, err := e.builtinName(measureName)
 	if err != nil {
 		return nil, err
@@ -140,7 +221,11 @@ func (e *Engine) SingleSource(ctx context.Context, measureName string, q int) ([
 
 // TopK returns the k nodes most similar to q under the named measure,
 // excluding q itself and any nodes in exclude (e.g. existing neighbours
-// when recommending new links). Ties break by node id.
+// when recommending new links). Ties break by node id. The boundary cases
+// follow the package-level TopK: k <= 0 yields an empty result, k larger
+// than the candidate count yields every candidate. The underlying score
+// vector goes through the result cache, so a TopK after a SingleSource of
+// the same (measure, parameters, node) is a cache hit.
 func (e *Engine) TopK(ctx context.Context, measureName string, q, k int, exclude ...int) ([]Ranked, error) {
 	scores, err := e.SingleSource(ctx, measureName, q)
 	if err != nil {

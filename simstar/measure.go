@@ -22,8 +22,12 @@ import (
 // without a cheaper native single-source form derive the row from an
 // all-pairs run.
 type Measure interface {
+	// Name returns the name the measure answers to in the registry.
 	Name() string
+	// AllPairs computes the full n×n similarity matrix over g.
 	AllPairs(ctx context.Context, g *Graph) (*Scores, error)
+	// SingleSource computes the scores of query node q against every node
+	// of g — row q of AllPairs, usually at far lower cost.
 	SingleSource(ctx context.Context, g *Graph, q int) ([]float64, error)
 }
 

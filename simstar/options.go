@@ -26,6 +26,20 @@ type config struct {
 	delta  float64
 	rank   int
 	miner  MinerOptions
+	// Engine-only knobs. These shape how queries are served, never what
+	// they return, and are therefore excluded from result-cache keys
+	// (see (config).cacheParams).
+	workers   int
+	cacheSize int
+}
+
+// cacheParams strips the serving knobs so that two configs computing the
+// same numbers share one result-cache key regardless of worker count or
+// cache capacity.
+func (cfg config) cacheParams() config {
+	cfg.workers = 0
+	cfg.cacheSize = 0
+	return cfg
 }
 
 // MinerOptions controls the biclique miner behind the memoized SimRank*
@@ -80,6 +94,17 @@ func WithLambda(l float64) Option { return func(cfg *config) { cfg.lambda = l } 
 // solver (entries below δ are dropped during iteration, not after).
 // Default 1e-4. Only the sparse measure reads it.
 func WithDelta(d float64) Option { return func(cfg *config) { cfg.delta = d } }
+
+// WithWorkers bounds the concurrency of the Engine's batch queries
+// (MultiSource, BatchTopK). 0, the default, means one worker per CPU.
+// Only the Engine reads it; it never changes what a query returns.
+func WithWorkers(n int) Option { return func(cfg *config) { cfg.workers = n } }
+
+// WithCacheSize sets the capacity, in entries, of the Engine's single-source
+// result cache. 0, the default, means DefaultCacheSize; a negative value
+// disables the cache. Only the Engine reads it; it never changes what a
+// query returns.
+func WithCacheSize(n int) Option { return func(cfg *config) { cfg.cacheSize = n } }
 
 func buildConfig(opts []Option) config {
 	var cfg config

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Factory instantiates a Measure with the given options. Factories rather
@@ -20,6 +21,13 @@ var registry = struct {
 	aliases:   make(map[string]string),
 }
 
+// regGen counts registry mutations. Engine result caches fold the current
+// generation into their keys, so re-registering a name (or re-pointing an
+// alias) can never serve a result computed by the previous implementation.
+var regGen atomic.Uint64
+
+func registryGeneration() uint64 { return regGen.Load() }
+
 // Register adds a measure factory under a name (case-insensitive). Tools
 // and servers select measures by these names; registering an existing name
 // replaces the previous factory, so applications may override built-ins.
@@ -30,6 +38,7 @@ func Register(name string, f Factory) {
 	registry.Lock()
 	defer registry.Unlock()
 	registry.factories[strings.ToLower(name)] = f
+	regGen.Add(1)
 }
 
 // RegisterAlias makes alias resolve to the measure registered under name.
@@ -37,6 +46,7 @@ func RegisterAlias(alias, name string) {
 	registry.Lock()
 	defer registry.Unlock()
 	registry.aliases[strings.ToLower(alias)] = strings.ToLower(name)
+	regGen.Add(1)
 }
 
 // canonical resolves aliases and case to the registered name.

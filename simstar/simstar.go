@@ -14,11 +14,27 @@
 //     reused by every query. The measures rebuild these structures per
 //     call; the Engine is what makes heavy query traffic affordable.
 //
+// On top of the Engine sits the batch layer a serving system talks to:
+// MultiSource and BatchTopK answer many single-source queries in one call,
+// serving repeats from a size-bounded LRU result cache, stacking
+// same-measure queries into blocked kernels (one sparse sweep per iteration
+// for the whole block), and fanning the rest across a worker pool. Batching
+// changes the cost of a query, never its answer. cmd/simserve exposes all
+// of this over HTTP/JSON; ARCHITECTURE.md in the repository root draws the
+// full picture.
+//
 // Quickstart:
 //
 //	g, _ := simstar.ReadGraph(f)
 //	eng := simstar.NewEngine(g, simstar.WithC(0.6), simstar.WithK(8))
 //	top, _ := eng.TopK(ctx, simstar.MeasureGeometric, query, 10)
+//
+// a batch, with a per-query override:
+//
+//	results := eng.BatchTopK(ctx, []simstar.Query{
+//		{Measure: simstar.MeasureGeometric, Node: a, K: 10},
+//		{Measure: simstar.MeasureRWR, Node: b, K: 5, Opts: []simstar.Option{simstar.WithK(12)}},
+//	})
 //
 // or, without an engine, through the registry:
 //

@@ -75,4 +75,20 @@ func TestTopKEdgeCases(t *testing.T) {
 	if len(got) != 2 || got[0].Node != 2 || got[1].Node != 0 {
 		t.Fatalf("k>n: got %+v", got)
 	}
+	// k exactly the candidate count behaves like k>n.
+	got = simstar.TopK([]float64{0.1, 0.9, 0.5}, 2, 1)
+	if len(got) != 2 || got[0].Node != 2 || got[1].Node != 0 {
+		t.Fatalf("k==candidates: got %+v", got)
+	}
+	// An absurd k is clamped before allocation: this must complete without
+	// attempting a multi-terabyte heap (the documented "give me everything"
+	// contract).
+	got = simstar.TopK([]float64{0.3, 0.7}, 1<<40)
+	if len(got) != 2 || got[0].Node != 1 {
+		t.Fatalf("huge k: got %+v", got)
+	}
+	// Excluding every node leaves nothing, whatever k says.
+	if got := simstar.TopK([]float64{1, 2}, 5, 0, 1); len(got) != 0 {
+		t.Fatalf("all excluded: got %+v", got)
+	}
 }
