@@ -1,5 +1,7 @@
 // Command gengraph writes synthetic graphs in the edge-list format read by
-// simtool — the GTgraph stand-in of the paper's synthetic experiments.
+// simtool — the GTgraph stand-in of the paper's synthetic experiments — and,
+// with -edits, a companion mutation stream ("+ u v" / "- u v" lines) for
+// exercising the dynamic-graph path in benchmarks and examples.
 //
 // Usage:
 //
@@ -7,14 +9,22 @@
 //	gengraph -kind rmat    -scale 10 -ef 8
 //	gengraph -kind citation -n 1000 -avgout 6
 //	gengraph -kind preset  -name CitHepTh-s
+//	gengraph -kind er -n 1000 -m 10000 -o base.txt -edits 100 -editsout base.edits
+//
+// The mutation stream alternates deletions of random existing edges with
+// insertions of random absent ones, tracked against the evolving edge set,
+// so replaying it against the base graph exercises genuine churn (every
+// delete hits, every insert adds).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"repro/internal/dataset"
+	"repro/internal/dyngraph"
 	"repro/simstar"
 )
 
@@ -28,7 +38,13 @@ func main() {
 	name := flag.String("name", "CitHepTh-s", "preset name (preset)")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("o", "", "output file (default stdout)")
+	edits := flag.Int("edits", 0, "also emit a mutation stream of this many edits")
+	editsOut := flag.String("editsout", "", "mutation stream output file (required with -edits)")
 	flag.Parse()
+
+	if *edits > 0 && *editsOut == "" {
+		fatal("-edits requires -editsout")
+	}
 
 	var g *simstar.Graph
 	switch *kind {
@@ -61,6 +77,65 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "gengraph: %d nodes, %d edges (density %.2f)\n", g.N(), g.M(), g.Density())
+
+	if *edits > 0 {
+		stream := mutationStream(g, *edits, *seed)
+		f, err := os.Create(*editsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dyngraph.WriteEdits(f, stream); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gengraph: %d edits → %s\n", len(stream), *editsOut)
+	}
+}
+
+// mutationStream derives a churn workload from g: alternating deletions of
+// random edges still present and insertions of random edges still absent,
+// tracked against the evolving set so the stream replays without no-ops.
+func mutationStream(g *simstar.Graph, count int, seed int64) []dyngraph.Edit {
+	rng := rand.New(rand.NewSource(seed + 1))
+	set := make(map[[2]int]bool, g.M())
+	var present [][2]int
+	g.Edges(func(u, v int) {
+		set[[2]int{u, v}] = true
+		present = append(present, [2]int{u, v})
+	})
+	n := g.N()
+	stream := make([]dyngraph.Edit, 0, count)
+	for i := 0; i < count; i++ {
+		if i%2 == 0 && len(present) > 0 {
+			j := rng.Intn(len(present))
+			e := present[j]
+			present[j] = present[len(present)-1]
+			present = present[:len(present)-1]
+			if !set[e] { // already deleted by an earlier pick
+				i--
+				continue
+			}
+			delete(set, e)
+			stream = append(stream, dyngraph.Delete(e[0], e[1]))
+			continue
+		}
+		for tries := 0; ; tries++ {
+			e := [2]int{rng.Intn(n), rng.Intn(n)}
+			if !set[e] {
+				set[e] = true
+				present = append(present, e)
+				stream = append(stream, dyngraph.Insert(e[0], e[1]))
+				break
+			}
+			if tries > 64 { // dense graph: give up on this slot
+				break
+			}
+		}
+	}
+	return stream
 }
 
 func fatal(v interface{}) {

@@ -3,24 +3,34 @@
 // Engine's amortised preprocessing and the MultiSource/BatchTopK batch
 // paths. One process serves one graph at a time; loading a new graph swaps
 // in a freshly-preprocessed engine (and with it a fresh result cache)
-// without interrupting queries already running against the old one.
+// without interrupting queries already running against the old one, and
+// streamed edge mutations evolve the served graph in place through the
+// dyngraph versioned store — each batch materialises a new epoch whose
+// preprocessing is refreshed incrementally, never rebuilt.
 //
 // Endpoints:
 //
-//	GET  /healthz          liveness + whether a graph is loaded
-//	GET  /v1/measures      registered measure names
-//	GET  /v1/stats         engine preprocessing + result-cache + process stats
-//	POST /v1/graph         load/replace the graph (JSON edges or text edge list)
-//	POST /v1/query/single  one single-source score vector
-//	POST /v1/query/topk    one ranked top-k query
-//	POST /v1/query/batch   many queries in one request (mode: scores | topk)
+//	GET    /healthz          liveness + whether a graph is loaded
+//	GET    /v1/measures      registered measure names
+//	GET    /v1/stats         engine preprocessing + epoch + result-cache + process stats
+//	POST   /v1/graph         load/replace the graph (JSON edges or text edge list)
+//	POST   /v1/edges         stream edge mutations ({"insert": [[u,v]...], "delete": [[u,v]...]})
+//	DELETE /v1/edges         remove edges ({"edges": [[u,v]...]})
+//	POST   /v1/snapshot      persist the current epoch to the -snapshot path
+//	POST   /v1/query/single  one single-source score vector
+//	POST   /v1/query/topk    one ranked top-k query
+//	POST   /v1/query/batch   many queries in one request (mode: scores | topk)
+//
+// With -snapshot, a binary image written by POST /v1/snapshot is reloaded at
+// the next start (epoch included), so the server warm-restarts without
+// re-parsing an edge list or replaying mutations.
 //
 // Each request's context flows into the iterative kernels, so a client
 // disconnect aborts the computation mid-iteration. SIGINT/SIGTERM drain
 // in-flight requests before exit (bounded by -drain).
 //
 // See README.md for curl examples and ARCHITECTURE.md for the request
-// lifecycle.
+// lifecycle and the dyngraph epoch design.
 package main
 
 import (
@@ -41,23 +51,17 @@ import (
 func main() {
 	addr := flag.String("addr", ":8451", "listen address")
 	graphPath := flag.String("graph", "", "edge-list file to serve at startup (optional; POST /v1/graph works any time)")
+	snapPath := flag.String("snapshot", "", "binary snapshot path: loaded at startup if present (overriding -graph), written by POST /v1/snapshot")
 	c := flag.Float64("c", 0, "damping factor for the startup engine (0 = paper default)")
 	k := flag.Int("k", 0, "iteration count for the startup engine (0 = paper default)")
 	cacheSize := flag.Int("cache", 0, "result-cache capacity in entries (0 = default, negative = disabled)")
+	epochEvery := flag.Int("epoch-interval", 0, "edits buffered before materialising a graph epoch (<=1 = every mutation request)")
 	drain := flag.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
 	srv := newServer()
-	if *graphPath != "" {
-		f, err := os.Open(*graphPath)
-		if err != nil {
-			log.Fatalf("simserve: %v", err)
-		}
-		g, err := simstar.ReadGraph(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("simserve: %s: %v", *graphPath, err)
-		}
+	srv.snapPath = *snapPath
+	opts := func() []simstar.Option {
 		var opts []simstar.Option
 		if *c > 0 {
 			opts = append(opts, simstar.WithC(*c))
@@ -68,15 +72,74 @@ func main() {
 		if *cacheSize != 0 {
 			opts = append(opts, simstar.WithCacheSize(*cacheSize))
 		}
-		eng := simstar.NewEngine(g, opts...)
-		srv.swap(eng)
-		st := eng.Stats()
-		log.Printf("simserve: serving %s: %d nodes, %d edges (compression %.1f%% in %v)",
-			*graphPath, st.Nodes, st.Edges, st.CompressionRatio, st.CompressionTime.Round(time.Millisecond))
+		if *epochEvery > 1 {
+			opts = append(opts, simstar.WithEpochInterval(*epochEvery))
+		}
+		return opts
 	}
 
+	// Startup graph: a warm-restart snapshot wins over -graph, because it is
+	// the later state — it carries the epochs of every mutation served since
+	// the edge list was first loaded.
+	switch {
+	case *snapPath != "", *graphPath != "":
+		var (
+			g     *simstar.Graph
+			epoch uint64
+			src   string
+			err   error
+		)
+		if *snapPath != "" {
+			g, epoch, err = loadSnapshot(*snapPath)
+			src = *snapPath
+			if err != nil && !os.IsNotExist(err) {
+				log.Fatalf("simserve: %s: %v", *snapPath, err)
+			}
+		}
+		if g == nil && *graphPath != "" {
+			g, err = loadEdgeList(*graphPath)
+			src = *graphPath
+			if err != nil {
+				log.Fatalf("simserve: %s: %v", *graphPath, err)
+			}
+		}
+		if g != nil {
+			eng := simstar.NewEngine(g, append(opts(), simstar.WithBaseEpoch(epoch))...)
+			srv.swap(eng)
+			st := eng.Stats()
+			log.Printf("simserve: serving %s: %d nodes, %d edges, epoch %d (compression %.1f%% in %v)",
+				src, st.Nodes, st.Edges, st.Epoch, st.CompressionRatio, st.CompressionTime.Round(time.Millisecond))
+		}
+	}
+
+	runServer(srv, *addr, *drain)
+}
+
+// loadEdgeList reads a startup graph in the text edge-list format.
+func loadEdgeList(path string) (*simstar.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return simstar.ReadGraph(f)
+}
+
+// loadSnapshot reads a warm-restart binary snapshot; a missing file is
+// reported with os.IsNotExist so the caller can fall back to -graph.
+func loadSnapshot(path string) (*simstar.Graph, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return simstar.ReadSnapshot(f)
+}
+
+// runServer serves until SIGINT/SIGTERM, then drains.
+func runServer(srv *server, addr string, drain time.Duration) {
 	httpSrv := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           srv.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -85,15 +148,15 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("simserve: listening on %s", *addr)
+	log.Printf("simserve: listening on %s", addr)
 
 	select {
 	case err := <-errc:
 		log.Fatalf("simserve: %v", err)
 	case <-ctx.Done():
 	}
-	log.Printf("simserve: shutting down (draining up to %v)", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	log.Printf("simserve: shutting down (draining up to %v)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		// Drain window exhausted: cut the stragglers' connections, which

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -29,6 +30,12 @@ type server struct {
 	loaded  time.Time
 	started time.Time
 	served  atomic.Int64
+
+	// snapPath, when set with -snapshot, is where POST /v1/snapshot persists
+	// the current epoch for warm restarts. snapMu serialises writers so two
+	// concurrent snapshot requests cannot interleave the temp-file dance.
+	snapPath string
+	snapMu   sync.Mutex
 }
 
 func newServer() *server {
@@ -60,6 +67,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/measures", s.handleMeasures)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/graph", s.handleLoadGraph)
+	mux.HandleFunc("POST /v1/edges", s.handleEditEdges)
+	mux.HandleFunc("DELETE /v1/edges", s.handleDeleteEdges)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/query/single", s.handleSingle)
 	mux.HandleFunc("POST /v1/query/topk", s.handleTopK)
 	mux.HandleFunc("POST /v1/query/batch", s.handleBatch)
@@ -176,6 +186,8 @@ type graphRequest struct {
 type graphResponse struct {
 	Nodes              int     `json:"nodes"`
 	Edges              int     `json:"edges"`
+	Epoch              uint64  `json:"epoch"`
+	PendingEdits       int     `json:"pending_edits,omitempty"`
 	CompressedEdges    int     `json:"compressed_edges"`
 	ConcentrationNodes int     `json:"concentration_nodes"`
 	CompressionRatio   float64 `json:"compression_ratio"`
@@ -187,6 +199,8 @@ func engineStatsJSON(st simstar.EngineStats) graphResponse {
 	return graphResponse{
 		Nodes:              st.Nodes,
 		Edges:              st.Edges,
+		Epoch:              st.Epoch,
+		PendingEdits:       st.PendingEdits,
 		CompressedEdges:    st.CompressedEdges,
 		ConcentrationNodes: st.ConcentrationNodes,
 		CompressionRatio:   st.CompressionRatio,
@@ -579,4 +593,176 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[slot[j]] = out
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// editsRequest is the wire form of POST /v1/edges: two parallel edge lists.
+// Within one request, insertions are applied before deletions (so an edge in
+// both lists ends up absent).
+type editsRequest struct {
+	Insert [][2]int `json:"insert,omitempty"`
+	Delete [][2]int `json:"delete,omitempty"`
+}
+
+// deleteEdgesRequest is the wire form of DELETE /v1/edges.
+type deleteEdgesRequest struct {
+	Edges [][2]int `json:"edges"`
+}
+
+// editsResponse reports what an edge-mutation request did: the epoch now
+// served, what actually changed, and the incremental refresh cost.
+type editsResponse struct {
+	Epoch        uint64  `json:"epoch"`
+	Applied      int     `json:"applied"`
+	Inserted     int     `json:"inserted"`
+	Removed      int     `json:"removed"`
+	PendingEdits int     `json:"pending_edits,omitempty"`
+	Refreshed    bool    `json:"refreshed"`
+	RefreshMs    float64 `json:"refresh_ms"`
+	Nodes        int     `json:"nodes"`
+	Edges        int     `json:"edges"`
+}
+
+// checkEditEndpoints bounds mutation node ids the same way graph loading
+// does: an insertion naming node 10⁹ must not grow gigabytes of CSR.
+func checkEditEndpoints(edges [][2]int) error {
+	for _, e := range edges {
+		if e[0] < 0 || e[1] < 0 {
+			return fmt.Errorf("negative node id in edge %v", e)
+		}
+		if e[0] >= maxGraphNodes || e[1] >= maxGraphNodes {
+			return fmt.Errorf("node id in edge %v exceeds the limit of %d", e, maxGraphNodes)
+		}
+	}
+	return nil
+}
+
+// applyEdits funnels both mutation endpoints through the engine's versioned
+// store. The engine pointer is read once; a concurrent POST /v1/graph swap
+// means the edits land on the graph that was being served when the request
+// arrived — the response's epoch and sizes always describe the engine the
+// edits actually went to.
+func (s *server) applyEdits(w http.ResponseWriter, edits []simstar.Edit) {
+	eng := s.requireEngine(w)
+	if eng == nil {
+		return
+	}
+	st, err := eng.ApplyEdits(edits...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, editsResponse{
+		Epoch:        st.Epoch,
+		Applied:      st.Applied,
+		Inserted:     st.Inserted,
+		Removed:      st.Removed,
+		PendingEdits: st.Pending,
+		Refreshed:    st.Refreshed,
+		RefreshMs:    float64(st.RefreshTime.Microseconds()) / 1e3,
+		Nodes:        st.Nodes,
+		Edges:        st.Edges,
+	})
+}
+
+// handleEditEdges streams a mixed batch of insertions and deletions into the
+// served graph.
+func (s *server) handleEditEdges(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var req editsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding edits request: %w", err))
+		return
+	}
+	if len(req.Insert) == 0 && len(req.Delete) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("need insert or delete edges"))
+		return
+	}
+	if err := checkEditEndpoints(req.Insert); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := checkEditEndpoints(req.Delete); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	edits := make([]simstar.Edit, 0, len(req.Insert)+len(req.Delete))
+	for _, e := range req.Insert {
+		edits = append(edits, simstar.InsertEdge(e[0], e[1]))
+	}
+	for _, e := range req.Delete {
+		edits = append(edits, simstar.DeleteEdge(e[0], e[1]))
+	}
+	s.applyEdits(w, edits)
+}
+
+// handleDeleteEdges removes a batch of edges.
+func (s *server) handleDeleteEdges(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var req deleteEdgesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding delete request: %w", err))
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("need edges"))
+		return
+	}
+	if err := checkEditEndpoints(req.Edges); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	edits := make([]simstar.Edit, 0, len(req.Edges))
+	for _, e := range req.Edges {
+		edits = append(edits, simstar.DeleteEdge(e[0], e[1]))
+	}
+	s.applyEdits(w, edits)
+}
+
+type snapshotResponse struct {
+	Path  string `json:"path"`
+	Epoch uint64 `json:"epoch"`
+	Bytes int64  `json:"bytes"`
+}
+
+// handleSnapshot persists the current epoch's graph to the -snapshot path
+// (write to a temp file, then rename, so a crash mid-write never corrupts
+// the warm-restart image). 409 when the server was started without one.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	eng := s.requireEngine(w)
+	if eng == nil {
+		return
+	}
+	if s.snapPath == "" {
+		writeError(w, http.StatusConflict, errors.New("no snapshot path configured; start simserve with -snapshot"))
+		return
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	tmp := s.snapPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// The returned snapshot is the version actually written — a mutation
+	// racing this request must not make the response lie about the file.
+	snap, err := eng.WriteSnapshot(f)
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	size, _ := f.Seek(0, io.SeekCurrent)
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := os.Rename(tmp, s.snapPath); err != nil {
+		os.Remove(tmp)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{Path: s.snapPath, Epoch: snap.Epoch, Bytes: size})
 }

@@ -1,0 +1,100 @@
+package dyngraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// The mutation-stream text format mirrors the SNAP edge-list convention:
+// one edit per line, "+ u v" for an insertion and "- u v" for a removal,
+// '#' comments and blank lines ignored. cmd/gengraph -edits emits it and
+// benchmarks replay it.
+
+// ReadEdits parses a mutation stream from r.
+func ReadEdits(r io.Reader) ([]Edit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var edits []Edit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || (fields[0] != "+" && fields[0] != "-") {
+			return nil, fmt.Errorf("dyngraph: line %d: want \"+|- u v\", got %q", lineNo, line)
+		}
+		u, errU := strconv.Atoi(fields[1])
+		v, errV := strconv.Atoi(fields[2])
+		if errU != nil || errV != nil || u < 0 || v < 0 {
+			return nil, fmt.Errorf("dyngraph: line %d: bad node ids in %q", lineNo, line)
+		}
+		e := Insert(u, v)
+		if fields[0] == "-" {
+			e = Delete(u, v)
+		}
+		edits = append(edits, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dyngraph: reading mutation stream: %w", err)
+	}
+	return edits, nil
+}
+
+// WriteEdits serialises a mutation stream in the format ReadEdits parses.
+func WriteEdits(w io.Writer, edits []Edit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# edits: %d\n", len(edits))
+	for _, e := range edits {
+		if _, err := fmt.Fprintf(bw, "%s %d %d\n", e.Op, e.U, e.V); err != nil {
+			return fmt.Errorf("dyngraph: writing mutation stream: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// snapshotMagic heads an epoch-tagged binary snapshot: the epoch (so a
+// warm-restarted store resumes the version sequence) followed by the graph
+// in the graph package's binary form.
+const snapshotMagic = "SIMSNP1\n"
+
+// WriteSnapshot persists snap — epoch plus graph — in binary form, so a
+// server can warm-restart at the current epoch without replaying the delta
+// log.
+func WriteSnapshot(w io.Writer, snap Snapshot) error {
+	var hdr [len(snapshotMagic) + 8]byte
+	copy(hdr[:], snapshotMagic)
+	binary.LittleEndian.PutUint64(hdr[len(snapshotMagic):], snap.Epoch)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("dyngraph: writing snapshot header: %w", err)
+	}
+	if _, err := snap.Graph.WriteTo(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var hdr [len(snapshotMagic) + 8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Snapshot{}, fmt.Errorf("dyngraph: reading snapshot header: %w", err)
+	}
+	if string(hdr[:len(snapshotMagic)]) != snapshotMagic {
+		return Snapshot{}, fmt.Errorf("dyngraph: bad snapshot magic %q", hdr[:len(snapshotMagic)])
+	}
+	epoch := binary.LittleEndian.Uint64(hdr[len(snapshotMagic):])
+	g, err := graph.ReadFrom(r)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return Snapshot{Graph: g, Epoch: epoch}, nil
+}

@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EdgeOp is one edge mutation: the insertion (Delete false) or removal
+// (Delete true) of the directed edge U→V. A batch of EdgeOps is a sequence;
+// when the same edge appears more than once in a batch the last operation
+// wins, matching the effect of applying the ops one at a time.
+type EdgeOp struct {
+	U, V   int
+	Delete bool
+}
+
+// EditDelta reports what ApplyEdits changed, in the terms an incremental
+// consumer needs: which adjacency rows are no longer what they were. A node
+// appears in DirtyOut (resp. DirtyIn) exactly when its out-row (resp.
+// in-row) in the new graph differs from the old one — no-op edits (inserting
+// a present edge, deleting an absent one) dirty nothing.
+type EditDelta struct {
+	// OldN and NewN are the node counts before and after; NewN > OldN when
+	// an insertion named a node past the old range.
+	OldN, NewN int
+	// Inserted and Removed count the edges actually added and actually
+	// deleted — edits that found the graph already in the requested state
+	// are excluded.
+	Inserted, Removed int
+	// DirtyOut and DirtyIn are the nodes whose out-/in-neighbourhoods
+	// changed, each sorted ascending. Nodes in [OldN, NewN) appear only if
+	// they gained edges in the respective direction.
+	DirtyOut, DirtyIn []int32
+}
+
+// Empty reports whether the delta changed nothing.
+func (d *EditDelta) Empty() bool {
+	return d.Inserted == 0 && d.Removed == 0 && d.NewN == d.OldN
+}
+
+// ApplyEdits returns a new graph with the batch of edge mutations applied,
+// leaving the receiver untouched — the copy-on-write step behind the
+// dyngraph versioned store. The result is structurally identical to a graph
+// built from scratch on the mutated edge list: rows stay sorted and
+// deduplicated, so downstream structures derived from it (transition
+// matrices, compressions) are bitwise-reproducible either way.
+//
+// Only rows of dirty nodes are recomputed; every clean row is copied into
+// the new CSR arrays in bulk. Inserting an edge past the current node range
+// grows the graph exactly as Builder.AddEdge would (labelled graphs backfill
+// decimal labels for the new nodes). Deleting an edge that does not exist,
+// or inserting one that does, is a no-op. When the whole batch is a no-op
+// the receiver itself is returned.
+func (g *Graph) ApplyEdits(ops []EdgeOp) (*Graph, *EditDelta, error) {
+	delta := &EditDelta{OldN: g.n, NewN: g.n}
+	if len(ops) == 0 {
+		return g, delta, nil
+	}
+	// Collapse the sequence to one final verdict per edge (last op wins).
+	// Order of first appearance is irrelevant: the per-row merge sorts.
+	final := make(map[[2]int32]bool, len(ops))
+	for _, op := range ops {
+		if op.U < 0 || op.V < 0 {
+			return nil, nil, fmt.Errorf("graph: negative node id in edit (%d, %d)", op.U, op.V)
+		}
+		if op.U > math.MaxInt32 || op.V > math.MaxInt32 {
+			return nil, nil, fmt.Errorf("graph: node id in edit (%d, %d) exceeds int32", op.U, op.V)
+		}
+		final[[2]int32{int32(op.U), int32(op.V)}] = !op.Delete
+	}
+	// Split into effective inserts/deletes against the current graph.
+	addOut := make(map[int32][]int32)
+	addIn := make(map[int32][]int32)
+	delOut := make(map[int32]map[int32]bool)
+	delIn := make(map[int32]map[int32]bool)
+	newN := g.n
+	for e, insert := range final {
+		u, v := e[0], e[1]
+		exists := int(u) < g.n && int(v) < g.n && g.HasEdge(int(u), int(v))
+		switch {
+		case insert && !exists:
+			addOut[u] = append(addOut[u], v)
+			addIn[v] = append(addIn[v], u)
+			if int(u) >= newN {
+				newN = int(u) + 1
+			}
+			if int(v) >= newN {
+				newN = int(v) + 1
+			}
+			delta.Inserted++
+		case !insert && exists:
+			if delOut[u] == nil {
+				delOut[u] = make(map[int32]bool)
+			}
+			delOut[u][v] = true
+			if delIn[v] == nil {
+				delIn[v] = make(map[int32]bool)
+			}
+			delIn[v][u] = true
+			delta.Removed++
+		}
+	}
+	delta.NewN = newN
+	if delta.Empty() {
+		return g, delta, nil
+	}
+
+	oldOut := func(u int) []int32 {
+		if u < g.n {
+			return g.Out(u)
+		}
+		return nil
+	}
+	oldIn := func(v int) []int32 {
+		if v < g.n {
+			return g.In(v)
+		}
+		return nil
+	}
+	outRows, dirtyOut := mergeRows(oldOut, addOut, delOut)
+	inRows, dirtyIn := mergeRows(oldIn, addIn, delIn)
+	delta.DirtyOut, delta.DirtyIn = dirtyOut, dirtyIn
+
+	ng := &Graph{
+		n:       newN,
+		labels:  g.labels,
+		byLabel: g.byLabel,
+	}
+	ng.outOff, ng.outDst = spliceCSR(g.outOff, g.outDst, g.n, newN, outRows, dirtyOut)
+	ng.inOff, ng.inSrc = spliceCSR(g.inOff, g.inSrc, g.n, newN, inRows, dirtyIn)
+
+	// Grow labels the way Builder.EnsureN does: decimal backfill. The old
+	// graph's label state is shared when the node set is unchanged, copied
+	// when it must grow (labels and the byLabel map are read concurrently by
+	// holders of the old graph).
+	if g.labels != nil && newN > g.n {
+		labels := make([]string, g.n, newN)
+		copy(labels, g.labels)
+		byLabel := make(map[string]int, newN)
+		for l, id := range g.byLabel {
+			byLabel[l] = id
+		}
+		for i := g.n; i < newN; i++ {
+			l := fmt.Sprintf("%d", i)
+			labels = append(labels, l)
+			if _, taken := byLabel[l]; !taken {
+				byLabel[l] = i
+			}
+		}
+		ng.labels, ng.byLabel = labels, byLabel
+	}
+	return ng, delta, nil
+}
+
+// mergeRows computes the post-edit adjacency row for every touched node:
+// the old row minus dels plus adds, kept sorted. Rows that come out
+// identical to the old row (possible when an add and a del cancel against
+// map-collapsed duplicates — defensive; the caller's effective split should
+// prevent it) are dropped from the dirty set. Returns the new rows keyed by
+// node and the sorted dirty node list.
+func mergeRows(old func(int) []int32, adds map[int32][]int32, dels map[int32]map[int32]bool) (map[int32][]int32, []int32) {
+	rows := make(map[int32][]int32, len(adds)+len(dels))
+	touched := make(map[int32]bool, len(adds)+len(dels))
+	for u := range adds {
+		touched[u] = true
+	}
+	for u := range dels {
+		touched[u] = true
+	}
+	dirty := make([]int32, 0, len(touched))
+	for u := range touched {
+		prev := old(int(u))
+		add := adds[u]
+		sort.Slice(add, func(i, j int) bool { return add[i] < add[j] })
+		del := dels[u]
+		merged := make([]int32, 0, len(prev)+len(add))
+		i, j := 0, 0
+		for i < len(prev) || j < len(add) {
+			switch {
+			case j == len(add) || (i < len(prev) && prev[i] < add[j]):
+				if !del[prev[i]] {
+					merged = append(merged, prev[i])
+				}
+				i++
+			default:
+				merged = append(merged, add[j])
+				j++
+			}
+		}
+		if equalRows(prev, merged) {
+			continue
+		}
+		rows[u] = merged
+		dirty = append(dirty, u)
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	return rows, dirty
+}
+
+func equalRows(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// spliceCSR assembles the new CSR offset/index arrays: dirty rows take their
+// recomputed content, every maximal run of clean rows is copied with a
+// single bulk copy (their packed content is contiguous in the old arrays).
+// Rows in [oldN, newN) not present in rows are empty.
+func spliceCSR(oldOff, oldIdx []int32, oldN, newN int, rows map[int32][]int32, dirty []int32) (off, idx []int32) {
+	off = make([]int32, newN+1)
+	total := 0
+	d := 0
+	for u := 0; u < newN; u++ {
+		if d < len(dirty) && int(dirty[d]) == u {
+			total += len(rows[dirty[d]])
+			d++
+		} else if u < oldN {
+			total += int(oldOff[u+1] - oldOff[u])
+		}
+		off[u+1] = int32(total)
+	}
+	idx = make([]int32, total)
+	// Copy clean runs between consecutive dirty nodes in bulk, then drop the
+	// dirty row's new content in place.
+	prev := 0 // first row of the pending clean run
+	flushClean := func(hi int) {
+		if prev >= hi || prev >= oldN {
+			return
+		}
+		top := hi
+		if top > oldN {
+			top = oldN
+		}
+		copy(idx[off[prev]:off[top]], oldIdx[oldOff[prev]:oldOff[top]])
+	}
+	for _, du := range dirty {
+		u := int(du)
+		flushClean(u)
+		copy(idx[off[u]:off[u+1]], rows[du])
+		prev = u + 1
+	}
+	flushClean(newN)
+	return off, idx
+}

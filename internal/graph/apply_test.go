@@ -1,0 +1,275 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// rebuildWithEdits applies ops to g the slow way: collect the surviving edge
+// set and run it through the Builder — the from-scratch oracle ApplyEdits
+// must match structurally.
+func rebuildWithEdits(t *testing.T, g *Graph, ops []EdgeOp) *Graph {
+	t.Helper()
+	set := make(map[[2]int]bool)
+	g.Edges(func(u, v int) { set[[2]int{u, v}] = true })
+	n := g.N()
+	for _, op := range ops {
+		if op.Delete {
+			delete(set, [2]int{op.U, op.V})
+			continue
+		}
+		set[[2]int{op.U, op.V}] = true
+		if op.U >= n {
+			n = op.U + 1
+		}
+		if op.V >= n {
+			n = op.V + 1
+		}
+	}
+	b := NewBuilder()
+	b.EnsureN(n)
+	for e := range set {
+		b.AddEdge(e[0], e[1])
+	}
+	ng, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ng
+}
+
+// assertStructurallyEqual compares the CSR arrays directly: bitwise-identical
+// structure is the contract the incremental engine path builds on.
+func assertStructurallyEqual(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.n != want.n {
+		t.Fatalf("n = %d, want %d", got.n, want.n)
+	}
+	if !reflect.DeepEqual(got.outOff, want.outOff) || !reflect.DeepEqual(got.outDst, want.outDst) {
+		t.Fatalf("out CSR differs:\n got %v / %v\nwant %v / %v", got.outOff, got.outDst, want.outOff, want.outDst)
+	}
+	if !reflect.DeepEqual(got.inOff, want.inOff) || !reflect.DeepEqual(got.inSrc, want.inSrc) {
+		t.Fatalf("in CSR differs:\n got %v / %v\nwant %v / %v", got.inOff, got.inSrc, want.inOff, want.inSrc)
+	}
+}
+
+func TestApplyEditsMatchesRebuild(t *testing.T) {
+	g := FromEdges(6, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}, {4, 2}})
+	ops := []EdgeOp{
+		{U: 5, V: 0},               // insert touching an isolated node
+		{U: 0, V: 2, Delete: true}, // delete an existing edge
+		{U: 1, V: 3},               // plain insert
+		{U: 4, V: 2, Delete: true},
+		{U: 7, V: 1}, // grows the graph to 8 nodes
+	}
+	ng, delta, err := g.ApplyEdits(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStructurallyEqual(t, ng, rebuildWithEdits(t, g, ops))
+	if delta.Inserted != 3 || delta.Removed != 2 {
+		t.Fatalf("delta = %+v, want 3 inserted / 2 removed", delta)
+	}
+	if delta.OldN != 6 || delta.NewN != 8 {
+		t.Fatalf("delta N %d→%d, want 6→8", delta.OldN, delta.NewN)
+	}
+	// The original graph is untouched (copy-on-write).
+	if g.N() != 6 || g.M() != 6 {
+		t.Fatalf("receiver mutated: N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestApplyEditsNoOps(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}})
+	for name, ops := range map[string][]EdgeOp{
+		"empty":            nil,
+		"insert-existing":  {{U: 0, V: 1}},
+		"delete-absent":    {{U: 2, V: 0, Delete: true}},
+		"delete-oob":       {{U: 9, V: 9, Delete: true}},
+		"insert-then-undo": {{U: 0, V: 3}, {U: 0, V: 3, Delete: true}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ng, delta, err := g.ApplyEdits(ops)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ng != g {
+				t.Fatal("no-op batch should return the receiver")
+			}
+			if !delta.Empty() {
+				t.Fatalf("delta = %+v, want empty", delta)
+			}
+		})
+	}
+}
+
+func TestApplyEditsLastOpWins(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}})
+	// delete then re-insert the same edge: net effect nothing…
+	ng, delta, err := g.ApplyEdits([]EdgeOp{{U: 0, V: 1, Delete: true}, {U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Empty() || ng != g {
+		t.Fatalf("delete+reinsert should be a no-op, delta = %+v", delta)
+	}
+	// …and insert-then-delete of a new edge likewise.
+	ng, delta, err = g.ApplyEdits([]EdgeOp{{U: 2, V: 0}, {U: 2, V: 0, Delete: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Empty() || ng != g {
+		t.Fatalf("insert+delete should be a no-op, delta = %+v", delta)
+	}
+}
+
+func TestApplyEditsRejectsBadIDs(t *testing.T) {
+	g := FromEdges(2, [][2]int{{0, 1}})
+	if _, _, err := g.ApplyEdits([]EdgeOp{{U: -1, V: 0}}); err == nil {
+		t.Fatal("want error for negative id")
+	}
+	if _, _, err := g.ApplyEdits([]EdgeOp{{U: 0, V: 1 << 40}}); err == nil {
+		t.Fatal("want error for id past int32")
+	}
+}
+
+func TestApplyEditsDirtySets(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {0, 2}, {3, 1}})
+	_, delta, err := g.ApplyEdits([]EdgeOp{
+		{U: 0, V: 2, Delete: true},
+		{U: 4, V: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int32{0, 4}; !reflect.DeepEqual(delta.DirtyOut, want) {
+		t.Fatalf("DirtyOut = %v, want %v", delta.DirtyOut, want)
+	}
+	if want := []int32{1, 2}; !reflect.DeepEqual(delta.DirtyIn, want) {
+		t.Fatalf("DirtyIn = %v, want %v", delta.DirtyIn, want)
+	}
+}
+
+func TestApplyEditsLabelledGrowth(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdgeLabeled("a", "b")
+	b.AddEdgeLabeled("b", "c")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, _, err := g.ApplyEdits([]EdgeOp{{U: 0, V: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.N() != 5 || !ng.Labeled() {
+		t.Fatalf("N=%d labelled=%v, want 5/true", ng.N(), ng.Labeled())
+	}
+	if got := ng.Label(4); got != "4" {
+		t.Fatalf("backfilled label = %q, want \"4\"", got)
+	}
+	if id, ok := ng.NodeByLabel("b"); !ok || id != 1 {
+		t.Fatalf("NodeByLabel(b) = %d,%v", id, ok)
+	}
+	// The old graph's label state must be untouched.
+	if g.N() != 3 || len(g.labels) != 3 {
+		t.Fatalf("receiver label state mutated: N=%d labels=%d", g.N(), len(g.labels))
+	}
+}
+
+// Randomised cross-check against the Builder oracle: many rounds of mixed
+// edits over a random base graph must splice to exactly the from-scratch CSR.
+func TestApplyEditsRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 25; round++ {
+		n := 10 + rng.Intn(30)
+		var edges [][2]int
+		for i := 0; i < 3*n; i++ {
+			edges = append(edges, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+		g := FromEdges(n, edges)
+		var ops []EdgeOp
+		for i := 0; i < 1+rng.Intn(2*n); i++ {
+			op := EdgeOp{U: rng.Intn(n + 3), V: rng.Intn(n + 3), Delete: rng.Intn(2) == 0}
+			ops = append(ops, op)
+		}
+		ng, _, err := g.ApplyEdits(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertStructurallyEqual(t, ng, rebuildWithEdits(t, g, ops))
+	}
+}
+
+func TestBinaryRoundTripUnlabelled(t *testing.T) {
+	g := FromEdges(7, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}, {5, 6}, {6, 5}})
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStructurallyEqual(t, got, g)
+	if got.Labeled() {
+		t.Fatal("round-trip invented labels")
+	}
+}
+
+func TestBinaryRoundTripLabelled(t *testing.T) {
+	b := NewBuilder()
+	for _, e := range [][2]string{{"alpha", "beta"}, {"beta", "gamma"}, {"gamma", "alpha"}, {"alpha", "gamma"}} {
+		b.AddEdgeLabeled(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStructurallyEqual(t, got, g)
+	if !reflect.DeepEqual(got.labels, g.labels) {
+		t.Fatalf("labels = %v, want %v", got.labels, g.labels)
+	}
+	if id, ok := got.NodeByLabel("gamma"); !ok || id != 2 {
+		t.Fatalf("NodeByLabel(gamma) = %d,%v", id, ok)
+	}
+}
+
+func TestBinaryReadRejectsGarbage(t *testing.T) {
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"bad-magic": []byte("NOTAGRPH...."),
+		"truncated": append([]byte(binaryMagic), 0, 0, 0, 0),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadFrom(bytes.NewReader(data)); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+	// Structurally invalid: edge target out of range.
+	g := FromEdges(2, [][2]int{{0, 1}})
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-4] = 0x7f // corrupt the single outDst entry
+	if _, err := ReadFrom(bytes.NewReader(raw)); err == nil {
+		t.Fatal("want error for out-of-range edge target")
+	}
+}

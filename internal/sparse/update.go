@@ -1,0 +1,82 @@
+package sparse
+
+import (
+	"repro/internal/graph"
+)
+
+// Incremental transition refresh. A batch of edge edits dirties only the
+// rows of nodes whose neighbourhoods changed — for Q the in-rows, for W the
+// out-rows — so the new transition matrix can reuse every clean row of the
+// old one with bulk copies and recompute only the dirty rows from the new
+// graph. The output is bitwise-identical to a from-scratch build on g: a
+// recomputed row derives its 1/deg weights by the same division, and a
+// copied row carries the exact bits it already had.
+
+// UpdateBackwardTransition returns BackwardTransition(g) built incrementally
+// from old, the backward transition of the pre-edit graph. dirtyIn must list
+// (sorted ascending) every node whose in-neighbourhood differs between the
+// two graphs; nodes at or past old's row count are implicitly new and must
+// appear in dirtyIn only if they have in-links.
+func UpdateBackwardTransition(old *CSR, g *graph.Graph, dirtyIn []int32) *CSR {
+	return updateTransition(old, g.N(), dirtyIn, g.In)
+}
+
+// UpdateForwardTransition returns ForwardTransition(g) built incrementally
+// from old, the forward transition of the pre-edit graph. dirtyOut must list
+// (sorted ascending) every node whose out-neighbourhood differs between the
+// two graphs.
+func UpdateForwardTransition(old *CSR, g *graph.Graph, dirtyOut []int32) *CSR {
+	return updateTransition(old, g.N(), dirtyOut, g.Out)
+}
+
+// updateTransition splices a row-normalised transition matrix: dirty rows are
+// recomputed from row(i) with weight 1/len, maximal runs of clean rows are
+// copied wholesale from old. Rows in [old.R, n) that are not dirty are empty
+// (new nodes without edges in this direction).
+func updateTransition(old *CSR, n int, dirty []int32, row func(int) []int32) *CSR {
+	m := &CSR{R: n, C: n, RowOff: make([]int32, n+1)}
+	// Pass 1: row lengths → offsets.
+	total := 0
+	d := 0
+	for i := 0; i < n; i++ {
+		if d < len(dirty) && int(dirty[d]) == i {
+			total += len(row(i))
+			d++
+		} else if i < old.R {
+			total += int(old.RowOff[i+1] - old.RowOff[i])
+		}
+		m.RowOff[i+1] = int32(total)
+	}
+	m.ColIdx = make([]int32, total)
+	m.Val = make([]float64, total)
+	// Pass 2: fill. Clean runs between consecutive dirty rows are contiguous
+	// in both the old and new arrays, so each run is two bulk copies.
+	prev := 0
+	flushClean := func(hi int) {
+		if prev >= hi || prev >= old.R {
+			return
+		}
+		top := hi
+		if top > old.R {
+			top = old.R
+		}
+		copy(m.ColIdx[m.RowOff[prev]:m.RowOff[top]], old.ColIdx[old.RowOff[prev]:old.RowOff[top]])
+		copy(m.Val[m.RowOff[prev]:m.RowOff[top]], old.Val[old.RowOff[prev]:old.RowOff[top]])
+	}
+	for _, di := range dirty {
+		i := int(di)
+		flushClean(i)
+		nbrs := row(i)
+		if len(nbrs) > 0 {
+			w := 1 / float64(len(nbrs))
+			at := m.RowOff[i]
+			for k, j := range nbrs {
+				m.ColIdx[at+int32(k)] = j
+				m.Val[at+int32(k)] = w
+			}
+		}
+		prev = i + 1
+	}
+	flushClean(n)
+	return m
+}

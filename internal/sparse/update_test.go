@@ -1,0 +1,109 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// mutate applies a small random edit batch and returns the new graph plus
+// its delta.
+func mutate(t *testing.T, g *graph.Graph, rng *rand.Rand, edits int) (*graph.Graph, *graph.EditDelta) {
+	t.Helper()
+	ops := make([]graph.EdgeOp, 0, edits)
+	for i := 0; i < edits; i++ {
+		ops = append(ops, graph.EdgeOp{
+			U:      rng.Intn(g.N() + 2),
+			V:      rng.Intn(g.N() + 2),
+			Delete: rng.Intn(2) == 0,
+		})
+	}
+	ng, delta, err := g.ApplyEdits(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ng, delta
+}
+
+// assertCSRBitwiseEqual requires exact equality, values included — the
+// contract that lets the engine serve incremental epochs with scores
+// indistinguishable from a from-scratch build.
+func assertCSRBitwiseEqual(t *testing.T, got, want *CSR) {
+	t.Helper()
+	if got.R != want.R || got.C != want.C {
+		t.Fatalf("shape %dx%d, want %dx%d", got.R, got.C, want.R, want.C)
+	}
+	if !reflect.DeepEqual(got.RowOff, want.RowOff) {
+		t.Fatalf("RowOff = %v, want %v", got.RowOff, want.RowOff)
+	}
+	if !reflect.DeepEqual(got.ColIdx, want.ColIdx) {
+		t.Fatalf("ColIdx = %v, want %v", got.ColIdx, want.ColIdx)
+	}
+	if !reflect.DeepEqual(got.Val, want.Val) {
+		t.Fatalf("Val = %v, want %v", got.Val, want.Val)
+	}
+}
+
+func TestUpdateTransitionsMatchFullBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 20; round++ {
+		g := randomGraph(rng, 20+rng.Intn(40), 150)
+		q, w := BackwardTransition(g), ForwardTransition(g)
+		ng, delta := mutate(t, g, rng, 1+rng.Intn(12))
+		assertCSRBitwiseEqual(t, UpdateBackwardTransition(q, ng, delta.DirtyIn), BackwardTransition(ng))
+		assertCSRBitwiseEqual(t, UpdateForwardTransition(w, ng, delta.DirtyOut), ForwardTransition(ng))
+	}
+}
+
+func TestUpdateTransitionEmptyDelta(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(3)), 30, 100)
+	q := BackwardTransition(g)
+	got := UpdateBackwardTransition(q, g, nil)
+	assertCSRBitwiseEqual(t, got, q)
+}
+
+func TestUpdateTransitionGrowth(t *testing.T) {
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	q, w := BackwardTransition(g), ForwardTransition(g)
+	// Edge to a brand-new node 5 grows the matrix; node 4 stays edgeless.
+	ng, delta, err := g.ApplyEdits([]graph.EdgeOp{{U: 2, V: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nq := UpdateBackwardTransition(q, ng, delta.DirtyIn)
+	nw := UpdateForwardTransition(w, ng, delta.DirtyOut)
+	assertCSRBitwiseEqual(t, nq, BackwardTransition(ng))
+	assertCSRBitwiseEqual(t, nw, ForwardTransition(ng))
+	if nq.R != 6 || nw.R != 6 {
+		t.Fatalf("grown shape %d/%d, want 6", nq.R, nw.R)
+	}
+}
+
+// The incremental update must beat the from-scratch build on a low-churn
+// batch — the CI bench smoke runs this with -benchtime=1x so a regression in
+// the splice path fails loudly.
+func BenchmarkTransitionRefresh(b *testing.B) {
+	g := randomGraph(rand.New(rand.NewSource(42)), 20000, 160000)
+	rng := rand.New(rand.NewSource(43))
+	ops := make([]graph.EdgeOp, 0, 1600) // ~1% of edges
+	for i := 0; i < 1600; i++ {
+		ops = append(ops, graph.EdgeOp{U: rng.Intn(g.N()), V: rng.Intn(g.N()), Delete: i%2 == 0})
+	}
+	ng, delta, err := g.ApplyEdits(ops)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := BackwardTransition(g)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			UpdateBackwardTransition(q, ng, delta.DirtyIn)
+		}
+	})
+	b.Run("full-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BackwardTransition(ng)
+		}
+	})
+}

@@ -114,8 +114,11 @@ func blockKernelFor(builtin string) blockKernel {
 	return blockNone
 }
 
-// batch is the shared implementation of MultiSource and BatchTopK.
+// batch is the shared implementation of MultiSource and BatchTopK. The
+// engine state is pinned once at entry, so the whole batch answers against
+// one graph epoch even while ApplyEdits streams mutations concurrently.
 func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result {
+	st := e.load()
 	results := make([]Result, len(queries))
 	done := make([]bool, len(queries))
 
@@ -153,7 +156,7 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 			eng = e.With(q.Opts...)
 		}
 		engs[i] = eng
-		if err := eng.checkQuery(ctx, q.Node); err != nil {
+		if err := st.checkQuery(ctx, q.Node); err != nil {
 			results[i] = Result{Err: err}
 			done[i] = true
 			continue
@@ -161,6 +164,7 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 		key := cacheKey{
 			measure: canonical(q.Measure),
 			gen:     registryGeneration(),
+			epoch:   st.epoch,
 			params:  eng.cfg.cacheParams(),
 			node:    q.Node,
 		}
@@ -210,7 +214,7 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 			if hi > len(nodes) {
 				hi = len(nodes)
 			}
-			block, err := g.eng.runBlock(ctx, gk.kernel, nodes[lo:hi])
+			block, err := g.eng.runBlock(ctx, st, gk.kernel, nodes[lo:hi])
 			if err != nil {
 				for _, node := range nodes[lo:hi] {
 					for _, pos := range queryOf[node] {
@@ -248,7 +252,7 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 	}
 	par.ForEachCtx(ctx, len(uniq), e.cfg.workers, func(j int) {
 		i := uniq[j]
-		scores, cached, err := engs[i].singleSource(ctx, queries[i].Measure, queries[i].Node)
+		scores, cached, err := engs[i].singleSource(ctx, st, queries[i].Measure, queries[i].Node)
 		for d, ii := range dup[keys[i]] {
 			switch {
 			case err != nil:
@@ -273,22 +277,22 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 }
 
 // runBlock answers one chunk of same-kernel, same-parameter queries with the
-// blocked multi-source kernel over the engine's cached structures.
-func (e *Engine) runBlock(ctx context.Context, kernel blockKernel, nodes []int) ([][]float64, error) {
+// blocked multi-source kernel over the pinned state's cached structures.
+func (e *Engine) runBlock(ctx context.Context, st *engineState, kernel blockKernel, nodes []int) ([][]float64, error) {
 	var backwardT, forwardT *sparse.CSR
 	switch kernel {
 	case blockGeometric, blockExponential:
-		backwardT, _ = e.transposed()
+		backwardT, _ = st.transposed()
 	case blockRWR:
-		_, forwardT = e.transposed()
+		_, forwardT = st.transposed()
 	}
 	switch kernel {
 	case blockGeometric:
-		return core.MultiSourceGeometricFromTransition(ctx, e.backward, backwardT, nodes, e.cfg.coreOptions())
+		return core.MultiSourceGeometricFromTransition(ctx, st.backward, backwardT, nodes, e.cfg.coreOptions())
 	case blockExponential:
-		return core.MultiSourceExponentialFromTransition(ctx, e.backward, backwardT, nodes, e.cfg.coreOptions())
+		return core.MultiSourceExponentialFromTransition(ctx, st.backward, backwardT, nodes, e.cfg.coreOptions())
 	case blockRWR:
-		return rwr.MultiSourceFromTransition(ctx, e.forward, forwardT, nodes, e.cfg.rwrOptions())
+		return rwr.MultiSourceFromTransition(ctx, st.forward, forwardT, nodes, e.cfg.rwrOptions())
 	}
 	panic("simstar: unreachable block kernel")
 }

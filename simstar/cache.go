@@ -12,12 +12,16 @@ const DefaultCacheSize = 256
 // cacheKey identifies one cached single-source result. Two queries share an
 // entry exactly when they resolve to the same canonical measure under the
 // same registry generation, with the same numeric parameters, for the same
-// query node. config is a flat struct of comparable fields, so the key is
-// usable as a map key directly; the serving-only knobs (workers, cache
-// capacity) are stripped by cacheParams first.
+// query node, on the same graph epoch — the epoch is what keeps the cache
+// honest now that ApplyEdits mutates the served graph in place: entries
+// computed on an earlier epoch simply stop matching and age out through the
+// LRU. config is a flat struct of comparable fields, so the key is usable
+// as a map key directly; the serving-only knobs (workers, cache capacity,
+// epoch policy) are stripped by cacheParams first.
 type cacheKey struct {
 	measure string
 	gen     uint64
+	epoch   uint64
 	params  config
 	node    int
 }

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/biclique"
 	"repro/internal/core"
 	"repro/internal/dense"
+	"repro/internal/dyngraph"
 	"repro/internal/rwr"
 	"repro/internal/simrank"
 	"repro/internal/sparse"
@@ -20,9 +22,9 @@ func compress(g *Graph, cfg config) *biclique.Compressed {
 	return biclique.Compress(g, cfg.miner.internal())
 }
 
-// Engine answers similarity queries for one graph with preprocessing done
-// once at construction instead of per call. NewEngine eagerly builds and
-// caches:
+// Engine answers similarity queries for one evolving graph with
+// preprocessing amortised across queries. NewEngine eagerly builds and
+// caches, for the base graph:
 //
 //   - the CSR backward transition matrix Q (SimRank-family measures),
 //   - the CSR forward transition matrix W (RWR),
@@ -30,37 +32,62 @@ func compress(g *Graph, cfg config) *biclique.Compressed {
 //
 // Standalone Measure calls rebuild those structures on every invocation —
 // an O(m) (and for the compression, far worse) cost that a system serving
-// heavy query traffic cannot pay per request. The preprocessed structures
-// are immutable after construction; the only mutable state is the
-// internally-synchronised single-source result cache, so an Engine serves
-// concurrent SingleSource / TopK / AllPairs / MultiSource / BatchTopK
-// queries safely without external locking.
+// heavy query traffic cannot pay per request.
+//
+// The graph is no longer frozen at construction: ApplyEdits streams edge
+// insertions and removals through an internal dyngraph store, and each
+// materialised epoch swaps in a fresh immutable state (graph + transition
+// matrices, the latter spliced incrementally from the previous epoch rather
+// than rebuilt). Queries read the state with one atomic load at entry and
+// keep it for their whole run, so updates never stall queries, queries never
+// block updates, and a query batch always sees one coherent epoch. The
+// result cache keys on the epoch, so a mutation can never serve stale
+// scores. An Engine therefore serves concurrent SingleSource / TopK /
+// AllPairs / MultiSource / BatchTopK queries and ApplyEdits calls safely
+// without external locking.
 type Engine struct {
-	g    *Graph
 	cfg  config
 	opts []Option
 
-	backward *sparse.CSR          // Q: row-normalised transposed adjacency
-	forward  *sparse.CSR          // W: row-normalised adjacency
-	comp     *biclique.Compressed // edge-concentration compression
+	// store is the versioned write path: the append-only delta log and the
+	// epoch materialisation policy live there. Engines derived through With
+	// share it — they are views of the same evolving graph.
+	store *dyngraph.Store
+
+	// state is the read path: the current epoch's immutable preprocessed
+	// structures, swapped wholesale on refresh. Shared across With.
+	state *atomic.Pointer[engineState]
+
+	// editMu serialises ApplyEdits/Refresh so each materialised delta is
+	// spliced onto the state it was computed against. Never held by queries.
+	editMu *sync.Mutex
 
 	// cache holds recent single-source score vectors, keyed by (canonical
-	// measure, registry generation, parameters, query node). It is the one
-	// mutable structure the engine owns; it is shared — not copied — by the
-	// engines With returns, since they serve the same graph. A graph change
-	// means a new Engine and therefore a fresh, empty cache.
+	// measure, registry generation, parameters, graph epoch, query node).
+	// It is shared — not copied — by the engines With returns, since they
+	// serve the same graph; the epoch in the key versions entries across
+	// mutations, so hits from earlier epochs simply stop matching.
 	cache *resultCache
-
-	// tr holds the lazily-materialised transposes of the transition
-	// matrices, built on the first batch query (the blocked kernels want
-	// gather-form sweeps in both directions). Shared by pointer so engines
-	// derived through With reuse it and the sync.Once is never copied.
-	tr *transposes
-
-	stats EngineStats
 }
 
-// transposes is the Engine's lazily-built pair Qᵀ, Wᵀ.
+// engineState is everything one graph epoch serves queries from. All fields
+// are immutable after the state is published (the lazily-built members
+// synchronise internally), so readers share it freely.
+type engineState struct {
+	g     *Graph
+	epoch uint64
+
+	backward *sparse.CSR // Q: row-normalised transposed adjacency
+	forward  *sparse.CSR // W: row-normalised adjacency
+	comp     *compHolder // edge-concentration compression, possibly lazy
+	tr       *transposes // lazily-materialised Qᵀ, Wᵀ for the batch kernels
+
+	// transitionTime is what building (epoch 0) or incrementally refreshing
+	// (later epochs) the two transition matrices cost.
+	transitionTime time.Duration
+}
+
+// transposes is one state's lazily-built pair Qᵀ, Wᵀ.
 type transposes struct {
 	once      sync.Once
 	backwardT *sparse.CSR
@@ -68,63 +95,123 @@ type transposes struct {
 }
 
 // transposed returns the materialised transposes, building them on first
-// use. The O(m) build is paid once per engine graph, like the transitions
+// use. The O(m) build is paid once per epoch, like the transitions
 // themselves, but only by callers of the batch paths.
-func (e *Engine) transposed() (backwardT, forwardT *sparse.CSR) {
-	e.tr.once.Do(func() {
-		e.tr.backwardT = e.backward.Transpose()
-		e.tr.forwardT = e.forward.Transpose()
+func (st *engineState) transposed() (backwardT, forwardT *sparse.CSR) {
+	st.tr.once.Do(func() {
+		st.tr.backwardT = st.backward.Transpose()
+		st.tr.forwardT = st.forward.Transpose()
 	})
-	return e.tr.backwardT, e.tr.forwardT
+	return st.tr.backwardT, st.tr.forwardT
 }
 
-// EngineStats reports what NewEngine built and how long it took.
+// compHolder defers the biclique mining of a refreshed epoch until a memo
+// query needs it: mining is the expensive part of preprocessing, and the
+// update path must not pay it inline. The mined result is published through
+// an atomic pointer so Stats can peek without forcing the build; until this
+// epoch has mined, peek falls back to the most recently mined epoch's
+// result (prev), so compression stats never flap to zero across mutations.
+type compHolder struct {
+	g     *Graph
+	miner biclique.Options
+	prev  *compResult // last-mined result of an earlier epoch, or nil
+	once  sync.Once
+	res   atomic.Pointer[compResult]
+}
+
+type compResult struct {
+	c   *biclique.Compressed
+	dur time.Duration
+}
+
+func newCompHolder(g *Graph, miner biclique.Options, prev *compResult) *compHolder {
+	return &compHolder{g: g, miner: miner, prev: prev}
+}
+
+// get returns this epoch's compression, mining it on first use.
+func (h *compHolder) get() *biclique.Compressed {
+	h.once.Do(func() {
+		t0 := time.Now()
+		c := biclique.Compress(h.g, h.miner)
+		h.res.Store(&compResult{c: c, dur: time.Since(t0)})
+	})
+	return h.res.Load().c
+}
+
+// peek returns the most recently mined compression — this epoch's if it has
+// been built, an earlier epoch's otherwise — without forcing a build.
+func (h *compHolder) peek() *compResult {
+	if cr := h.res.Load(); cr != nil {
+		return cr
+	}
+	return h.prev
+}
+
+// EngineStats reports the served graph and what preprocessing cost. For an
+// epoch produced by ApplyEdits, TransitionTime is the incremental refresh
+// cost and the compression fields describe the most recent epoch whose
+// compression has actually been mined (mining is lazy after mutations:
+// the first memo-variant query of an epoch pays it).
 type EngineStats struct {
-	// Nodes and Edges are the size of the served graph.
+	// Nodes and Edges are the size of the served graph at the current epoch.
 	Nodes, Edges int
+	// Epoch is the graph version being served; 0 until the first
+	// materialised mutation (or the warm-start epoch under WithBaseEpoch).
+	Epoch uint64
+	// PendingEdits counts edits applied but not yet materialised into a
+	// snapshot (only non-zero under WithEpochInterval > 1).
+	PendingEdits int
 	// CompressedEdges is m̃, the edge count of the compressed bigraph.
 	CompressedEdges int
 	// ConcentrationNodes is the number of mined bicliques.
 	ConcentrationNodes int
 	// CompressionRatio is (1 − m̃/m)·100%.
 	CompressionRatio float64
-	// TransitionTime covers building both CSR transition matrices.
+	// TransitionTime covers building (or incrementally refreshing) both CSR
+	// transition matrices for the current epoch.
 	TransitionTime time.Duration
-	// CompressionTime covers the biclique mining.
+	// CompressionTime covers the biclique mining, when it has run.
 	CompressionTime time.Duration
 }
 
 // NewEngine builds the per-graph caches and returns a query engine. The
-// options become the engine's defaults for every query it serves.
+// options become the engine's defaults for every query it serves. The base
+// epoch's compression is mined eagerly, so the engine is fully warmed for
+// every measure before the first query.
 func NewEngine(g *Graph, opts ...Option) *Engine {
-	e := &Engine{g: g, cfg: buildConfig(opts), opts: opts}
+	e := &Engine{cfg: buildConfig(opts), opts: opts}
 	e.cache = newResultCache(e.cfg.cacheSize)
-	e.tr = &transposes{}
+	e.editMu = &sync.Mutex{}
+	e.state = &atomic.Pointer[engineState]{}
+	e.store = dyngraph.New(g,
+		dyngraph.WithInterval(e.cfg.epochInterval),
+		dyngraph.WithBaseEpoch(e.cfg.baseEpoch))
+	st := &engineState{g: g, epoch: e.cfg.baseEpoch, tr: &transposes{}}
 	t0 := time.Now()
-	e.backward = sparse.BackwardTransition(g)
-	e.forward = sparse.ForwardTransition(g)
-	e.stats.TransitionTime = time.Since(t0)
-	t0 = time.Now()
-	e.comp = biclique.Compress(g, e.cfg.miner.internal())
-	e.stats.CompressionTime = time.Since(t0)
-	e.stats.Nodes = g.N()
-	e.stats.Edges = g.M()
-	e.stats.CompressedEdges = e.comp.MCompressed
-	e.stats.ConcentrationNodes = e.comp.NumConcentration()
-	e.stats.CompressionRatio = e.comp.CompressionRatio()
+	st.backward = sparse.BackwardTransition(g)
+	st.forward = sparse.ForwardTransition(g)
+	st.transitionTime = time.Since(t0)
+	st.comp = newCompHolder(g, e.cfg.miner.internal(), nil)
+	st.comp.get()
+	e.state.Store(st)
 	return e
 }
 
-// Graph returns the graph the engine serves.
-func (e *Engine) Graph() *Graph { return e.g }
+// load returns the current epoch's state. Queries call it once at entry and
+// carry the state through, so one request never straddles two epochs.
+func (e *Engine) load() *engineState { return e.state.Load() }
 
-// With returns an engine that shares the receiver's graph and cached
+// Graph returns the graph of the epoch the engine currently serves.
+func (e *Engine) Graph() *Graph { return e.load().g }
+
+// With returns an engine that shares the receiver's graph, store and cached
 // structures but applies opts on top of the receiver's options —
 // per-request parameter overrides (a different K, a deadline-driven ε)
-// without repeating the preprocessing. The receiver is not modified.
-// Structure-shaping options are fixed at construction: a WithMiner passed
-// here does not re-mine the shared compression (build a new Engine for
-// that).
+// without repeating the preprocessing. The receiver is not modified; edits
+// applied through either engine are visible to both. Structure-shaping
+// options are fixed at construction: a WithMiner passed here does not
+// re-mine the shared compression, and a WithEpochInterval here does not
+// re-tune the shared store (build a new Engine for those).
 func (e *Engine) With(opts ...Option) *Engine {
 	ne := *e
 	ne.opts = append(append([]Option(nil), e.opts...), opts...)
@@ -132,8 +219,24 @@ func (e *Engine) With(opts ...Option) *Engine {
 	return &ne
 }
 
-// Stats returns the preprocessing summary.
-func (e *Engine) Stats() EngineStats { return e.stats }
+// Stats returns the preprocessing summary for the current epoch.
+func (e *Engine) Stats() EngineStats {
+	st := e.load()
+	s := EngineStats{
+		Nodes:          st.g.N(),
+		Edges:          st.g.M(),
+		Epoch:          st.epoch,
+		PendingEdits:   e.store.Pending(),
+		TransitionTime: st.transitionTime,
+	}
+	if cr := st.comp.peek(); cr != nil {
+		s.CompressedEdges = cr.c.MCompressed
+		s.ConcentrationNodes = cr.c.NumConcentration()
+		s.CompressionRatio = cr.c.CompressionRatio()
+		s.CompressionTime = cr.dur
+	}
+	return s
+}
 
 // CacheStats returns the current state and lifetime counters of the
 // single-source result cache. Engines derived through With share the
@@ -143,9 +246,10 @@ func (e *Engine) CacheStats() CacheStats { return e.cache.snapshot() }
 // PurgeCache drops every cached single-source result and resets the cache
 // counters. Queries in flight are unaffected. There is normally no reason to
 // call this — the cache can never serve a stale answer for this engine's
-// graph, because the graph is immutable and re-registered measure names are
-// versioned out by the registry generation — but a server may want it to
-// release memory or to start a measurement epoch clean.
+// graph, because every mutation epoch and registry change versions the keys
+// — but a server may want it to release memory (entries from dead epochs
+// age out through the LRU rather than instantly) or to start a measurement
+// epoch clean.
 func (e *Engine) PurgeCache() { e.cache.purge() }
 
 // builtinName resolves measureName through the registry and reports the
@@ -166,30 +270,31 @@ func (e *Engine) builtinName(measureName string) (string, Measure, error) {
 // SingleSource returns the scores of query node q against every node under
 // the named measure. It is served from the cached transition structures
 // where the measure supports it, and from the result cache when the same
-// (measure, parameters, node) was answered recently. The returned slice is
-// the caller's to keep and mutate.
+// (measure, parameters, node) was answered recently on the same graph
+// epoch. The returned slice is the caller's to keep and mutate.
 func (e *Engine) SingleSource(ctx context.Context, measureName string, q int) ([]float64, error) {
-	scores, _, err := e.singleSource(ctx, measureName, q)
+	scores, _, err := e.singleSource(ctx, e.load(), measureName, q)
 	return scores, err
 }
 
-// singleSource is SingleSource plus a flag reporting whether the result came
-// out of the result cache — surfaced through batch Results and simserve
-// responses.
-func (e *Engine) singleSource(ctx context.Context, measureName string, q int) ([]float64, bool, error) {
-	if err := e.checkQuery(ctx, q); err != nil {
+// singleSource is SingleSource against one pinned state, plus a flag
+// reporting whether the result came out of the result cache — surfaced
+// through batch Results and simserve responses.
+func (e *Engine) singleSource(ctx context.Context, st *engineState, measureName string, q int) ([]float64, bool, error) {
+	if err := st.checkQuery(ctx, q); err != nil {
 		return nil, false, err
 	}
 	key := cacheKey{
 		measure: canonical(measureName),
 		gen:     registryGeneration(),
+		epoch:   st.epoch,
 		params:  e.cfg.cacheParams(),
 		node:    q,
 	}
 	if scores, ok := e.cache.get(key); ok {
 		return scores, true, nil
 	}
-	scores, err := e.computeSingleSource(ctx, measureName, q)
+	scores, err := e.computeSingleSource(ctx, st, measureName, q)
 	if err != nil {
 		return nil, false, err
 	}
@@ -200,7 +305,7 @@ func (e *Engine) singleSource(ctx context.Context, measureName string, q int) ([
 // computeSingleSource is the uncached single-source path: the engine fast
 // paths over the cached transition matrices for the built-in measures, the
 // measure's own implementation otherwise.
-func (e *Engine) computeSingleSource(ctx context.Context, measureName string, q int) ([]float64, error) {
+func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measureName string, q int) ([]float64, error) {
 	builtin, m, err := e.builtinName(measureName)
 	if err != nil {
 		return nil, err
@@ -210,13 +315,13 @@ func (e *Engine) computeSingleSource(ctx context.Context, measureName string, q 
 	// materialises the matrix, so the memo variants share the iterative
 	// fast path (the results are identical).
 	case MeasureGeometric, MeasureGeometricMemo:
-		return core.SingleSourceGeometricFromTransition(ctx, e.backward, q, e.cfg.coreOptions())
+		return core.SingleSourceGeometricFromTransition(ctx, st.backward, q, e.cfg.coreOptions())
 	case MeasureExponential, MeasureExponentialMemo:
-		return core.SingleSourceExponentialFromTransition(ctx, e.backward, q, e.cfg.coreOptions())
+		return core.SingleSourceExponentialFromTransition(ctx, st.backward, q, e.cfg.coreOptions())
 	case MeasureRWR:
-		return rwr.SingleSourceFromTransition(ctx, e.forward, q, e.cfg.rwrOptions())
+		return rwr.SingleSourceFromTransition(ctx, st.forward, q, e.cfg.rwrOptions())
 	}
-	return m.SingleSource(ctx, e.g, q)
+	return m.SingleSource(ctx, st.g, q)
 }
 
 // TopK returns the k nodes most similar to q under the named measure,
@@ -235,11 +340,13 @@ func (e *Engine) TopK(ctx context.Context, measureName string, q, k int, exclude
 }
 
 // AllPairs computes the full similarity matrix under the named measure,
-// reusing the cached transition matrices and compression.
+// reusing the cached transition matrices and compression of the current
+// epoch.
 func (e *Engine) AllPairs(ctx context.Context, measureName string) (*Scores, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	st := e.load()
 	builtin, m, err := e.builtinName(measureName)
 	if err != nil {
 		return nil, err
@@ -247,25 +354,25 @@ func (e *Engine) AllPairs(ctx context.Context, measureName string) (*Scores, err
 	opt := e.cfg.coreOptions()
 	switch builtin {
 	case MeasureGeometric:
-		m, err := core.GeometricFromTransition(ctx, e.backward, opt)
+		m, err := core.GeometricFromTransition(ctx, st.backward, opt)
 		return wrapDense(m, err)
 	case MeasureGeometricMemo:
-		m, err := core.GeometricFromCompressed(ctx, e.comp, opt)
+		m, err := core.GeometricFromCompressed(ctx, st.comp.get(), opt)
 		return wrapDense(m, err)
 	case MeasureExponential:
-		m, err := core.ExponentialFromTransition(ctx, e.backward, opt)
+		m, err := core.ExponentialFromTransition(ctx, st.backward, opt)
 		return wrapDense(m, err)
 	case MeasureExponentialMemo:
-		m, err := core.ExponentialFromCompressed(ctx, e.comp, opt)
+		m, err := core.ExponentialFromCompressed(ctx, st.comp.get(), opt)
 		return wrapDense(m, err)
 	case MeasureSimRankMatrix:
-		m, err := simrank.MatrixFormFromTransition(ctx, e.backward, e.cfg.simrankOptions())
+		m, err := simrank.MatrixFormFromTransition(ctx, st.backward, e.cfg.simrankOptions())
 		return wrapDense(m, err)
 	case MeasureRWR:
-		m, err := rwr.AllPairsFromTransition(ctx, e.forward, e.cfg.rwrOptions())
+		m, err := rwr.AllPairsFromTransition(ctx, st.forward, e.cfg.rwrOptions())
 		return wrapDense(m, err)
 	}
-	return m.AllPairs(ctx, e.g)
+	return m.AllPairs(ctx, st.g)
 }
 
 func wrapDense(m *dense.Matrix, err error) (*Scores, error) {
@@ -275,12 +382,12 @@ func wrapDense(m *dense.Matrix, err error) (*Scores, error) {
 	return denseScores(m), nil
 }
 
-func (e *Engine) checkQuery(ctx context.Context, q int) error {
+func (st *engineState) checkQuery(ctx context.Context, q int) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if q < 0 || q >= e.g.N() {
-		return fmt.Errorf("simstar: query node %d out of range [0, %d)", q, e.g.N())
+	if q < 0 || q >= st.g.N() {
+		return fmt.Errorf("simstar: query node %d out of range [0, %d)", q, st.g.N())
 	}
 	return nil
 }

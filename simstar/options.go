@@ -28,17 +28,22 @@ type config struct {
 	miner  MinerOptions
 	// Engine-only knobs. These shape how queries are served, never what
 	// they return, and are therefore excluded from result-cache keys
-	// (see (config).cacheParams).
-	workers   int
-	cacheSize int
+	// (see (config).cacheParams). The graph *content* a query sees is
+	// versioned separately, by the epoch field of the cache key.
+	workers       int
+	cacheSize     int
+	epochInterval int
+	baseEpoch     uint64
 }
 
 // cacheParams strips the serving knobs so that two configs computing the
-// same numbers share one result-cache key regardless of worker count or
-// cache capacity.
+// same numbers share one result-cache key regardless of worker count,
+// cache capacity, or epoch policy.
 func (cfg config) cacheParams() config {
 	cfg.workers = 0
 	cfg.cacheSize = 0
+	cfg.epochInterval = 0
+	cfg.baseEpoch = 0
 	return cfg
 }
 
@@ -105,6 +110,20 @@ func WithWorkers(n int) Option { return func(cfg *config) { cfg.workers = n } }
 // disables the cache. Only the Engine reads it; it never changes what a
 // query returns.
 func WithCacheSize(n int) Option { return func(cfg *config) { cfg.cacheSize = n } }
+
+// WithEpochInterval sets how many edits the Engine's versioned store buffers
+// before materialising a new graph epoch. The default (and anything <= 1)
+// materialises on every ApplyEdits call, so mutations are immediately
+// visible; a larger interval amortises the refresh over write bursts at the
+// price of queries reading an up-to-(n-1)-edits-stale epoch until the next
+// materialisation or Refresh. Fixed at engine construction; it never changes
+// what a query returns for the epoch it runs on.
+func WithEpochInterval(n int) Option { return func(cfg *config) { cfg.epochInterval = n } }
+
+// WithBaseEpoch numbers the engine's initial graph epoch, so an engine
+// warm-started from a persisted snapshot (ReadSnapshot) resumes the version
+// sequence instead of restarting at 0. Fixed at engine construction.
+func WithBaseEpoch(epoch uint64) Option { return func(cfg *config) { cfg.baseEpoch = epoch } }
 
 func buildConfig(opts []Option) config {
 	var cfg config

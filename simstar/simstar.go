@@ -14,6 +14,14 @@
 //     reused by every query. The measures rebuild these structures per
 //     call; the Engine is what makes heavy query traffic affordable.
 //
+// The served graph is dynamic: Engine.ApplyEdits streams edge insertions
+// and removals through a versioned store, each materialised batch becoming
+// a new graph epoch whose preprocessing is refreshed incrementally and
+// whose scores are bitwise-identical to a from-scratch build. Queries and
+// mutations never block each other — a query answers from the epoch it
+// pinned at entry. Engine.Snapshot/WriteSnapshot/ReadSnapshot persist an
+// epoch for warm restarts.
+//
 // On top of the Engine sits the batch layer a serving system talks to:
 // MultiSource and BatchTopK answer many single-source queries in one call,
 // serving repeats from a size-bounded LRU result cache, stacking
