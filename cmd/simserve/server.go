@@ -131,6 +131,7 @@ type optionsJSON struct {
 	K         *int     `json:"k,omitempty"`
 	Eps       *float64 `json:"eps,omitempty"`
 	Sieve     *float64 `json:"sieve,omitempty"`
+	Tolerance *float64 `json:"tolerance,omitempty"`
 	Lambda    *float64 `json:"lambda,omitempty"`
 	Delta     *float64 `json:"delta,omitempty"`
 	Rank      *int     `json:"rank,omitempty"`
@@ -154,6 +155,9 @@ func (o *optionsJSON) options() []simstar.Option {
 	}
 	if o.Sieve != nil {
 		opts = append(opts, simstar.WithSieve(*o.Sieve))
+	}
+	if o.Tolerance != nil {
+		opts = append(opts, simstar.WithTolerance(*o.Tolerance))
 	}
 	if o.Lambda != nil {
 		opts = append(opts, simstar.WithLambda(*o.Lambda))
@@ -350,14 +354,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // queryJSON is one query on the wire: the node addressed by index or, on
-// labelled graphs, by label.
+// labelled graphs, by label. Tolerance is first-class sugar for
+// options.tolerance (the explicit options field wins when both are set):
+// it switches the query to the certified approximate path, and the
+// response's maxError reports the certificate.
 type queryJSON struct {
-	Measure string       `json:"measure"`
-	Node    *int         `json:"node,omitempty"`
-	Label   string       `json:"label,omitempty"`
-	K       int          `json:"k,omitempty"`
-	Exclude []int        `json:"exclude,omitempty"`
-	Options *optionsJSON `json:"options,omitempty"`
+	Measure   string       `json:"measure"`
+	Node      *int         `json:"node,omitempty"`
+	Label     string       `json:"label,omitempty"`
+	K         int          `json:"k,omitempty"`
+	Exclude   []int        `json:"exclude,omitempty"`
+	Tolerance *float64     `json:"tolerance,omitempty"`
+	Options   *optionsJSON `json:"options,omitempty"`
 }
 
 // resolveNode maps the wire query to a node id on g.
@@ -387,12 +395,18 @@ func (q *queryJSON) toQuery(g *simstar.Graph) (simstar.Query, error) {
 	if q.Measure == "" {
 		return simstar.Query{}, errors.New("need measure")
 	}
+	var opts []simstar.Option
+	if q.Tolerance != nil {
+		// The shorthand goes first so an explicit options.tolerance wins.
+		opts = append(opts, simstar.WithTolerance(*q.Tolerance))
+	}
+	opts = append(opts, q.Options.options()...)
 	return simstar.Query{
 		Measure: q.Measure,
 		Node:    node,
 		K:       q.K,
 		Exclude: q.Exclude,
-		Opts:    q.Options.options(),
+		Opts:    opts,
 	}, nil
 }
 
@@ -421,11 +435,15 @@ func decodeQuery(w http.ResponseWriter, r *http.Request, g *simstar.Graph) (sims
 }
 
 type singleResponse struct {
-	Measure string    `json:"measure"`
-	Node    int       `json:"node"`
-	Label   string    `json:"label,omitempty"`
-	Cached  bool      `json:"cached"`
-	Scores  []float64 `json:"scores"`
+	Measure string `json:"measure"`
+	Node    int    `json:"node"`
+	Label   string `json:"label,omitempty"`
+	Cached  bool   `json:"cached"`
+	// MaxError is the certified element-wise bound on how far the scores
+	// can be from the exact kernels: 0 for exact queries, at most the
+	// requested tolerance for approximate ones.
+	MaxError float64   `json:"maxError"`
+	Scores   []float64 `json:"scores"`
 }
 
 func (s *server) handleSingle(w http.ResponseWriter, r *http.Request) {
@@ -444,11 +462,12 @@ func (s *server) handleSingle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, singleResponse{
-		Measure: q.Measure,
-		Node:    q.Node,
-		Label:   labelOf(eng.Graph(), q.Node),
-		Cached:  res.Cached,
-		Scores:  res.Scores,
+		Measure:  q.Measure,
+		Node:     q.Node,
+		Label:    labelOf(eng.Graph(), q.Node),
+		Cached:   res.Cached,
+		MaxError: res.MaxError,
+		Scores:   res.Scores,
 	})
 }
 
@@ -474,11 +493,15 @@ func labelOf(g *simstar.Graph, node int) string {
 }
 
 type topKResponse struct {
-	Measure string       `json:"measure"`
-	Node    int          `json:"node"`
-	Label   string       `json:"label,omitempty"`
-	Cached  bool         `json:"cached"`
-	Top     []rankedJSON `json:"top"`
+	Measure string `json:"measure"`
+	Node    int    `json:"node"`
+	Label   string `json:"label,omitempty"`
+	Cached  bool   `json:"cached"`
+	// MaxError certifies the underlying score vector the ranking was drawn
+	// from; two nodes whose exact scores differ by less than it may rank in
+	// either order.
+	MaxError float64      `json:"maxError"`
+	Top      []rankedJSON `json:"top"`
 }
 
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -496,11 +519,12 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, topKResponse{
-		Measure: q.Measure,
-		Node:    q.Node,
-		Label:   labelOf(eng.Graph(), q.Node),
-		Cached:  res.Cached,
-		Top:     rankedList(eng.Graph(), res.Top),
+		Measure:  q.Measure,
+		Node:     q.Node,
+		Label:    labelOf(eng.Graph(), q.Node),
+		Cached:   res.Cached,
+		MaxError: res.MaxError,
+		Top:      rankedList(eng.Graph(), res.Top),
 	})
 }
 
@@ -515,12 +539,14 @@ type batchRequest struct {
 type batchResultJSON struct {
 	// Node is present only when the query resolved to a node; a query that
 	// failed resolution (e.g. an unknown label) has no node to report.
-	Node   *int         `json:"node,omitempty"`
-	Label  string       `json:"label,omitempty"`
-	Cached bool         `json:"cached,omitempty"`
-	Scores []float64    `json:"scores,omitempty"`
-	Top    []rankedJSON `json:"top,omitempty"`
-	Error  string       `json:"error,omitempty"`
+	Node   *int   `json:"node,omitempty"`
+	Label  string `json:"label,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	// MaxError is the per-query certificate (see singleResponse.MaxError).
+	MaxError float64      `json:"maxError,omitempty"`
+	Scores   []float64    `json:"scores,omitempty"`
+	Top      []rankedJSON `json:"top,omitempty"`
+	Error    string       `json:"error,omitempty"`
 }
 
 type batchResponse struct {
@@ -587,6 +613,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		} else {
 			out.Label = labelOf(g, node)
 			out.Cached = res.Cached
+			out.MaxError = res.MaxError
 			out.Scores = res.Scores
 			out.Top = rankedList(g, res.Top)
 		}

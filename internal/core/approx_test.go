@@ -1,0 +1,205 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// The sieved kernels' whole contract is the certificate: on any graph, for
+// any tolerance, the element-wise deviation from the exact kernel must stay
+// within the returned MaxError, which must stay within the tolerance.
+func TestApproxGeometricCertificate(t *testing.T) {
+	ctx := context.Background()
+	for _, tol := range []float64{1e-2, 1e-3, 1e-5, 1e-7} {
+		for seed := int64(1); seed <= 6; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			n := 20 + rng.Intn(60)
+			g := randomApproxGraph(rng, n, 3*n)
+			qm := sparse.BackwardTransition(g)
+			qt := qm.Transpose()
+			opt := Options{C: 0.6, K: 5}
+			for q := 0; q < n; q += 7 {
+				exact, err := SingleSourceGeometricFromTransition(ctx, qm, q, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				approx, bound, err := ApproxSingleSourceGeometricFromTransition(ctx, qm, qt, q, tol, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkCertificate(t, exact, approx, bound, tol)
+			}
+		}
+	}
+}
+
+func TestApproxExponentialCertificate(t *testing.T) {
+	ctx := context.Background()
+	for _, tol := range []float64{1e-2, 1e-3, 1e-5, 1e-7} {
+		for seed := int64(11); seed <= 14; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			n := 20 + rng.Intn(60)
+			g := randomApproxGraph(rng, n, 3*n)
+			qm := sparse.BackwardTransition(g)
+			qt := qm.Transpose()
+			opt := Options{C: 0.6, K: 7}
+			for q := 0; q < n; q += 7 {
+				exact, err := SingleSourceExponentialFromTransition(ctx, qm, q, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				approx, bound, err := ApproxSingleSourceExponentialFromTransition(ctx, qm, qt, q, tol, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkCertificate(t, exact, approx, bound, tol)
+			}
+		}
+	}
+}
+
+// The multi-source wrappers reuse one workspace across queries; residue from
+// an earlier query leaking into a later one would break the certificate, so
+// every result must match its standalone single-source run exactly.
+func TestApproxMultiSourceMatchesSingleSource(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(3))
+	g := randomApproxGraph(rng, 50, 150)
+	qm := sparse.BackwardTransition(g)
+	qt := qm.Transpose()
+	opt := Options{C: 0.6, K: 5}
+	nodes := []int{0, 7, 7, 13, 49}
+	const tol = 1e-4
+
+	multi, errsG, err := ApproxMultiSourceGeometricFromTransition(ctx, qm, qt, nodes, tol, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range nodes {
+		single, bound, err := ApproxSingleSourceGeometricFromTransition(ctx, qm, qt, q, tol, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errsG[i] != bound {
+			t.Fatalf("geometric q=%d: multi bound %g != single bound %g", q, errsG[i], bound)
+		}
+		for j := range single {
+			if multi[i][j] != single[j] {
+				t.Fatalf("geometric q=%d j=%d: multi %g != single %g", q, j, multi[i][j], single[j])
+			}
+		}
+	}
+
+	multiE, errsE, err := ApproxMultiSourceExponentialFromTransition(ctx, qm, qt, nodes, tol, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range nodes {
+		single, bound, err := ApproxSingleSourceExponentialFromTransition(ctx, qm, qt, q, tol, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errsE[i] != bound {
+			t.Fatalf("exponential q=%d: multi bound %g != single bound %g", q, errsE[i], bound)
+		}
+		for j := range single {
+			if multiE[i][j] != single[j] {
+				t.Fatalf("exponential q=%d j=%d: multi %g != single %g", q, j, multiE[i][j], single[j])
+			}
+		}
+	}
+}
+
+func TestApproxKernelsHonourCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomApproxGraph(rng, 30, 90)
+	qm := sparse.BackwardTransition(g)
+	qt := qm.Transpose()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ApproxSingleSourceGeometricFromTransition(ctx, qm, qt, 0, 1e-4, Options{}); err == nil {
+		t.Fatal("geometric: want cancellation error")
+	}
+	if _, _, err := ApproxSingleSourceExponentialFromTransition(ctx, qm, qt, 0, 1e-4, Options{}); err == nil {
+		t.Fatal("exponential: want cancellation error")
+	}
+}
+
+// checkCertificate asserts the two-sided contract |approx−exact| <= bound
+// <= tol element-wise.
+func checkCertificate(t *testing.T, exact, approx []float64, bound, tol float64) {
+	t.Helper()
+	if bound > tol {
+		t.Fatalf("MaxError %g exceeds tolerance %g", bound, tol)
+	}
+	for i := range exact {
+		if diff := math.Abs(approx[i] - exact[i]); diff > bound {
+			t.Fatalf("entry %d: |approx−exact| = %g exceeds certificate %g (tol %g)", i, diff, bound, tol)
+		}
+	}
+}
+
+func randomApproxGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	edges := make([][2]int, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, [2]int{rng.Intn(n), rng.Intn(n)})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// lowDegreeGraph builds the benchmark's 100k-node sparse graph: every node
+// links to a handful of mostly-local neighbours, the regime (social and
+// citation graphs) where a query's K-hop in-neighbourhood stays far below n
+// and the sieved frontier path should win big.
+func lowDegreeGraph(n, deg int) *graph.Graph {
+	rng := rand.New(rand.NewSource(1729))
+	edges := make([][2]int, 0, n*deg)
+	for u := 0; u < n; u++ {
+		for d := 0; d < deg; d++ {
+			v := u + 1 + rng.Intn(64)
+			if v >= n {
+				v -= n
+			}
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// BenchmarkApproxSingleSource100k records the tentpole speedup: sieved
+// single-source geometric SimRank* at eps=1e-4 against the exact dense
+// kernel on a 100k-node low-degree graph. Compare the exact and approx
+// sub-benchmark times for the multiplier.
+func BenchmarkApproxSingleSource100k(b *testing.B) {
+	g := lowDegreeGraph(100_000, 3)
+	qm := sparse.BackwardTransition(g)
+	qt := qm.Transpose()
+	opt := Options{C: 0.6, K: 5}
+	ctx := context.Background()
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SingleSourceGeometricFromTransition(ctx, qm, i%g.N(), opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("approx-1e-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ApproxSingleSourceGeometricFromTransition(ctx, qm, qt, i%g.N(), 1e-4, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("approx-exponential-1e-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ApproxSingleSourceExponentialFromTransition(ctx, qm, qt, i%g.N(), 1e-4, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -210,6 +210,16 @@ func (s *Store) materializeLocked(res *Result) error {
 	}
 	s.pending = s.pending[:0]
 	if delta.Empty() {
+		// A structural no-op batch has no replay value: the current snapshot
+		// already reflects it, and since the epoch is not advancing, its log
+		// entries (Base == current epoch) would survive every Compact(current)
+		// forever — one leaked entry per idempotent edit in a long-running
+		// server. Drop them with the pending buffer; they are always the log
+		// tail, because Apply appends to both in lockstep and nothing else
+		// appends to the log.
+		if n := len(s.log); n >= len(ops) {
+			s.log = s.log[:n-len(ops)]
+		}
 		return nil
 	}
 	s.snap.Store(&Snapshot{Graph: ng, Epoch: cur.Epoch + 1})

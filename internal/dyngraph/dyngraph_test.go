@@ -99,6 +99,34 @@ func TestStoreNoOpBatchKeepsEpoch(t *testing.T) {
 	}
 }
 
+// Materialised no-op batches must not leave log entries behind: their Base
+// equals the (unadvanced) current epoch, so Compact(current) would keep
+// them forever — one leaked entry per idempotent edit in a long-running
+// server.
+func TestStoreNoOpBatchLeavesNoLogResidue(t *testing.T) {
+	s := New(baseGraph())
+	for i := 0; i < 100; i++ {
+		if _, err := s.Apply([]Edit{Insert(0, 1)}); err != nil { // already present
+			t.Fatal(err)
+		}
+		s.Compact(s.Snapshot().Epoch)
+	}
+	if n := s.LogLen(); n != 0 {
+		t.Fatalf("log holds %d entries after 100 compacted no-op applies, want 0", n)
+	}
+	// An effective batch after the no-ops still logs and replays normally.
+	res, err := s.Apply([]Edit{Insert(4, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Materialized || res.Snapshot.Epoch != 1 {
+		t.Fatalf("effective apply after no-ops = %+v, want epoch 1", res)
+	}
+	if got := s.Log(); len(got) != 1 || got[0].Base != 0 || got[0].Edit != Insert(4, 0) {
+		t.Fatalf("log after effective apply = %+v", got)
+	}
+}
+
 func TestStoreRejectsInvalidBatchAtomically(t *testing.T) {
 	s := New(baseGraph())
 	if _, err := s.Apply([]Edit{Insert(4, 4), {Op: OpInsert, U: -1, V: 0}}); err == nil {

@@ -1,0 +1,48 @@
+package dyngraph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdits hammers the "+/- u v" mutation-stream parser (fed by
+// cmd/gengraph -editsout replay files and any operator tooling): no input
+// may panic, and accepted streams must round-trip through WriteEdits
+// unchanged — the edit list is a log, so order and duplicates are
+// significant and must survive serialisation exactly.
+func FuzzReadEdits(f *testing.F) {
+	f.Add([]byte("+ 0 1\n- 1 2\n"))
+	f.Add([]byte("# edits: 2\n+ 3 4\n+ 3 4\n"))
+	f.Add([]byte("\n# only comments\n"))
+	f.Add([]byte("- 0 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edits, err := ReadEdits(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input
+		}
+		for i, e := range edits {
+			if e.U < 0 || e.V < 0 {
+				t.Fatalf("edit %d accepted negative node id: %+v", i, e)
+			}
+			if e.Op != OpInsert && e.Op != OpDelete {
+				t.Fatalf("edit %d has op %q", i, e.Op)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteEdits(&buf, edits); err != nil {
+			t.Fatalf("WriteEdits: %v", err)
+		}
+		back, err := ReadEdits(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading written stream: %v", err)
+		}
+		if len(back) != len(edits) {
+			t.Fatalf("round trip changed length: %d → %d", len(edits), len(back))
+		}
+		for i := range edits {
+			if back[i] != edits[i] {
+				t.Fatalf("round trip changed edit %d: %+v → %+v", i, edits[i], back[i])
+			}
+		}
+	})
+}

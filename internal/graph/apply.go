@@ -9,7 +9,11 @@ import (
 // EdgeOp is one edge mutation: the insertion (Delete false) or removal
 // (Delete true) of the directed edge U→V. A batch of EdgeOps is a sequence;
 // when the same edge appears more than once in a batch the last operation
-// wins, matching the effect of applying the ops one at a time.
+// wins, matching the edge-wise effect of applying the ops one at a time.
+// The batch is collapsed to its final verdicts before anything is applied,
+// so a node named only by inserts that a later delete in the same batch
+// cancels is never materialised — the node count grows exactly as far as
+// the resulting edge set requires.
 type EdgeOp struct {
 	U, V   int
 	Delete bool

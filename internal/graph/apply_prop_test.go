@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Property test for the dynamic-graph write path: ANY batch of edits —
+// duplicates of the same edge with conflicting verdicts, self-loops,
+// deletes of absent edges, inserts of present ones, node growth, all mixed
+// — must leave ApplyEdits bitwise-equal (CSR arrays, both directions) to
+// building the collapsed mutated edge set from scratch. This is the
+// invariant the whole incremental engine stack (transition splicing, epoch
+// refresh, snapshot round-trips) is built on.
+
+// oracleApply applies ops to an edge-set model of the graph under the
+// documented batch semantics: collapse to last-op-wins verdicts, then grow
+// the node count exactly as far as the surviving inserts require.
+func oracleApply(set map[[2]int]bool, n int, ops []EdgeOp) (map[[2]int]bool, int) {
+	final := make(map[[2]int]bool, len(ops))
+	for _, op := range ops {
+		final[[2]int{op.U, op.V}] = !op.Delete
+	}
+	for e, insert := range final {
+		if insert {
+			if !set[e] {
+				set[e] = true
+				if e[0] >= n {
+					n = e[0] + 1
+				}
+				if e[1] >= n {
+					n = e[1] + 1
+				}
+			}
+		} else {
+			delete(set, e)
+		}
+	}
+	return set, n
+}
+
+func oracleBuild(t *testing.T, set map[[2]int]bool, n int) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	b.EnsureN(n)
+	for e := range set {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// randomOps generates a batch that deliberately stresses the documented
+// edge cases: ~half the ops target a small id range (forcing duplicate
+// edges with conflicting verdicts), self-loops are injected outright, and
+// ids run past n to force node growth.
+func randomOps(rng *rand.Rand, n, count int) []EdgeOp {
+	ops := make([]EdgeOp, 0, count)
+	for i := 0; i < count; i++ {
+		span := n + 6
+		if rng.Intn(2) == 0 {
+			span = 4 // tiny range: duplicates and verdict flips are common
+		}
+		op := EdgeOp{U: rng.Intn(span), V: rng.Intn(span), Delete: rng.Intn(2) == 0}
+		if rng.Intn(8) == 0 {
+			op.V = op.U // forced self-loop
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func TestApplyEditsPropertyBitwiseRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(16)
+		set := make(map[[2]int]bool)
+		for i := 0; i < rng.Intn(4*n); i++ {
+			set[[2]int{rng.Intn(n), rng.Intn(n)}] = true
+		}
+		g := oracleBuild(t, set, n)
+		// Chain several batches: every intermediate epoch must match its
+		// from-scratch rebuild, not just the final state — the engine
+		// splices each epoch from the previous one.
+		for batch := 0; batch < 3; batch++ {
+			ops := randomOps(rng, n, 1+rng.Intn(24))
+			ng, delta, err := g.ApplyEdits(ops)
+			if err != nil {
+				t.Fatalf("trial %d batch %d: %v", trial, batch, err)
+			}
+			set, n = oracleApply(set, n, ops)
+			want := oracleBuild(t, set, n)
+			assertStructurallyEqual(t, ng, want)
+			if delta.NewN != n {
+				t.Fatalf("trial %d batch %d: delta.NewN = %d, oracle %d", trial, batch, delta.NewN, n)
+			}
+			if delta.Empty() && ng != g {
+				t.Fatalf("trial %d batch %d: empty delta did not return the receiver", trial, batch)
+			}
+			g = ng
+		}
+	}
+}
+
+// A transient node — named only by an insert that a later delete in the
+// same batch cancels — must not be materialised (the collapsed-batch
+// semantics pinned in the ApplyEdits contract).
+func TestApplyEditsTransientNodeNotMaterialised(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	ng, delta, err := g.ApplyEdits([]EdgeOp{
+		{U: 0, V: 9},               // would grow to 10 nodes...
+		{U: 0, V: 9, Delete: true}, // ...but the batch cancels it
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Empty() {
+		t.Fatalf("delta %+v, want empty", delta)
+	}
+	if ng != g {
+		t.Fatal("net no-op batch must return the receiver")
+	}
+	if ng.N() != 3 {
+		t.Fatalf("N = %d, want 3", ng.N())
+	}
+}
+
+// The property must also hold on labelled graphs, where growth backfills
+// decimal labels.
+func TestApplyEditsPropertyLabelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		b := NewBuilder()
+		n := 3 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			b.AddEdgeLabeled(fmt.Sprintf("node%d", rng.Intn(n)), fmt.Sprintf("node%d", rng.Intn(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := make(map[[2]int]bool)
+		g.Edges(func(u, v int) { set[[2]int{u, v}] = true })
+		ops := randomOps(rng, g.N(), 1+rng.Intn(12))
+		ng, _, err := g.ApplyEdits(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, wantN := oracleApply(set, g.N(), ops)
+		want := oracleBuild(t, set, wantN)
+		if ng.n != want.n {
+			t.Fatalf("trial %d: n = %d, want %d", trial, ng.n, want.n)
+		}
+		assertStructurallyEqual(t, ng, want)
+		if !ng.Labeled() {
+			t.Fatalf("trial %d: labels lost", trial)
+		}
+		for i := g.N(); i < ng.N(); i++ {
+			if got, want := ng.Label(i), fmt.Sprintf("%d", i); got != want {
+				t.Fatalf("trial %d: grown node %d labelled %q, want %q", trial, i, got, want)
+			}
+		}
+	}
+}

@@ -14,30 +14,10 @@ func rebuildWithEdits(t *testing.T, g *Graph, ops []EdgeOp) *Graph {
 	t.Helper()
 	set := make(map[[2]int]bool)
 	g.Edges(func(u, v int) { set[[2]int{u, v}] = true })
-	n := g.N()
-	for _, op := range ops {
-		if op.Delete {
-			delete(set, [2]int{op.U, op.V})
-			continue
-		}
-		set[[2]int{op.U, op.V}] = true
-		if op.U >= n {
-			n = op.U + 1
-		}
-		if op.V >= n {
-			n = op.V + 1
-		}
-	}
-	b := NewBuilder()
-	b.EnsureN(n)
-	for e := range set {
-		b.AddEdge(e[0], e[1])
-	}
-	ng, err := b.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	return ng
+	// Same contract as ApplyEdits: collapse to last-op-wins verdicts first,
+	// so a transient insert cancelled later in the batch grows nothing.
+	set, n := oracleApply(set, g.N(), ops)
+	return oracleBuild(t, set, n)
 }
 
 // assertStructurallyEqual compares the CSR arrays directly: bitwise-identical

@@ -170,6 +170,17 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: binary snapshot edge target %d out of range [0, %d)", v, n)
 		}
 	}
+	// Rows must be strictly ascending — sorted and deduplicated is the Graph
+	// contract (HasEdge binary-searches rows) and what WriteTo produces; a
+	// corrupt snapshot must not smuggle in a graph that violates it.
+	for u := 0; u < int(n); u++ {
+		row := g.outDst[g.outOff[u]:g.outOff[u+1]]
+		for i := 1; i < len(row); i++ {
+			if row[i-1] >= row[i] {
+				return nil, fmt.Errorf("graph: binary snapshot out-row of node %d not strictly sorted", u)
+			}
+		}
+	}
 	// Rebuild the in-direction by counting sort over the out arrays. Rows
 	// come out sorted because sources are visited in ascending order.
 	g.inOff = make([]int32, n+1)
@@ -244,22 +255,28 @@ func writeInt32s(w io.Writer, vals []int32) error {
 	return nil
 }
 
-// readInt32s decodes count little-endian int32 values.
+// readInt32s decodes count little-endian int32 values. The slice grows as
+// data actually arrives rather than being sized from count up front, so a
+// corrupt or hostile header claiming billions of entries fails with a read
+// error after a bounded allocation instead of attempting a giant make.
 func readInt32s(r io.Reader, count int) ([]int32, error) {
-	out := make([]int32, count)
+	initial := count
+	if initial > 1<<16 {
+		initial = 1 << 16
+	}
+	out := make([]int32, 0, initial)
 	var buf [4096]byte
-	for i := 0; i < count; {
+	for len(out) < count {
 		k := len(buf) / 4
-		if k > count-i {
-			k = count - i
+		if k > count-len(out) {
+			k = count - len(out)
 		}
 		if _, err := io.ReadFull(r, buf[:4*k]); err != nil {
 			return nil, fmt.Errorf("graph: reading binary snapshot: %w", err)
 		}
 		for j := 0; j < k; j++ {
-			out[i+j] = int32(binary.LittleEndian.Uint32(buf[4*j:]))
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[4*j:])))
 		}
-		i += k
 	}
 	return out, nil
 }

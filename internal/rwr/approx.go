@@ -1,0 +1,101 @@
+package rwr
+
+import (
+	"context"
+
+	"repro/internal/sparse"
+)
+
+// Threshold-sieved approximate single-source RWR. The walk mass spreads
+// from the query node through Wᵀ sweeps; entries below an adaptive
+// threshold are dropped each sweep and charged against an error budget, so
+// the result carries a certified element-wise bound:
+//
+//	|approx[i] − exact[i]| <= MaxError <= tol   for every node i,
+//
+// where "exact" is SingleSourceFromTransition at the same Options. Mass
+// dropped before step k can only reach the output through the series tail
+// Σ_{l>=k} (1−C)·Cˡ, the geometric decay that lets late sweeps drop
+// proportionally more. Tolerances below sparse.MinCertTolerance disable
+// dropping; callers wanting bitwise equality with the exact kernel should
+// dispatch to it directly.
+
+// ApproxSingleSourceFromTransition answers one sieved RWR single-source
+// query against a pre-built forward transition matrix, returning the scores
+// and the certified MaxError bound.
+func ApproxSingleSourceFromTransition(ctx context.Context, w *sparse.CSR, q int, tol float64, opt Options) ([]float64, float64, error) {
+	ws := newApproxRWRWS(w.R, opt)
+	return ws.run(ctx, w, q, tol)
+}
+
+// ApproxMultiSourceFromTransition answers one sieved RWR single-source
+// query per entry of nodes, sharing the kernel workspace across queries.
+// Result i and MaxError i correspond to nodes[i].
+func ApproxMultiSourceFromTransition(ctx context.Context, w *sparse.CSR, nodes []int, tol float64, opt Options) ([][]float64, []float64, error) {
+	ws := newApproxRWRWS(w.R, opt)
+	out := make([][]float64, len(nodes))
+	errs := make([]float64, len(nodes))
+	for i, q := range nodes {
+		scores, bound, err := ws.run(ctx, w, q, tol)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[i], errs[i] = scores, bound
+	}
+	return out, errs, nil
+}
+
+// approxRWRWS is the sieved RWR workspace: two ping-pong frontiers and the
+// series-tail weights tail[k] = Σ_{l=k}^{K} (1−C)·Cˡ.
+type approxRWRWS struct {
+	opt  Options
+	a, b *sparse.Frontier
+	tail []float64
+}
+
+func newApproxRWRWS(n int, opt Options) *approxRWRWS {
+	opt = opt.withDefaults()
+	ws := &approxRWRWS{
+		opt:  opt,
+		a:    sparse.NewFrontier(n),
+		b:    sparse.NewFrontier(n),
+		tail: make([]float64, opt.K+2),
+	}
+	coef := 1 - opt.C
+	for k := 0; k <= opt.K; k++ {
+		ws.tail[k] = coef
+		coef *= opt.C
+	}
+	// Suffix-sum the per-term weights into the series tails.
+	for k := opt.K - 1; k >= 0; k-- {
+		ws.tail[k] += ws.tail[k+1]
+	}
+	return ws
+}
+
+func (ws *approxRWRWS) run(ctx context.Context, w *sparse.CSR, q int, tol float64) ([]float64, float64, error) {
+	ws.a.Reset()
+	ws.b.Reset()
+	opt := ws.opt
+	out := make([]float64, w.R)
+	budget := sparse.NewCertBudget(tol, opt.K)
+
+	cur, next := ws.a, ws.b
+	cur.Add(int32(q), 1)
+	coef := 1 - opt.C
+	for k := 0; ; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		cur.AddScaledInto(out, coef)
+		if k == opt.K {
+			break
+		}
+		next.Reset()
+		w.ScatterMulT(next, cur) // next = Wᵀ·cur
+		cur, next = next, cur
+		budget.SieveMass(cur, ws.tail[k+1])
+		coef *= opt.C
+	}
+	return out, budget.Certificate(), nil
+}

@@ -1,0 +1,97 @@
+package sparse
+
+// Certified sieving: the approximate kernels drop frontier entries below an
+// adaptive threshold and account every drop against a caller-supplied error
+// budget, so the final result carries a machine-checkable bound on how far
+// it can be from the exact (truncated-series) answer.
+//
+// The accounting rests on two facts about the transition operators (rows of
+// Q and W sum to at most 1, entries are non-negative):
+//
+//   - A transpose sweep (Qᵀ·x) never grows the 1-norm of non-negative mass,
+//     and any single entry of a non-negative vector is at most its 1-norm.
+//     Dropping mass δ (1-norm) before a chain of sweeps with total
+//     downstream coefficient weight w therefore perturbs every output entry
+//     by at most w·δ — SieveMass.
+//   - A forward sweep (Q·x) never grows the ∞-norm: row sums <= 1 bound
+//     (Q^a d)_i <= ‖d‖_∞ for the whole dropped vector at once. Dropping
+//     entries each below τ before downstream weight w perturbs every output
+//     entry by at most w·max(dropped) — SievePeak.
+//
+// Each sieve point receives an equal share of the remaining budget and
+// spends only what it actually drops; unspent budget rolls forward, so the
+// threshold adapts: early sweeps on tiny frontiers drop little and leave
+// later, denser sweeps more room.
+
+// CertSlack is the floating-point headroom every certificate includes: the
+// sieved kernels accumulate in a different order than the dense exact
+// kernels, and the dropped-mass bound is exact only in real arithmetic.
+// Scores are bounded by 1 and per-entry accumulation chains are far below
+// 10⁴ flops, so 10⁻¹² covers reordering noise with orders of magnitude to
+// spare while remaining negligible against any useful tolerance.
+const CertSlack = 1e-12
+
+// MinCertTolerance is the smallest tolerance the sieved kernels accept:
+// below it the budget cannot fund a single drop past CertSlack, so callers
+// serve the exact kernels (with a zero certificate) instead.
+const MinCertTolerance = 1e-9
+
+// CertBudget tracks an adaptive sieve budget across a fixed number of sieve
+// points and accumulates the certified error bound actually incurred.
+type CertBudget struct {
+	remaining float64
+	points    int
+	bound     float64
+}
+
+// NewCertBudget returns a budget that keeps the final certificate within
+// tol across points sieve points: CertSlack is reserved up front and every
+// drop is charged at its downstream weight.
+func NewCertBudget(tol float64, points int) *CertBudget {
+	b := tol - CertSlack
+	if b < 0 {
+		b = 0
+	}
+	return &CertBudget{remaining: b, points: points}
+}
+
+// allowance is this sieve point's share of the remaining budget.
+func (cb *CertBudget) allowance() float64 {
+	if cb.points <= 0 {
+		return 0
+	}
+	return cb.remaining / float64(cb.points)
+}
+
+// SieveMass sieves f at a transpose-direction point with downstream weight
+// w, charging the dropped 1-norm mass times w against the budget.
+func (cb *CertBudget) SieveMass(f *Frontier, w float64) {
+	allowed := cb.allowance()
+	cb.points--
+	if allowed <= 0 || w <= 0 || f.Len() == 0 {
+		return
+	}
+	dropped, _ := f.Sieve(allowed / (w * float64(f.Len())))
+	spent := w * dropped
+	cb.bound += spent
+	cb.remaining -= spent
+}
+
+// SievePeak sieves f at a forward-direction point with downstream weight w,
+// charging the largest dropped entry times w against the budget (row sums
+// <= 1 bound the whole dropped vector's downstream effect by its peak).
+func (cb *CertBudget) SievePeak(f *Frontier, w float64) {
+	allowed := cb.allowance()
+	cb.points--
+	if allowed <= 0 || w <= 0 || f.Len() == 0 {
+		return
+	}
+	_, maxDropped := f.Sieve(allowed / w)
+	spent := w * maxDropped
+	cb.bound += spent
+	cb.remaining -= spent
+}
+
+// Certificate returns the certified element-wise error bound: everything
+// charged so far plus the floating-point slack.
+func (cb *CertBudget) Certificate() float64 { return cb.bound + CertSlack }

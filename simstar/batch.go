@@ -2,6 +2,7 @@ package simstar
 
 import (
 	"context"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/par"
@@ -42,6 +43,11 @@ type Result struct {
 	// Cached reports whether the underlying score vector was served from
 	// the engine's result cache rather than computed.
 	Cached bool
+	// MaxError is the certified element-wise bound on how far the
+	// underlying score vector can be from the exact kernels at the query's
+	// parameters: 0 for exact queries, at most the configured tolerance for
+	// sieved-approximate ones (see WithTolerance).
+	MaxError float64
 	// Err is the per-query error: an unknown measure, an out-of-range
 	// node, or ctx's error for queries cancelled or skipped mid-batch.
 	Err error
@@ -122,15 +128,16 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 	results := make([]Result, len(queries))
 	done := make([]bool, len(queries))
 
-	finish := func(i int, scores []float64, cached bool) {
+	finish := func(i int, scores []float64, maxErr float64, cached bool) {
 		q := queries[i]
 		if topk {
 			results[i] = Result{
-				Top:    TopK(scores, q.K, append([]int{q.Node}, q.Exclude...)...),
-				Cached: cached,
+				Top:      TopK(scores, q.K, append([]int{q.Node}, q.Exclude...)...),
+				Cached:   cached,
+				MaxError: maxErr,
 			}
 		} else {
-			results[i] = Result{Scores: scores, Cached: cached}
+			results[i] = Result{Scores: scores, Cached: cached, MaxError: maxErr}
 		}
 		done[i] = true
 	}
@@ -169,8 +176,8 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 			node:    q.Node,
 		}
 		keys[i] = key
-		if scores, ok := e.cache.get(key); ok {
-			finish(i, scores, true)
+		if scores, maxErr, ok := eng.cacheLookup(key); ok {
+			finish(i, scores, maxErr, true)
 			continue
 		}
 		builtin, _, err := eng.builtinName(q.Measure)
@@ -195,8 +202,12 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 	}
 
 	// Phase 2: one blocked run per group, deduplicating nodes repeated
-	// within the group and chunked to bound workspace memory. The blocked
-	// kernels are row-parallel internally, so groups run sequentially.
+	// within the group and chunked to bound workspace memory. The exact
+	// blocked kernels are row-parallel internally, so their groups run
+	// sequentially; the sieved approximate kernels process a chunk serially
+	// on one workspace, so approximate groups instead split into per-worker
+	// chunks and spread across the pool — each chunk touches a disjoint set
+	// of result slots, so the writes never race.
 	for gk, g := range groups {
 		// Distinct nodes in first-appearance order; queryOf[node] lists the
 		// group positions wanting that node.
@@ -209,12 +220,24 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 			}
 			queryOf[node] = append(queryOf[node], pos)
 		}
-		for lo := 0; lo < len(nodes); lo += blockColumns {
-			hi := lo + blockColumns
+		approx := g.eng.cfg.tolerance >= MinTolerance
+		chunk := blockColumns
+		if approx {
+			workers := e.cfg.workers
+			if workers <= 0 {
+				workers = runtime.NumCPU()
+			}
+			if chunk = (len(nodes) + workers - 1) / workers; chunk > blockColumns {
+				chunk = blockColumns
+			}
+		}
+		nChunks := (len(nodes) + chunk - 1) / chunk
+		process := func(ci int) {
+			lo, hi := ci*chunk, (ci+1)*chunk
 			if hi > len(nodes) {
 				hi = len(nodes)
 			}
-			block, err := g.eng.runBlock(ctx, st, gk.kernel, nodes[lo:hi])
+			block, maxErrs, err := g.eng.runBlock(ctx, st, gk.kernel, nodes[lo:hi])
 			if err != nil {
 				for _, node := range nodes[lo:hi] {
 					for _, pos := range queryOf[node] {
@@ -222,9 +245,13 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 						done[g.idx[pos]] = true
 					}
 				}
-				continue
+				return
 			}
 			for t, node := range nodes[lo:hi] {
+				var maxErr float64
+				if maxErrs != nil {
+					maxErr = maxErrs[t]
+				}
 				for dup, pos := range queryOf[node] {
 					scores := block[t]
 					if dup > 0 {
@@ -232,9 +259,18 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 						// takes the kernel's, the rest take copies.
 						scores = append([]float64(nil), block[t]...)
 					}
-					e.cache.put(g.keys[pos], scores)
-					finish(g.idx[pos], scores, false)
+					e.cache.put(g.keys[pos], scores, maxErr)
+					finish(g.idx[pos], scores, maxErr, false)
 				}
+			}
+		}
+		if approx {
+			// Chunks the pool never dispatches (cancelled mid-batch) leave
+			// their queries !done; the catch-all below answers them.
+			par.ForEachCtx(ctx, nChunks, e.cfg.workers, process)
+		} else {
+			for ci := 0; ci < nChunks; ci++ {
+				process(ci)
 			}
 		}
 	}
@@ -252,16 +288,16 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 	}
 	par.ForEachCtx(ctx, len(uniq), e.cfg.workers, func(j int) {
 		i := uniq[j]
-		scores, cached, err := engs[i].singleSource(ctx, st, queries[i].Measure, queries[i].Node)
+		scores, maxErr, cached, err := engs[i].singleSource(ctx, st, queries[i].Measure, queries[i].Node)
 		for d, ii := range dup[keys[i]] {
 			switch {
 			case err != nil:
 				results[ii] = Result{Err: err}
 				done[ii] = true
 			case d == 0:
-				finish(ii, scores, cached)
+				finish(ii, scores, maxErr, cached)
 			default:
-				finish(ii, append([]float64(nil), scores...), cached)
+				finish(ii, append([]float64(nil), scores...), maxErr, cached)
 			}
 		}
 	})
@@ -276,9 +312,26 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 	return results
 }
 
-// runBlock answers one chunk of same-kernel, same-parameter queries with the
-// blocked multi-source kernel over the pinned state's cached structures.
-func (e *Engine) runBlock(ctx context.Context, st *engineState, kernel blockKernel, nodes []int) ([][]float64, error) {
+// runBlock answers one chunk of same-kernel, same-parameter queries over
+// the pinned state's cached structures: sieved-approximate multi-source
+// kernels (shared workspace, per-query MaxError certificates) when the
+// group's parameters carry an effective tolerance, the blocked dense
+// multi-source kernels otherwise. The maxErrs slice is nil on the exact
+// paths — every query in the block is then certified at 0.
+func (e *Engine) runBlock(ctx context.Context, st *engineState, kernel blockKernel, nodes []int) ([][]float64, []float64, error) {
+	if tol := e.cfg.tolerance; tol >= MinTolerance {
+		switch kernel {
+		case blockGeometric:
+			backwardT, _ := st.transposed()
+			return core.ApproxMultiSourceGeometricFromTransition(ctx, st.backward, backwardT, nodes, tol, e.cfg.coreOptions())
+		case blockExponential:
+			backwardT, _ := st.transposed()
+			return core.ApproxMultiSourceExponentialFromTransition(ctx, st.backward, backwardT, nodes, tol, e.cfg.coreOptions())
+		case blockRWR:
+			return rwr.ApproxMultiSourceFromTransition(ctx, st.forward, nodes, tol, e.cfg.rwrOptions())
+		}
+		panic("simstar: unreachable block kernel")
+	}
 	var backwardT, forwardT *sparse.CSR
 	switch kernel {
 	case blockGeometric, blockExponential:
@@ -288,11 +341,14 @@ func (e *Engine) runBlock(ctx context.Context, st *engineState, kernel blockKern
 	}
 	switch kernel {
 	case blockGeometric:
-		return core.MultiSourceGeometricFromTransition(ctx, st.backward, backwardT, nodes, e.cfg.coreOptions())
+		scores, err := core.MultiSourceGeometricFromTransition(ctx, st.backward, backwardT, nodes, e.cfg.coreOptions())
+		return scores, nil, err
 	case blockExponential:
-		return core.MultiSourceExponentialFromTransition(ctx, st.backward, backwardT, nodes, e.cfg.coreOptions())
+		scores, err := core.MultiSourceExponentialFromTransition(ctx, st.backward, backwardT, nodes, e.cfg.coreOptions())
+		return scores, nil, err
 	case blockRWR:
-		return rwr.MultiSourceFromTransition(ctx, st.forward, forwardT, nodes, e.cfg.rwrOptions())
+		scores, err := rwr.MultiSourceFromTransition(ctx, st.forward, forwardT, nodes, e.cfg.rwrOptions())
+		return scores, nil, err
 	}
 	panic("simstar: unreachable block kernel")
 }

@@ -17,7 +17,12 @@ const DefaultCacheSize = 256
 // computed on an earlier epoch simply stop matching and age out through the
 // LRU. config is a flat struct of comparable fields, so the key is usable
 // as a map key directly; the serving-only knobs (workers, cache capacity,
-// epoch policy) are stripped by cacheParams first.
+// epoch policy) are stripped by cacheParams first. The tolerance stays in
+// the key — it shapes the numbers — so an eps-approximate entry can never
+// be served to a request with a different (in particular, tighter)
+// tolerance; the engine's lookup additionally probes the tolerance-zero
+// variant of an approximate key, because an exact result satisfies every
+// tolerance (see Engine.cacheLookup).
 type cacheKey struct {
 	measure string
 	gen     uint64
@@ -26,10 +31,15 @@ type cacheKey struct {
 	node    int
 }
 
-// cacheEntry is what the LRU list holds.
+// cacheEntry is what the LRU list holds. maxErr is the MaxError certificate
+// the scores were computed under: 0 for exact results, and at most the
+// key's tolerance for sieved ones. It rides with the entry so a cache hit
+// re-serves the original certificate, not a recomputed (and possibly
+// different) one.
 type cacheEntry struct {
 	key    cacheKey
 	scores []float64
+	maxErr float64
 }
 
 // CacheStats reports the state and lifetime counters of an Engine's
@@ -71,35 +81,37 @@ func newResultCache(capacity int) *resultCache {
 	return c
 }
 
-// get returns a copy of the cached vector for key, if present. Copying on
-// the way out keeps callers free to mutate what they receive — the same
-// contract Scores.Row and the kernels already give.
-func (c *resultCache) get(key cacheKey) ([]float64, bool) {
+// get returns a copy of the cached vector for key and its MaxError
+// certificate, if present. Copying on the way out keeps callers free to
+// mutate what they receive — the same contract Scores.Row and the kernels
+// already give.
+func (c *resultCache) get(key cacheKey) ([]float64, float64, bool) {
 	if c == nil {
-		return nil, false
+		return nil, 0, false
 	}
 	c.mu.Lock()
 	el, ok := c.items[key]
 	if !ok {
 		c.stats.Misses++
 		c.mu.Unlock()
-		return nil, false
+		return nil, 0, false
 	}
 	c.stats.Hits++
 	c.lru.MoveToFront(el)
-	src := el.Value.(*cacheEntry).scores
+	entry := el.Value.(*cacheEntry)
+	src, maxErr := entry.scores, entry.maxErr
 	c.mu.Unlock()
 	// Stored vectors are immutable — put swaps the slice, never writes into
 	// it — so the O(n) copy happens outside the lock and concurrent hits
 	// don't serialise behind each other's memcpy.
 	out := make([]float64, len(src))
 	copy(out, src)
-	return out, true
+	return out, maxErr, true
 }
 
-// put stores a copy of scores under key, evicting from the LRU tail to stay
-// within capacity.
-func (c *resultCache) put(key cacheKey, scores []float64) {
+// put stores a copy of scores under key with its MaxError certificate,
+// evicting from the LRU tail to stay within capacity.
+func (c *resultCache) put(key cacheKey, scores []float64, maxErr float64) {
 	if c == nil {
 		return
 	}
@@ -108,11 +120,12 @@ func (c *resultCache) put(key cacheKey, scores []float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).scores = cp
+		entry := el.Value.(*cacheEntry)
+		entry.scores, entry.maxErr = cp, maxErr
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.lru.PushFront(&cacheEntry{key: key, scores: cp})
+	c.items[key] = c.lru.PushFront(&cacheEntry{key: key, scores: cp, maxErr: maxErr})
 	for len(c.items) > c.capacity {
 		tail := c.lru.Back()
 		c.lru.Remove(tail)

@@ -271,18 +271,49 @@ func (e *Engine) builtinName(measureName string) (string, Measure, error) {
 // the named measure. It is served from the cached transition structures
 // where the measure supports it, and from the result cache when the same
 // (measure, parameters, node) was answered recently on the same graph
-// epoch. The returned slice is the caller's to keep and mutate.
+// epoch. The returned slice is the caller's to keep and mutate. Under
+// WithTolerance the scores are sieved-approximate; use
+// SingleSourceCertified to also receive the MaxError certificate.
 func (e *Engine) SingleSource(ctx context.Context, measureName string, q int) ([]float64, error) {
-	scores, _, err := e.singleSource(ctx, e.load(), measureName, q)
+	scores, _, _, err := e.singleSource(ctx, e.load(), measureName, q)
 	return scores, err
 }
 
-// singleSource is SingleSource against one pinned state, plus a flag
-// reporting whether the result came out of the result cache — surfaced
-// through batch Results and simserve responses.
-func (e *Engine) singleSource(ctx context.Context, st *engineState, measureName string, q int) ([]float64, bool, error) {
+// SingleSourceCertified is SingleSource plus the result's MaxError
+// certificate: a machine-checkable bound on the element-wise deviation of
+// the returned scores from the exact kernels at the same parameters. It is
+// 0 for exact queries (the default) and at most the configured tolerance
+// for sieved-approximate ones.
+func (e *Engine) SingleSourceCertified(ctx context.Context, measureName string, q int) ([]float64, float64, error) {
+	scores, maxErr, _, err := e.singleSource(ctx, e.load(), measureName, q)
+	return scores, maxErr, err
+}
+
+// cacheLookup probes the result cache for key, then — for an approximate
+// request — for the exact (tolerance-zero) variant of the same key, since
+// an exact result satisfies every tolerance with a zero certificate. A
+// donor hit counts one miss (the approximate key) and one hit in the cache
+// stats.
+func (e *Engine) cacheLookup(key cacheKey) ([]float64, float64, bool) {
+	if scores, maxErr, ok := e.cache.get(key); ok {
+		return scores, maxErr, true
+	}
+	if key.params.tolerance >= MinTolerance {
+		exact := key
+		exact.params.tolerance = 0
+		if scores, _, ok := e.cache.get(exact); ok {
+			return scores, 0, true
+		}
+	}
+	return nil, 0, false
+}
+
+// singleSource is SingleSourceCertified against one pinned state, plus a
+// flag reporting whether the result came out of the result cache —
+// surfaced through batch Results and simserve responses.
+func (e *Engine) singleSource(ctx context.Context, st *engineState, measureName string, q int) ([]float64, float64, bool, error) {
 	if err := st.checkQuery(ctx, q); err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
 	key := cacheKey{
 		measure: canonical(measureName),
@@ -291,37 +322,56 @@ func (e *Engine) singleSource(ctx context.Context, st *engineState, measureName 
 		params:  e.cfg.cacheParams(),
 		node:    q,
 	}
-	if scores, ok := e.cache.get(key); ok {
-		return scores, true, nil
+	if scores, maxErr, ok := e.cacheLookup(key); ok {
+		return scores, maxErr, true, nil
 	}
-	scores, err := e.computeSingleSource(ctx, st, measureName, q)
+	scores, maxErr, err := e.computeSingleSource(ctx, st, measureName, q)
 	if err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
-	e.cache.put(key, scores)
-	return scores, false, nil
+	e.cache.put(key, scores, maxErr)
+	return scores, maxErr, false, nil
 }
 
 // computeSingleSource is the uncached single-source path: the engine fast
-// paths over the cached transition matrices for the built-in measures, the
-// measure's own implementation otherwise.
-func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measureName string, q int) ([]float64, error) {
+// paths over the cached transition matrices for the built-in measures —
+// sieved-approximate under an effective WithTolerance, exact otherwise —
+// and the measure's own implementation for everything else. The second
+// return is the MaxError certificate (0 on every exact path).
+func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measureName string, q int) ([]float64, float64, error) {
 	builtin, m, err := e.builtinName(measureName)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	tol := e.cfg.tolerance
+	approx := tol >= MinTolerance
 	switch builtin {
 	// Single-source SimRank* factors through walk vectors and never
 	// materialises the matrix, so the memo variants share the iterative
 	// fast path (the results are identical).
 	case MeasureGeometric, MeasureGeometricMemo:
-		return core.SingleSourceGeometricFromTransition(ctx, st.backward, q, e.cfg.coreOptions())
+		if approx {
+			backwardT, _ := st.transposed()
+			return core.ApproxSingleSourceGeometricFromTransition(ctx, st.backward, backwardT, q, tol, e.cfg.coreOptions())
+		}
+		s, err := core.SingleSourceGeometricFromTransition(ctx, st.backward, q, e.cfg.coreOptions())
+		return s, 0, err
 	case MeasureExponential, MeasureExponentialMemo:
-		return core.SingleSourceExponentialFromTransition(ctx, st.backward, q, e.cfg.coreOptions())
+		if approx {
+			backwardT, _ := st.transposed()
+			return core.ApproxSingleSourceExponentialFromTransition(ctx, st.backward, backwardT, q, tol, e.cfg.coreOptions())
+		}
+		s, err := core.SingleSourceExponentialFromTransition(ctx, st.backward, q, e.cfg.coreOptions())
+		return s, 0, err
 	case MeasureRWR:
-		return rwr.SingleSourceFromTransition(ctx, st.forward, q, e.cfg.rwrOptions())
+		if approx {
+			return rwr.ApproxSingleSourceFromTransition(ctx, st.forward, q, tol, e.cfg.rwrOptions())
+		}
+		s, err := rwr.SingleSourceFromTransition(ctx, st.forward, q, e.cfg.rwrOptions())
+		return s, 0, err
 	}
-	return m.SingleSource(ctx, st.g, q)
+	s, err := m.SingleSource(ctx, st.g, q)
+	return s, 0, err
 }
 
 // TopK returns the k nodes most similar to q under the named measure,

@@ -6,6 +6,7 @@ import (
 	"repro/internal/prank"
 	"repro/internal/rwr"
 	"repro/internal/simrank"
+	"repro/internal/sparse"
 	"repro/internal/sparsesim"
 )
 
@@ -18,14 +19,15 @@ type Option func(*config)
 // "use the paper's default" (C=0.6, K=5, λ=0.5, δ=1e-4), resolved by each
 // measure's own defaulting so simstar and direct internal calls agree.
 type config struct {
-	c      float64
-	k      int
-	eps    float64
-	sieve  float64
-	lambda float64
-	delta  float64
-	rank   int
-	miner  MinerOptions
+	c         float64
+	k         int
+	eps       float64
+	sieve     float64
+	tolerance float64
+	lambda    float64
+	delta     float64
+	rank      int
+	miner     MinerOptions
 	// Engine-only knobs. These shape how queries are served, never what
 	// they return, and are therefore excluded from result-cache keys
 	// (see (config).cacheParams). The graph *content* a query sees is
@@ -38,12 +40,18 @@ type config struct {
 
 // cacheParams strips the serving knobs so that two configs computing the
 // same numbers share one result-cache key regardless of worker count,
-// cache capacity, or epoch policy.
+// cache capacity, or epoch policy. Tolerances below MinTolerance normalise
+// to 0 for the same reason: they are served by the exact kernels, so their
+// results are the exact results — a distinct key would fragment the cache
+// and dodge the exact-donor probe.
 func (cfg config) cacheParams() config {
 	cfg.workers = 0
 	cfg.cacheSize = 0
 	cfg.epochInterval = 0
 	cfg.baseEpoch = 0
+	if cfg.tolerance < MinTolerance {
+		cfg.tolerance = 0
+	}
 	return cfg
 }
 
@@ -86,6 +94,24 @@ func WithEps(eps float64) Option { return func(cfg *config) { cfg.eps = eps } }
 // WithSieve zeroes result entries below the threshold after the final
 // iteration (the paper clips at 1e-4 to save space).
 func WithSieve(eps float64) Option { return func(cfg *config) { cfg.sieve = eps } }
+
+// MinTolerance is the smallest tolerance WithTolerance honours: below it
+// (including the zero default) queries run the exact kernels and report a
+// zero MaxError certificate.
+const MinTolerance = sparse.MinCertTolerance
+
+// WithTolerance switches single-source queries served by an Engine to the
+// threshold-sieved approximate propagation path: each iteration drops
+// frontier entries too small to move any score by more than the remaining
+// error budget, and the result carries a certified bound MaxError <= eps on
+// the element-wise deviation from the exact kernels. The default (0) and
+// any eps below MinTolerance serve exact results with a zero certificate.
+// Only the Engine fast-path measures (geometric and exponential SimRank*,
+// their memo variants, and RWR) have a sieved path; other measures ignore
+// the tolerance and answer exactly. The tolerance is part of the
+// result-cache key: an approximate entry can only be re-served to requests
+// with the identical tolerance (exact entries satisfy any tolerance).
+func WithTolerance(eps float64) Option { return func(cfg *config) { cfg.tolerance = eps } }
 
 // WithMiner configures the biclique miner used by the memoized variants and
 // the Engine's cached compression.

@@ -22,6 +22,16 @@
 // pinned at entry. Engine.Snapshot/WriteSnapshot/ReadSnapshot persist an
 // epoch for warm restarts.
 //
+// Queries can trade a bounded amount of accuracy for speed: WithTolerance
+// routes the single-source fast paths through threshold-sieved sparse
+// propagation, where each sweep drops mass that provably cannot move any
+// score past the remaining error budget. Every result then carries a
+// certified bound — Engine.SingleSourceCertified and Result.MaxError
+// report MaxError with |approx − exact| <= MaxError <= eps element-wise —
+// while the default (no tolerance) stays bitwise-identical to the exact
+// kernels. The result cache keys on the tolerance, so an approximate entry
+// can never serve a tighter request.
+//
 // On top of the Engine sits the batch layer a serving system talks to:
 // MultiSource and BatchTopK answer many single-source queries in one call,
 // serving repeats from a size-bounded LRU result cache, stacking

@@ -60,6 +60,40 @@ func TestTopKMatchesSortReference(t *testing.T) {
 	}
 }
 
+// The tie-breaking order is part of the public contract, not an
+// implementation accident: equal scores rank by ascending node id, both in
+// which candidates survive the cut and in the order they are returned.
+// Batched, cached and approximate paths all lean on this determinism.
+func TestTopKTieBreakIsAscendingNodeID(t *testing.T) {
+	// All-equal scores: the top k must be exactly the k smallest node ids,
+	// ascending.
+	scores := []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	got := simstar.TopK(scores, 4)
+	for i, r := range got {
+		if r.Node != i {
+			t.Fatalf("all-ties: position %d holds node %d, want %d (got %+v)", i, r.Node, i, got)
+		}
+	}
+	// Mixed: a tie group straddling the cut keeps its lowest ids, and ties
+	// inside the result stay id-ordered between the distinct scores.
+	scores = []float64{0.3, 0.9, 0.3, 0.9, 0.3, 0.1}
+	got = simstar.TopK(scores, 4)
+	want := []simstar.Ranked{{Node: 1, Score: 0.9}, {Node: 3, Score: 0.9}, {Node: 0, Score: 0.3}, {Node: 2, Score: 0.3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// The tie-break also decides who survives against the heap's weakest
+	// entry: with k=1, the lowest id of the best tie group must win.
+	if got := simstar.TopK([]float64{0.7, 0.7, 0.7}, 1); len(got) != 1 || got[0].Node != 0 {
+		t.Fatalf("k=1 tie: got %+v, want node 0", got)
+	}
+}
+
 func TestTopKEdgeCases(t *testing.T) {
 	if got := simstar.TopK(nil, 5); len(got) != 0 {
 		t.Fatalf("empty scores: got %d entries", len(got))
