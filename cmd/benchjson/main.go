@@ -1,0 +1,172 @@
+// Command benchjson runs the engine's serving-path benchmark suite through
+// testing.Benchmark and emits a machine-readable JSON report — ns/op,
+// B/op and allocs/op per kernel — so the repository can track a performance
+// trajectory across PRs instead of comparing prose. The checked-in
+// BENCH_<pr>.json files are produced by
+//
+//	go run ./cmd/benchjson -out BENCH_<pr>.json -note "<context>"
+//
+// on a quiet machine; CI runs the same suite with -quick as a smoke check
+// (a kernel that regresses into a panic or an allocation storm fails the
+// job), without asserting absolute times, which are runner-dependent.
+//
+// The suite measures the same workload as BenchmarkEngineSingleSource100k
+// in the simstar package: exact single-source SimRank* and RWR on a
+// 100k-node degree-3 graph whose real locality is hidden behind scrambled
+// ids, across the WithRelabeling layouts, plus the pooled zero-allocation
+// SingleSourceInto loop and a 64-query blocked batch.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/simstar"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Schema  int      `json:"schema"`
+	Go      string   `json:"go"`
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	CPUs    int      `json:"cpus"`
+	Nodes   int      `json:"nodes"`
+	Edges   int      `json:"edges"`
+	Note    string   `json:"note,omitempty"`
+	Results []result `json:"results"`
+}
+
+// benchGraph mirrors the simstar benchmark graph: local structure behind
+// scrambled ids, so relabeling has something to recover.
+func benchGraph(n, deg int) *simstar.Graph {
+	rng := rand.New(rand.NewSource(271828))
+	shuf := rng.Perm(n)
+	edges := make([][2]int, 0, n*deg)
+	for u := 0; u < n; u++ {
+		for d := 0; d < deg; d++ {
+			v := u + 1 + rng.Intn(64)
+			if v >= n {
+				v -= n
+			}
+			edges = append(edges, [2]int{shuf[u], shuf[v]})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func main() {
+	out := flag.String("out", "BENCH.json", "output path for the JSON report (\"-\" for stdout)")
+	nodes := flag.Int("nodes", 100_000, "benchmark graph size")
+	quick := flag.Bool("quick", false, "CI smoke mode: a small graph, same suite")
+	note := flag.String("note", "", "free-form context recorded in the report")
+	flag.Parse()
+	if *quick {
+		*nodes = 10_000
+	}
+
+	g := benchGraph(*nodes, 3)
+	ctx := context.Background()
+	miner := simstar.WithMiner(simstar.MinerOptions{
+		MinSources: 64, MinTargets: 64, DisablePairMining: true,
+	})
+	engine := func(opts ...simstar.Option) *simstar.Engine {
+		return simstar.NewEngine(g, append([]simstar.Option{simstar.WithCacheSize(-1), miner}, opts...)...)
+	}
+	single := func(eng *simstar.Engine, measure string) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.SingleSource(ctx, measure, (i*7919)%g.N()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	natural := engine()
+	rcm := engine(simstar.WithRelabeling(simstar.RelabelRCM))
+	degree := engine(simstar.WithRelabeling(simstar.RelabelDegree))
+	suite := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"engine_single_source_exact", single(natural, simstar.MeasureGeometric)},
+		{"engine_single_source_exact_rcm", single(rcm, simstar.MeasureGeometric)},
+		{"engine_single_source_exact_degree", single(degree, simstar.MeasureGeometric)},
+		{"engine_single_source_into_pooled_degree", func(b *testing.B) {
+			buf := make([]float64, g.N())
+			for i := 0; i < b.N; i++ {
+				var err error
+				if buf, err = degree.SingleSourceInto(ctx, simstar.MeasureGeometric, (i*7919)%g.N(), buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"engine_single_source_rwr_degree", single(degree, simstar.MeasureRWR)},
+		{"engine_multi_source_block64_degree", func(b *testing.B) {
+			queries := make([]simstar.Query, 64)
+			for i := range queries {
+				queries[i] = simstar.Query{Measure: simstar.MeasureGeometric, Node: (i * 1117) % g.N()}
+			}
+			for i := 0; i < b.N; i++ {
+				for _, r := range degree.MultiSource(ctx, queries) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		}},
+	}
+
+	rep := report{
+		Schema: 1,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Nodes:  g.N(),
+		Edges:  g.M(),
+		Note:   *note,
+	}
+	for _, bm := range suite {
+		r := testing.Benchmark(bm.fn)
+		rep.Results = append(rep.Results, result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-42s %12.0f ns/op %10d B/op %6d allocs/op\n",
+			bm.name, rep.Results[len(rep.Results)-1].NsPerOp,
+			r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers used by -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,7 +58,20 @@ func main() {
 	cacheSize := flag.Int("cache", 0, "result-cache capacity in entries (0 = default, negative = disabled)")
 	epochEvery := flag.Int("epoch-interval", 0, "edits buffered before materialising a graph epoch (<=1 = every mutation request)")
 	drain := flag.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight requests")
+	pprofAddr := flag.String("pprof", "", "optional listen address for net/http/pprof (e.g. localhost:6060); profiling is off when empty")
 	flag.Parse()
+
+	// Opt-in profiling sidecar: the pprof handlers live on their own
+	// listener (http.DefaultServeMux), never on the serving mux, so enabling
+	// profiling on localhost exposes nothing on the query port.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("simserve: pprof listening on %s (/debug/pprof/)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("simserve: pprof server: %v", err)
+			}
+		}()
+	}
 
 	srv := newServer()
 	srv.snapPath = *snapPath

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/dense"
 	"repro/internal/graph"
 	"repro/internal/sparse"
 )
@@ -45,51 +46,77 @@ func SingleSourceGeometricCtx(ctx context.Context, g *graph.Graph, q int, opt Op
 // SingleSourceGeometricFromTransition answers a geometric single-source
 // query against a pre-built backward transition matrix.
 func SingleSourceGeometricFromTransition(ctx context.Context, qm *sparse.CSR, q int, opt Options) ([]float64, error) {
+	dst := make([]float64, qm.R)
+	if err := SingleSourceGeometricWS(ctx, qm, q, opt, nil, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// SingleSourceGeometricWS is the workspace form of the geometric
+// single-source kernel: it writes the scores into dst (length n) and draws
+// every intermediate vector from ws, so a serving layer that pools
+// workspaces and reuses result buffers pays zero allocations per query. A
+// nil ws uses a private one. The arithmetic — coefficients and per-element
+// accumulation order — is identical to the allocating kernel, so the scores
+// are bitwise-equal.
+func SingleSourceGeometricWS(ctx context.Context, qm *sparse.CSR, q int, opt Options, ws *sparse.Workspace, dst []float64) error {
 	opt = opt.withDefaults()
 	k := opt.IterationsGeometric()
 	n := qm.R
-
-	// w_j = (Qᵀ)ʲ e_q for j = 0..K.
-	w := make([][]float64, k+1)
-	w[0] = make([]float64, n)
-	w[0][q] = 1
-	for j := 1; j <= k; j++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		w[j] = qm.MulVecT(w[j-1])
+	if len(dst) != n {
+		panic("core: SingleSourceGeometricWS dst length mismatch")
 	}
+	if ws == nil {
+		ws = sparse.NewWorkspace(n)
+	} else if ws.Dim() != n {
+		panic("core: SingleSourceGeometricWS workspace dimension mismatch")
+	}
+	ws.Reset()
 
-	// y_α = Σ_{β=0}^{K−α} (C/2)^{α+β} binom(α+β, α) w_β.
+	// y_α accumulates Σ_β (C/2)^{α+β} binom(α+β, α) w_β; each walk vector
+	// w_β = (Qᵀ)^β e_q folds into every y_α it contributes to as soon as it
+	// exists, so only two walk buffers are ever live.
+	y := ws.TakeVecs(k + 1)
+	cur := ws.Take()
+	cur[q] = 1
+	next := ws.Raw()
 	half := opt.C / 2
-	y := make([][]float64, k+1)
-	for alpha := 0; alpha <= k; alpha++ {
-		ya := make([]float64, n)
-		for beta := 0; beta+alpha <= k; beta++ {
-			coef := math.Pow(half, float64(alpha+beta)) * binom(alpha+beta, alpha)
-			for i, v := range w[beta] {
-				ya[i] += coef * v
+	for beta := 0; beta <= k; beta++ {
+		if beta > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
+			qm.MulVecTInto(next, cur)
+			cur, next = next, cur
 		}
-		y[alpha] = ya
+		for alpha := 0; alpha+beta <= k; alpha++ {
+			coef := math.Pow(half, float64(alpha+beta)) * binom(alpha+beta, alpha)
+			dense.Axpy(y[alpha], coef, cur)
+		}
 	}
 
-	// Horner: z = y_K; z = Q·z + y_α for α = K−1 .. 0.
+	// Horner: z = y_K; z = Q·z + y_α for α = K−1 .. 0, the addition fused
+	// into the sweep and the final (1−C) normalisation folded into the last
+	// step.
 	z := y[k]
-	for alpha := k - 1; alpha >= 0; alpha-- {
+	for alpha := k - 1; alpha >= 1; alpha-- {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
-		z = qm.MulVec(z)
-		for i, v := range y[alpha] {
-			z[i] += v
+		qm.MulVecAddInto(next, z, y[alpha])
+		z, next = next, z
+	}
+	if k == 0 {
+		dense.ScaledCopy(dst, 1-opt.C, y[0])
+	} else {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
+		qm.MulVecAddScaleInto(dst, z, y[0], 1-opt.C)
 	}
-	for i := range z {
-		z[i] *= 1 - opt.C
-	}
-	applySieveVec(z, opt.Sieve)
-	return z, nil
+	applySieveVec(dst, opt.Sieve)
+	return nil
 }
 
 // SingleSourceExponential returns the exponential SimRank* scores between q
@@ -107,52 +134,69 @@ func SingleSourceExponentialCtx(ctx context.Context, g *graph.Graph, q int, opt 
 // SingleSourceExponentialFromTransition answers an exponential single-source
 // query against a pre-built backward transition matrix.
 func SingleSourceExponentialFromTransition(ctx context.Context, qm *sparse.CSR, q int, opt Options) ([]float64, error) {
+	dst := make([]float64, qm.R)
+	if err := SingleSourceExponentialWS(ctx, qm, q, opt, nil, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// SingleSourceExponentialWS is the workspace form of the exponential
+// single-source kernel: scores go into dst (length n), intermediates come
+// from ws (nil for a private one), and the arithmetic is bitwise-identical
+// to the allocating kernel.
+func SingleSourceExponentialWS(ctx context.Context, qm *sparse.CSR, q int, opt Options, ws *sparse.Workspace, dst []float64) error {
 	opt = opt.withDefaults()
 	k := opt.IterationsExponential()
 	n := qm.R
+	if len(dst) != n {
+		panic("core: SingleSourceExponentialWS dst length mismatch")
+	}
+	if ws == nil {
+		ws = sparse.NewWorkspace(n)
+	} else if ws.Dim() != n {
+		panic("core: SingleSourceExponentialWS workspace dimension mismatch")
+	}
+	ws.Reset()
 
 	// v = T_Kᵀ e_q = Σ_j (C/2)ʲ/j!·(Qᵀ)ʲ e_q.
-	v := make([]float64, n)
-	cur := make([]float64, n)
+	v := ws.Take()
+	cur := ws.Take()
 	cur[q] = 1
+	next := ws.Raw()
 	coef := 1.0
 	for j := 0; ; j++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
-		for i, x := range cur {
-			v[i] += coef * x
-		}
+		dense.Axpy(v, coef, cur)
 		if j == k {
 			break
 		}
-		cur = qm.MulVecT(cur)
+		qm.MulVecTInto(next, cur)
+		cur, next = next, cur
 		coef *= opt.C / (2 * float64(j+1))
 	}
 
-	// s = e^{−C}·T_K·v = e^{−C} Σ_i (C/2)ⁱ/i!·Qⁱ v.
-	s := make([]float64, n)
-	cur = v
+	// s = e^{−C}·T_K·v = e^{−C} Σ_i (C/2)ⁱ/i!·Qⁱ v, accumulated in dst.
+	dense.ZeroVec(dst)
+	fcur, fnext := v, cur // cur's walk buffer is dead after the last fold
 	coef = 1.0
 	for i := 0; ; i++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
-		for idx, x := range cur {
-			s[idx] += coef * x
-		}
+		dense.Axpy(dst, coef, fcur)
 		if i == k {
 			break
 		}
-		cur = qm.MulVec(cur)
+		qm.MulVecInto(fnext, fcur)
+		fcur, fnext = fnext, fcur
 		coef *= opt.C / (2 * float64(i+1))
 	}
-	scale := math.Exp(-opt.C)
-	for i := range s {
-		s[i] *= scale
-	}
-	applySieveVec(s, opt.Sieve)
-	return s, nil
+	dense.ScaleVec(dst, math.Exp(-opt.C))
+	applySieveVec(dst, opt.Sieve)
+	return nil
 }
 
 func applySieveVec(x []float64, eps float64) {

@@ -1,0 +1,102 @@
+package graph
+
+import "sort"
+
+// Node relabeling orders. The similarity kernels sweep CSR operators whose
+// gather/scatter locality is set entirely by the node numbering, so a
+// one-time relabeling at preprocessing time buys cache hits on every later
+// sweep. Both orders return a permutation perm with perm[old] = new;
+// sparse.Permute applies it to an operator and sparse.InversePerm maps
+// results back.
+
+// DegreeOrder returns the relabeling that numbers nodes by descending total
+// degree (in + out), ties broken by ascending old id. Hubs — the rows and
+// columns almost every query touches — cluster at the front of the operator
+// and of every dense iteration vector, so the hot working set stays within a
+// few cache lines instead of being sprayed across O(n) memory.
+func DegreeOrder(g *Graph) []int32 {
+	n := g.N()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	deg := func(v int32) int { return g.InDeg(int(v)) + g.OutDeg(int(v)) }
+	sort.SliceStable(order, func(a, b int) bool { return deg(order[a]) > deg(order[b]) })
+	perm := make([]int32, n)
+	for newID, oldID := range order {
+		perm[oldID] = int32(newID)
+	}
+	return perm
+}
+
+// RCMOrder returns a reverse Cuthill–McKee relabeling over the undirected
+// closure of g: each connected component is breadth-first traversed from a
+// minimum-degree seed with neighbours visited in ascending degree, and the
+// final visit order is reversed. RCM minimises (heuristically) the operator
+// bandwidth — how far column indices stray from the diagonal — which is what
+// keeps the x[col] gathers of a sweep inside the cache lines the sweep just
+// touched.
+func RCMOrder(g *Graph) []int32 {
+	n := g.N()
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.InDeg(v) + g.OutDeg(v))
+	}
+
+	// Seeds in ascending degree: the head of this list that is still
+	// unvisited seeds the next component, giving every component a
+	// pseudo-peripheral-ish start without a separate search pass.
+	seeds := make([]int32, n)
+	for i := range seeds {
+		seeds[i] = int32(i)
+	}
+	sort.SliceStable(seeds, func(a, b int) bool { return deg[seeds[a]] < deg[seeds[b]] })
+
+	visited := make([]bool, n)
+	order := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	nbrs := make([]int32, 0, 64)
+	for _, seed := range seeds {
+		if visited[seed] {
+			continue
+		}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			// Neighbours over the undirected closure: merge the two sorted
+			// adjacency views, then visit in ascending degree.
+			nbrs = nbrs[:0]
+			out, in := g.Out(int(v)), g.In(int(v))
+			i, j := 0, 0
+			for i < len(out) || j < len(in) {
+				switch {
+				case j == len(in) || (i < len(out) && out[i] < in[j]):
+					nbrs = append(nbrs, out[i])
+					i++
+				case i == len(out) || in[j] < out[i]:
+					nbrs = append(nbrs, in[j])
+					j++
+				default: // equal: one undirected neighbour
+					nbrs = append(nbrs, out[i])
+					i, j = i+1, j+1
+				}
+			}
+			sort.SliceStable(nbrs, func(a, b int) bool { return deg[nbrs[a]] < deg[nbrs[b]] })
+			for _, w := range nbrs {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+
+	perm := make([]int32, n)
+	for i, oldID := range order {
+		perm[oldID] = int32(n - 1 - i) // reverse of the visit order
+	}
+	return perm
+}

@@ -29,8 +29,9 @@ func ApproxSingleSourceFromTransition(ctx context.Context, w *sparse.CSR, q int,
 }
 
 // ApproxMultiSourceFromTransition answers one sieved RWR single-source
-// query per entry of nodes, sharing the kernel workspace across queries.
-// Result i and MaxError i correspond to nodes[i].
+// query per entry of nodes, sharing the kernel workspace — frontiers and
+// the dense accumulator — across queries. Result i and MaxError i
+// correspond to nodes[i].
 func ApproxMultiSourceFromTransition(ctx context.Context, w *sparse.CSR, nodes []int, tol float64, opt Options) ([][]float64, []float64, error) {
 	ws := newApproxRWRWS(w.R, opt)
 	out := make([][]float64, len(nodes))
@@ -40,16 +41,21 @@ func ApproxMultiSourceFromTransition(ctx context.Context, w *sparse.CSR, nodes [
 		if err != nil {
 			return nil, nil, err
 		}
-		out[i], errs[i] = scores, bound
+		// run hands back the shared accumulator; each query keeps its own
+		// copy.
+		out[i] = append([]float64(nil), scores...)
+		errs[i] = bound
 	}
 	return out, errs, nil
 }
 
-// approxRWRWS is the sieved RWR workspace: two ping-pong frontiers and the
-// series-tail weights tail[k] = Σ_{l=k}^{K} (1−C)·Cˡ.
+// approxRWRWS is the sieved RWR workspace: two ping-pong frontiers, the
+// dense output accumulator shared across runs, and the series-tail weights
+// tail[k] = Σ_{l=k}^{K} (1−C)·Cˡ.
 type approxRWRWS struct {
 	opt  Options
 	a, b *sparse.Frontier
+	out  []float64
 	tail []float64
 }
 
@@ -59,6 +65,7 @@ func newApproxRWRWS(n int, opt Options) *approxRWRWS {
 		opt:  opt,
 		a:    sparse.NewFrontier(n),
 		b:    sparse.NewFrontier(n),
+		out:  make([]float64, n),
 		tail: make([]float64, opt.K+2),
 	}
 	coef := 1 - opt.C
@@ -73,11 +80,17 @@ func newApproxRWRWS(n int, opt Options) *approxRWRWS {
 	return ws
 }
 
+// run answers one query. The returned slice is ws.out — valid until the
+// next run on the same workspace; callers retaining it across runs must
+// copy.
 func (ws *approxRWRWS) run(ctx context.Context, w *sparse.CSR, q int, tol float64) ([]float64, float64, error) {
 	ws.a.Reset()
 	ws.b.Reset()
 	opt := ws.opt
-	out := make([]float64, w.R)
+	out := ws.out
+	for i := range out {
+		out[i] = 0
+	}
 	budget := sparse.NewCertBudget(tol, opt.K)
 
 	cur, next := ws.a, ws.b

@@ -95,34 +95,55 @@ func SingleSourceCtx(ctx context.Context, g *graph.Graph, q int, opt Options) ([
 // SingleSourceFromTransition answers one query against a pre-built forward
 // transition matrix.
 func SingleSourceFromTransition(ctx context.Context, w *sparse.CSR, q int, opt Options) ([]float64, error) {
+	dst := make([]float64, w.R)
+	if err := SingleSourceWS(ctx, w, q, opt, nil, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// SingleSourceWS is the workspace form of the single-source kernel: scores
+// accumulate into dst (length n) and the two walk buffers come from ws (nil
+// for a private one), so a pooling caller pays zero allocations per query.
+// The arithmetic is bitwise-identical to the allocating kernel.
+func SingleSourceWS(ctx context.Context, w *sparse.CSR, q int, opt Options, ws *sparse.Workspace, dst []float64) error {
 	opt = opt.withDefaults()
 	n := w.R
+	if len(dst) != n {
+		panic("rwr: SingleSourceWS dst length mismatch")
+	}
+	if ws == nil {
+		ws = sparse.NewWorkspace(n)
+	} else if ws.Dim() != n {
+		panic("rwr: SingleSourceWS workspace dimension mismatch")
+	}
+	ws.Reset()
 	// Row q of Σ Cᵏ Wᵏ: iterate vᵀ ← vᵀW, i.e. v ← Wᵀv.
-	cur := make([]float64, n)
+	cur := ws.Take()
 	cur[q] = 1
-	out := make([]float64, n)
+	next := ws.Raw()
+	dense.ZeroVec(dst)
 	coef := 1 - opt.C
 	for k := 0; ; k++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
-		for i, x := range cur {
-			out[i] += coef * x
-		}
+		dense.Axpy(dst, coef, cur)
 		if k == opt.K {
 			break
 		}
-		cur = w.MulVecT(cur)
+		w.MulVecTInto(next, cur)
+		cur, next = next, cur
 		coef *= opt.C
 	}
 	if opt.Sieve > 0 {
-		for i, v := range out {
+		for i, v := range dst {
 			if v < opt.Sieve {
-				out[i] = 0
+				dst[i] = 0
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // MultiSourceFromTransition answers one single-source RWR query per entry

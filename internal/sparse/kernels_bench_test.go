@@ -1,0 +1,36 @@
+package sparse
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dense"
+)
+
+// Crossover study for the panel dispatch threshold: the register-blocked
+// panel form wins on narrow right-hand sides, the streaming axpy form on
+// wide ones. Run with
+//
+//	go test ./internal/sparse -bench MulDenseWidth -benchtime 20x
+func BenchmarkMulDenseWidth(b *testing.B) {
+	g := dataset.RMATDefault(14, 8, 5) // 16k nodes
+	m := BackwardTransition(g)
+	for _, w := range []int{2, 4, 8, 16, 32, 64} {
+		x := dense.New(m.C, w)
+		for i := range x.Data {
+			x.Data[i] = float64(i%97) / 97
+		}
+		c := dense.New(m.R, w)
+		b.Run(fmt.Sprintf("panel-w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.mulDensePanelsInto(c, x)
+			}
+		})
+		b.Run(fmt.Sprintf("axpy-w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.mulDenseAxpyInto(c, x)
+			}
+		})
+	}
+}

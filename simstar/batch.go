@@ -172,6 +172,7 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 			measure: canonical(q.Measure),
 			gen:     registryGeneration(),
 			epoch:   st.epoch,
+			layout:  st.layoutKey(),
 			params:  eng.cfg.cacheParams(),
 			node:    q.Node,
 		}
@@ -180,13 +181,9 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 			finish(i, scores, maxErr, true)
 			continue
 		}
-		builtin, _, err := eng.builtinName(q.Measure)
-		if err != nil {
-			results[i] = Result{Err: err}
-			done[i] = true
-			continue
-		}
-		kernel := blockKernelFor(builtin)
+		// Unknown measure names resolve to no block kernel and fall through
+		// to the fan-out path, whose Lookup reports the error per query.
+		kernel := blockKernelFor(builtinFor(q.Measure))
 		if kernel == blockNone {
 			rest = append(rest, i)
 			continue
@@ -316,38 +313,62 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 // the pinned state's cached structures: sieved-approximate multi-source
 // kernels (shared workspace, per-query MaxError certificates) when the
 // group's parameters carry an effective tolerance, the blocked dense
-// multi-source kernels otherwise. The maxErrs slice is nil on the exact
-// paths — every query in the block is then certified at 0.
+// multi-source kernels otherwise. Under WithRelabeling the block runs on
+// the permuted operators — query nodes are translated in, every result
+// column is translated back out, so callers always see external ids. The
+// maxErrs slice is nil on the exact paths — every query in the block is
+// then certified at 0.
 func (e *Engine) runBlock(ctx context.Context, st *engineState, kernel blockKernel, nodes []int) ([][]float64, []float64, error) {
+	if st.layout != nil {
+		internal := make([]int, len(nodes))
+		for i, q := range nodes {
+			internal[i] = int(st.layout.perm[q])
+		}
+		nodes = internal
+	}
+	block, maxErrs, err := e.runBlockKernel(ctx, st, kernel, nodes)
+	if err != nil || st.layout == nil {
+		return block, maxErrs, err
+	}
+	ws := st.getWS()
+	defer st.putWS(ws)
+	for _, col := range block {
+		st.externalize(col, ws)
+	}
+	return block, maxErrs, nil
+}
+
+// runBlockKernel dispatches one chunk to its kernel in the state's layout.
+func (e *Engine) runBlockKernel(ctx context.Context, st *engineState, kernel blockKernel, nodes []int) ([][]float64, []float64, error) {
 	if tol := e.cfg.tolerance; tol >= MinTolerance {
 		switch kernel {
 		case blockGeometric:
-			backwardT, _ := st.transposed()
-			return core.ApproxMultiSourceGeometricFromTransition(ctx, st.backward, backwardT, nodes, tol, e.cfg.coreOptions())
+			backwardT, _ := st.kernelTransposed()
+			return core.ApproxMultiSourceGeometricFromTransition(ctx, st.kernelBackward(), backwardT, nodes, tol, e.cfg.coreOptions())
 		case blockExponential:
-			backwardT, _ := st.transposed()
-			return core.ApproxMultiSourceExponentialFromTransition(ctx, st.backward, backwardT, nodes, tol, e.cfg.coreOptions())
+			backwardT, _ := st.kernelTransposed()
+			return core.ApproxMultiSourceExponentialFromTransition(ctx, st.kernelBackward(), backwardT, nodes, tol, e.cfg.coreOptions())
 		case blockRWR:
-			return rwr.ApproxMultiSourceFromTransition(ctx, st.forward, nodes, tol, e.cfg.rwrOptions())
+			return rwr.ApproxMultiSourceFromTransition(ctx, st.kernelForward(), nodes, tol, e.cfg.rwrOptions())
 		}
 		panic("simstar: unreachable block kernel")
 	}
 	var backwardT, forwardT *sparse.CSR
 	switch kernel {
 	case blockGeometric, blockExponential:
-		backwardT, _ = st.transposed()
+		backwardT, _ = st.kernelTransposed()
 	case blockRWR:
-		_, forwardT = st.transposed()
+		_, forwardT = st.kernelTransposed()
 	}
 	switch kernel {
 	case blockGeometric:
-		scores, err := core.MultiSourceGeometricFromTransition(ctx, st.backward, backwardT, nodes, e.cfg.coreOptions())
+		scores, err := core.MultiSourceGeometricFromTransition(ctx, st.kernelBackward(), backwardT, nodes, e.cfg.coreOptions())
 		return scores, nil, err
 	case blockExponential:
-		scores, err := core.MultiSourceExponentialFromTransition(ctx, st.backward, backwardT, nodes, e.cfg.coreOptions())
+		scores, err := core.MultiSourceExponentialFromTransition(ctx, st.kernelBackward(), backwardT, nodes, e.cfg.coreOptions())
 		return scores, nil, err
 	case blockRWR:
-		scores, err := rwr.MultiSourceFromTransition(ctx, st.forward, forwardT, nodes, e.cfg.rwrOptions())
+		scores, err := rwr.MultiSourceFromTransition(ctx, st.kernelForward(), forwardT, nodes, e.cfg.rwrOptions())
 		return scores, nil, err
 	}
 	panic("simstar: unreachable block kernel")

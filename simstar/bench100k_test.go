@@ -1,0 +1,91 @@
+package simstar_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/simstar"
+)
+
+// engineBenchGraph builds the 100k-node benchmark graph: every node links to
+// deg mostly-local neighbours (the community structure of social and citation
+// graphs), and the node ids are then scrambled by a fixed random permutation,
+// so the locality is real but invisible in the arrival order — the regime a
+// crawl ordered by URL hash or insertion time produces, and the one
+// WithRelabeling exists to fix.
+func engineBenchGraph(n, deg int) *simstar.Graph {
+	rng := rand.New(rand.NewSource(271828))
+	shuf := rng.Perm(n)
+	edges := make([][2]int, 0, n*deg)
+	for u := 0; u < n; u++ {
+		for d := 0; d < deg; d++ {
+			v := u + 1 + rng.Intn(64)
+			if v >= n {
+				v -= n
+			}
+			edges = append(edges, [2]int{shuf[u], shuf[v]})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// benchMiner keeps NewEngine's eager biclique mining out of the benchmark
+// setup cost; the single-source paths under test never touch the compression.
+var benchMiner = simstar.WithMiner(simstar.MinerOptions{
+	MinSources: 64, MinTargets: 64, DisablePairMining: true,
+})
+
+// BenchmarkEngineSingleSource100k is the headline serving-path number: exact
+// single-source SimRank* through the engine on a 100k-node degree-3 graph,
+// result cache disabled so every iteration pays the kernel. The sub-benchmarks
+// compare the natural (scrambled) layout against WithRelabeling; BENCH_5.json
+// tracks the numbers across PRs.
+func BenchmarkEngineSingleSource100k(b *testing.B) {
+	g := engineBenchGraph(100_000, 3)
+	ctx := context.Background()
+	run := func(b *testing.B, eng *simstar.Engine) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.SingleSource(ctx, simstar.MeasureGeometric, (i*7919)%g.N()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("exact", func(b *testing.B) {
+		run(b, simstar.NewEngine(g, simstar.WithCacheSize(-1), benchMiner))
+	})
+	b.Run("exact-rcm", func(b *testing.B) {
+		run(b, simstar.NewEngine(g, simstar.WithCacheSize(-1), benchMiner,
+			simstar.WithRelabeling(simstar.RelabelRCM)))
+	})
+	b.Run("exact-degree", func(b *testing.B) {
+		run(b, simstar.NewEngine(g, simstar.WithCacheSize(-1), benchMiner,
+			simstar.WithRelabeling(simstar.RelabelDegree)))
+	})
+	// The zero-allocation serving loop: pooled kernel workspaces plus a
+	// caller-owned result buffer. allocs/op must report 0.
+	b.Run("exact-rcm-into", func(b *testing.B) {
+		eng := simstar.NewEngine(g, simstar.WithCacheSize(-1), benchMiner,
+			simstar.WithRelabeling(simstar.RelabelRCM))
+		buf := make([]float64, g.N())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.SingleSourceInto(ctx, simstar.MeasureGeometric, (i*7919)%g.N(), buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact-rwr-rcm", func(b *testing.B) {
+		eng := simstar.NewEngine(g, simstar.WithCacheSize(-1), benchMiner,
+			simstar.WithRelabeling(simstar.RelabelRCM))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.SingleSource(ctx, simstar.MeasureRWR, (i*7919)%g.N()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

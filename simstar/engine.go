@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dense"
 	"repro/internal/dyngraph"
+	"repro/internal/graph"
 	"repro/internal/rwr"
 	"repro/internal/simrank"
 	"repro/internal/sparse"
@@ -71,8 +72,8 @@ type Engine struct {
 }
 
 // engineState is everything one graph epoch serves queries from. All fields
-// are immutable after the state is published (the lazily-built members
-// synchronise internally), so readers share it freely.
+// are immutable after the state is published (the lazily-built members and
+// the workspace pool synchronise internally), so readers share it freely.
 type engineState struct {
 	g     *Graph
 	epoch uint64
@@ -82,28 +83,168 @@ type engineState struct {
 	comp     *compHolder // edge-concentration compression, possibly lazy
 	tr       *transposes // lazily-materialised Qᵀ, Wᵀ for the batch kernels
 
+	// layout is the cache-conscious relabeling of this epoch, nil without
+	// WithRelabeling. The natural-order matrices above always exist — the
+	// incremental refresh splices them, and all-pairs queries run on them —
+	// while the single-source and batch fast paths run on layout's permuted
+	// copies.
+	layout *layoutState
+
+	// pool recycles the kernel workspaces of the exact single-source fast
+	// paths, so steady-state queries allocate nothing beyond their result.
+	// Per-state because the workspaces are dimensioned to this epoch's node
+	// count.
+	pool sync.Pool
+
 	// transitionTime is what building (epoch 0) or incrementally refreshing
 	// (later epochs) the two transition matrices cost.
 	transitionTime time.Duration
 }
 
-// transposes is one state's lazily-built pair Qᵀ, Wᵀ.
+// newEngineState assembles the shell of an epoch state: the transition
+// matrices, compression and layout are filled in by the caller.
+func newEngineState(g *Graph, epoch uint64) *engineState {
+	st := &engineState{g: g, epoch: epoch, tr: &transposes{}}
+	n := g.N()
+	st.pool.New = func() any { return sparse.NewWorkspace(n) }
+	return st
+}
+
+// layoutGen numbers every layout ever derived, so result-cache keys can
+// version on the layout instance (see cacheKey).
+var layoutGen atomic.Uint64
+
+// layoutState is one epoch's node relabeling: the permutation (and its
+// inverse) plus the permuted operators the fast-path kernels sweep. It is
+// immutable after construction.
+type layoutState struct {
+	mode RelabelMode
+	gen  uint64  // unique per derived layout; 0 means "no relabeling"
+	perm []int32 // perm[external] = internal; both translation directions
+	// gather through perm (see toInternal/externalize), so the inverse is
+	// never materialised here.
+
+	backward *sparse.CSR // P·Q·Pᵀ
+	forward  *sparse.CSR // P·W·Pᵀ
+	tr       *transposes // lazily-materialised permuted transposes
+}
+
+// newLayoutState derives the permutation for mode from g and permutes the
+// already-built natural-order transitions. Modes this package does not know
+// degrade to no relabeling rather than failing the engine build.
+func newLayoutState(mode RelabelMode, g *Graph, backward, forward *sparse.CSR) *layoutState {
+	var perm []int32
+	switch mode {
+	case RelabelDegree:
+		perm = graph.DegreeOrder(g)
+	case RelabelRCM:
+		perm = graph.RCMOrder(g)
+	default:
+		return nil
+	}
+	return &layoutState{
+		mode:     mode,
+		gen:      layoutGen.Add(1),
+		perm:     perm,
+		backward: sparse.Permute(backward, perm),
+		forward:  sparse.Permute(forward, perm),
+		tr:       &transposes{},
+	}
+}
+
+// transposes is a lazily-built pair Qᵀ, Wᵀ for one operator pair.
 type transposes struct {
 	once      sync.Once
 	backwardT *sparse.CSR
 	forwardT  *sparse.CSR
 }
 
-// transposed returns the materialised transposes, building them on first
-// use. The O(m) build is paid once per epoch, like the transitions
-// themselves, but only by callers of the batch paths.
-func (st *engineState) transposed() (backwardT, forwardT *sparse.CSR) {
-	st.tr.once.Do(func() {
-		st.tr.backwardT = st.backward.Transpose()
-		st.tr.forwardT = st.forward.Transpose()
+// of returns the materialised transposes of (backward, forward), building
+// them on first use. The O(m) build is paid once per epoch, like the
+// transitions themselves, but only by callers of the batch and sieved paths.
+func (tr *transposes) of(backward, forward *sparse.CSR) (backwardT, forwardT *sparse.CSR) {
+	tr.once.Do(func() {
+		tr.backwardT = backward.Transpose()
+		tr.forwardT = forward.Transpose()
 	})
-	return st.tr.backwardT, st.tr.forwardT
+	return tr.backwardT, tr.forwardT
 }
+
+// transposed returns the natural-order transposes.
+func (st *engineState) transposed() (backwardT, forwardT *sparse.CSR) {
+	return st.tr.of(st.backward, st.forward)
+}
+
+// The kernel* accessors return the operators the single-source and batch
+// fast paths should sweep: the relabelled copies when a layout exists, the
+// natural order otherwise.
+
+func (st *engineState) kernelBackward() *sparse.CSR {
+	if st.layout != nil {
+		return st.layout.backward
+	}
+	return st.backward
+}
+
+func (st *engineState) kernelForward() *sparse.CSR {
+	if st.layout != nil {
+		return st.layout.forward
+	}
+	return st.forward
+}
+
+func (st *engineState) kernelTransposed() (backwardT, forwardT *sparse.CSR) {
+	if st.layout != nil {
+		return st.layout.tr.of(st.layout.backward, st.layout.forward)
+	}
+	return st.transposed()
+}
+
+// layoutKey is the layout generation for result-cache keys: 0 without
+// relabeling.
+func (st *engineState) layoutKey() uint64 {
+	if st.layout == nil {
+		return 0
+	}
+	return st.layout.gen
+}
+
+// layoutMode reports the relabeling this state serves, so a refresh can
+// re-derive the same mode for the next epoch.
+func (st *engineState) layoutMode() RelabelMode {
+	if st.layout == nil {
+		return RelabelNone
+	}
+	return st.layout.mode
+}
+
+// toInternal translates an external (graph) node id into the kernel layout.
+func (st *engineState) toInternal(q int) int {
+	if st.layout == nil {
+		return q
+	}
+	return int(st.layout.perm[q])
+}
+
+// externalize rearranges a kernel-layout score vector into external id
+// order in place, staging through one workspace buffer. A no-op without a
+// layout.
+func (st *engineState) externalize(scores []float64, ws *sparse.Workspace) {
+	if st.layout == nil {
+		return
+	}
+	ws.Reset()
+	tmp := ws.Raw()
+	copy(tmp, scores)
+	perm := st.layout.perm
+	for e := range scores {
+		scores[e] = tmp[perm[e]]
+	}
+}
+
+// getWS borrows a kernel workspace from the state's pool; putWS returns it.
+func (st *engineState) getWS() *sparse.Workspace   { return st.pool.Get().(*sparse.Workspace) }
+func (st *engineState) putWS(ws *sparse.Workspace) { st.pool.Put(ws) }
 
 // compHolder defers the biclique mining of a refreshed epoch until a memo
 // query needs it: mining is the expensive part of preprocessing, and the
@@ -177,7 +318,9 @@ type EngineStats struct {
 // NewEngine builds the per-graph caches and returns a query engine. The
 // options become the engine's defaults for every query it serves. The base
 // epoch's compression is mined eagerly, so the engine is fully warmed for
-// every measure before the first query.
+// every measure before the first query. Under WithRelabeling the
+// cache-conscious permutation and the permuted operators are also derived
+// here, as part of the amortised preprocessing.
 func NewEngine(g *Graph, opts ...Option) *Engine {
 	e := &Engine{cfg: buildConfig(opts), opts: opts}
 	e.cache = newResultCache(e.cfg.cacheSize)
@@ -186,10 +329,11 @@ func NewEngine(g *Graph, opts ...Option) *Engine {
 	e.store = dyngraph.New(g,
 		dyngraph.WithInterval(e.cfg.epochInterval),
 		dyngraph.WithBaseEpoch(e.cfg.baseEpoch))
-	st := &engineState{g: g, epoch: e.cfg.baseEpoch, tr: &transposes{}}
+	st := newEngineState(g, e.cfg.baseEpoch)
 	t0 := time.Now()
 	st.backward = sparse.BackwardTransition(g)
 	st.forward = sparse.ForwardTransition(g)
+	st.layout = newLayoutState(e.cfg.relabel, g, st.backward, st.forward)
 	st.transitionTime = time.Since(t0)
 	st.comp = newCompHolder(g, e.cfg.miner.internal(), nil)
 	st.comp.get()
@@ -252,19 +396,17 @@ func (e *Engine) CacheStats() CacheStats { return e.cache.snapshot() }
 // epoch clean.
 func (e *Engine) PurgeCache() { e.cache.purge() }
 
-// builtinName resolves measureName through the registry and reports the
-// canonical built-in name it denotes, or "" when the name is bound to a
-// user-registered implementation — a re-registered built-in name must get
-// the override, not the engine's fast path.
-func (e *Engine) builtinName(measureName string) (string, Measure, error) {
-	m, err := Lookup(measureName, e.opts...)
-	if err != nil {
-		return "", nil, err
+// fastPathKernel reports whether a canonical built-in name has an engine
+// single-source fast path over the cached transition matrices (the measures
+// with native single-source forms; the memo variants share the iterative
+// path — the results are identical).
+func fastPathKernel(builtin string) bool {
+	switch builtin {
+	case MeasureGeometric, MeasureGeometricMemo,
+		MeasureExponential, MeasureExponentialMemo, MeasureRWR:
+		return true
 	}
-	if bm, ok := m.(*measure); ok {
-		return bm.name, m, nil
-	}
-	return "", m, nil
+	return false
 }
 
 // SingleSource returns the scores of query node q against every node under
@@ -319,6 +461,7 @@ func (e *Engine) singleSource(ctx context.Context, st *engineState, measureName 
 		measure: canonical(measureName),
 		gen:     registryGeneration(),
 		epoch:   st.epoch,
+		layout:  st.layoutKey(),
 		params:  e.cfg.cacheParams(),
 		node:    q,
 	}
@@ -334,44 +477,109 @@ func (e *Engine) singleSource(ctx context.Context, st *engineState, measureName 
 }
 
 // computeSingleSource is the uncached single-source path: the engine fast
-// paths over the cached transition matrices for the built-in measures —
-// sieved-approximate under an effective WithTolerance, exact otherwise —
-// and the measure's own implementation for everything else. The second
-// return is the MaxError certificate (0 on every exact path).
+// paths over the cached (and, under WithRelabeling, permuted) transition
+// matrices for the built-in measures — sieved-approximate under an
+// effective WithTolerance, exact otherwise — and the measure's own
+// implementation for everything else. The second return is the MaxError
+// certificate (0 on every exact path). Fast-path results come back in
+// external id order regardless of layout.
 func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measureName string, q int) ([]float64, float64, error) {
-	builtin, m, err := e.builtinName(measureName)
-	if err != nil {
-		return nil, 0, err
+	builtin := builtinFor(measureName)
+	if !fastPathKernel(builtin) {
+		m, err := Lookup(measureName, e.opts...)
+		if err != nil {
+			return nil, 0, err
+		}
+		s, err := m.SingleSource(ctx, st.g, q)
+		return s, 0, err
 	}
 	tol := e.cfg.tolerance
-	approx := tol >= MinTolerance
-	switch builtin {
-	// Single-source SimRank* factors through walk vectors and never
-	// materialises the matrix, so the memo variants share the iterative
-	// fast path (the results are identical).
-	case MeasureGeometric, MeasureGeometricMemo:
-		if approx {
-			backwardT, _ := st.transposed()
-			return core.ApproxSingleSourceGeometricFromTransition(ctx, st.backward, backwardT, q, tol, e.cfg.coreOptions())
+	qi := st.toInternal(q)
+	ws := st.getWS()
+	defer st.putWS(ws)
+	if tol >= MinTolerance {
+		var (
+			scores []float64
+			maxErr float64
+			err    error
+		)
+		switch builtin {
+		case MeasureGeometric, MeasureGeometricMemo:
+			backwardT, _ := st.kernelTransposed()
+			scores, maxErr, err = core.ApproxSingleSourceGeometricFromTransition(ctx, st.kernelBackward(), backwardT, qi, tol, e.cfg.coreOptions())
+		case MeasureExponential, MeasureExponentialMemo:
+			backwardT, _ := st.kernelTransposed()
+			scores, maxErr, err = core.ApproxSingleSourceExponentialFromTransition(ctx, st.kernelBackward(), backwardT, qi, tol, e.cfg.coreOptions())
+		case MeasureRWR:
+			scores, maxErr, err = rwr.ApproxSingleSourceFromTransition(ctx, st.kernelForward(), qi, tol, e.cfg.rwrOptions())
 		}
-		s, err := core.SingleSourceGeometricFromTransition(ctx, st.backward, q, e.cfg.coreOptions())
-		return s, 0, err
-	case MeasureExponential, MeasureExponentialMemo:
-		if approx {
-			backwardT, _ := st.transposed()
-			return core.ApproxSingleSourceExponentialFromTransition(ctx, st.backward, backwardT, q, tol, e.cfg.coreOptions())
+		if err != nil {
+			return nil, 0, err
 		}
-		s, err := core.SingleSourceExponentialFromTransition(ctx, st.backward, q, e.cfg.coreOptions())
-		return s, 0, err
-	case MeasureRWR:
-		if approx {
-			return rwr.ApproxSingleSourceFromTransition(ctx, st.forward, q, tol, e.cfg.rwrOptions())
-		}
-		s, err := rwr.SingleSourceFromTransition(ctx, st.forward, q, e.cfg.rwrOptions())
-		return s, 0, err
+		st.externalize(scores, ws)
+		return scores, maxErr, nil
 	}
-	s, err := m.SingleSource(ctx, st.g, q)
-	return s, 0, err
+	dst := make([]float64, st.g.N())
+	if err := e.exactSingleSourceInto(ctx, st, builtin, qi, ws, dst); err != nil {
+		return nil, 0, err
+	}
+	st.externalize(dst, ws)
+	return dst, 0, nil
+}
+
+// exactSingleSourceInto runs one exact fast-path kernel in the state's
+// layout, writing kernel-order scores into dst from the pooled workspace —
+// the allocation-free core of the serving path. qi is a kernel-layout node
+// id; callers translate the result back with externalize.
+func (e *Engine) exactSingleSourceInto(ctx context.Context, st *engineState, builtin string, qi int, ws *sparse.Workspace, dst []float64) error {
+	switch builtin {
+	case MeasureGeometric, MeasureGeometricMemo:
+		return core.SingleSourceGeometricWS(ctx, st.kernelBackward(), qi, e.cfg.coreOptions(), ws, dst)
+	case MeasureExponential, MeasureExponentialMemo:
+		return core.SingleSourceExponentialWS(ctx, st.kernelBackward(), qi, e.cfg.coreOptions(), ws, dst)
+	case MeasureRWR:
+		return rwr.SingleSourceWS(ctx, st.kernelForward(), qi, e.cfg.rwrOptions(), ws, dst)
+	}
+	panic("simstar: unreachable fast-path kernel")
+}
+
+// SingleSourceInto is the allocation-free variant of SingleSource for
+// steady-state serving loops: the scores of query node q under the named
+// measure are written into dst, which is grown only if its capacity is
+// below the node count, and the filled slice is returned. The exact
+// fast-path measures (geometric and exponential SimRank*, their memo
+// variants, and RWR) run on the engine's pooled kernel workspaces and
+// bypass the result cache entirely — a warmed engine performs zero heap
+// allocations per call. Other measures, and engines configured with
+// WithTolerance, fall back to the allocating SingleSource path (result
+// cache included) and copy into dst.
+func (e *Engine) SingleSourceInto(ctx context.Context, measureName string, q int, dst []float64) ([]float64, error) {
+	st := e.load()
+	if err := st.checkQuery(ctx, q); err != nil {
+		return nil, err
+	}
+	n := st.g.N()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+	}
+	builtin := builtinFor(measureName)
+	if fastPathKernel(builtin) && e.cfg.tolerance < MinTolerance {
+		ws := st.getWS()
+		defer st.putWS(ws)
+		if err := e.exactSingleSourceInto(ctx, st, builtin, st.toInternal(q), ws, dst); err != nil {
+			return nil, err
+		}
+		st.externalize(dst, ws)
+		return dst, nil
+	}
+	scores, _, _, err := e.singleSource(ctx, st, measureName, q)
+	if err != nil {
+		return nil, err
+	}
+	copy(dst, scores)
+	return dst, nil
 }
 
 // TopK returns the k nodes most similar to q under the named measure,
@@ -391,16 +599,15 @@ func (e *Engine) TopK(ctx context.Context, measureName string, q, k int, exclude
 
 // AllPairs computes the full similarity matrix under the named measure,
 // reusing the cached transition matrices and compression of the current
-// epoch.
+// epoch. All-pairs runs always sweep the natural-order matrices — the n×n
+// result is produced directly in graph ids, so WithRelabeling neither helps
+// nor requires translation here.
 func (e *Engine) AllPairs(ctx context.Context, measureName string) (*Scores, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	st := e.load()
-	builtin, m, err := e.builtinName(measureName)
-	if err != nil {
-		return nil, err
-	}
+	builtin := builtinFor(measureName)
 	opt := e.cfg.coreOptions()
 	switch builtin {
 	case MeasureGeometric:
@@ -421,6 +628,10 @@ func (e *Engine) AllPairs(ctx context.Context, measureName string) (*Scores, err
 	case MeasureRWR:
 		m, err := rwr.AllPairsFromTransition(ctx, st.forward, e.cfg.rwrOptions())
 		return wrapDense(m, err)
+	}
+	m, err := Lookup(measureName, e.opts...)
+	if err != nil {
+		return nil, err
 	}
 	return m.AllPairs(ctx, st.g)
 }

@@ -94,7 +94,7 @@ func factoryFor(name string,
 }
 
 func init() {
-	Register(MeasureGeometric, factoryFor(MeasureGeometric,
+	registerBuiltin(MeasureGeometric, factoryFor(MeasureGeometric,
 		func(ctx context.Context, g *Graph, cfg config) (*Scores, error) {
 			m, err := core.GeometricCtx(ctx, g, cfg.coreOptions())
 			if err != nil {
@@ -106,7 +106,7 @@ func init() {
 			return core.SingleSourceGeometricCtx(ctx, g, q, cfg.coreOptions())
 		}))
 
-	Register(MeasureGeometricMemo, factoryFor(MeasureGeometricMemo,
+	registerBuiltin(MeasureGeometricMemo, factoryFor(MeasureGeometricMemo,
 		func(ctx context.Context, g *Graph, cfg config) (*Scores, error) {
 			opt := cfg.coreOptions()
 			m, err := core.GeometricFromCompressed(ctx, compress(g, cfg), opt)
@@ -121,7 +121,7 @@ func init() {
 			return core.SingleSourceGeometricCtx(ctx, g, q, cfg.coreOptions())
 		}))
 
-	Register(MeasureExponential, factoryFor(MeasureExponential,
+	registerBuiltin(MeasureExponential, factoryFor(MeasureExponential,
 		func(ctx context.Context, g *Graph, cfg config) (*Scores, error) {
 			m, err := core.ExponentialCtx(ctx, g, cfg.coreOptions())
 			if err != nil {
@@ -133,7 +133,7 @@ func init() {
 			return core.SingleSourceExponentialCtx(ctx, g, q, cfg.coreOptions())
 		}))
 
-	Register(MeasureExponentialMemo, factoryFor(MeasureExponentialMemo,
+	registerBuiltin(MeasureExponentialMemo, factoryFor(MeasureExponentialMemo,
 		func(ctx context.Context, g *Graph, cfg config) (*Scores, error) {
 			opt := cfg.coreOptions()
 			m, err := core.ExponentialFromCompressed(ctx, compress(g, cfg), opt)
@@ -146,7 +146,7 @@ func init() {
 			return core.SingleSourceExponentialCtx(ctx, g, q, cfg.coreOptions())
 		}))
 
-	Register(MeasureSimRank, factoryFor(MeasureSimRank,
+	registerBuiltin(MeasureSimRank, factoryFor(MeasureSimRank,
 		func(ctx context.Context, g *Graph, cfg config) (*Scores, error) {
 			m, err := simrank.PSumCtx(ctx, g, cfg.simrankOptions())
 			if err != nil {
@@ -155,7 +155,7 @@ func init() {
 			return denseScores(m), nil
 		}, nil))
 
-	Register(MeasureSimRankMatrix, factoryFor(MeasureSimRankMatrix,
+	registerBuiltin(MeasureSimRankMatrix, factoryFor(MeasureSimRankMatrix,
 		func(ctx context.Context, g *Graph, cfg config) (*Scores, error) {
 			m, err := simrank.MatrixFormCtx(ctx, g, cfg.simrankOptions())
 			if err != nil {
@@ -164,7 +164,7 @@ func init() {
 			return denseScores(m), nil
 		}, nil))
 
-	Register(MeasurePRank, factoryFor(MeasurePRank,
+	registerBuiltin(MeasurePRank, factoryFor(MeasurePRank,
 		func(ctx context.Context, g *Graph, cfg config) (*Scores, error) {
 			m, err := prank.AllPairsCtx(ctx, g, cfg.prankOptions())
 			if err != nil {
@@ -173,7 +173,7 @@ func init() {
 			return denseScores(m), nil
 		}, nil))
 
-	Register(MeasurePRankMatrix, factoryFor(MeasurePRankMatrix,
+	registerBuiltin(MeasurePRankMatrix, factoryFor(MeasurePRankMatrix,
 		func(ctx context.Context, g *Graph, cfg config) (*Scores, error) {
 			m, err := prank.MatrixFormCtx(ctx, g, cfg.prankOptions())
 			if err != nil {
@@ -182,7 +182,7 @@ func init() {
 			return denseScores(m), nil
 		}, nil))
 
-	Register(MeasureRWR, factoryFor(MeasureRWR,
+	registerBuiltin(MeasureRWR, factoryFor(MeasureRWR,
 		func(ctx context.Context, g *Graph, cfg config) (*Scores, error) {
 			m, err := rwr.AllPairsCtx(ctx, g, cfg.rwrOptions())
 			if err != nil {
@@ -194,7 +194,7 @@ func init() {
 			return rwr.SingleSourceCtx(ctx, g, q, cfg.rwrOptions())
 		}))
 
-	Register(MeasureSparse, factoryFor(MeasureSparse,
+	registerBuiltin(MeasureSparse, factoryFor(MeasureSparse,
 		func(ctx context.Context, g *Graph, cfg config) (*Scores, error) {
 			s, err := sparsesim.GeometricCtx(ctx, g, cfg.sparseOptions())
 			if err != nil {
@@ -203,7 +203,7 @@ func init() {
 			return sparseScores(s), nil
 		}, nil))
 
-	Register(MeasureCoCitation, factoryFor(MeasureCoCitation,
+	registerBuiltin(MeasureCoCitation, factoryFor(MeasureCoCitation,
 		func(ctx context.Context, g *Graph, cfg config) (*Scores, error) {
 			// Non-iterative: the entry check in AllPairs is the only
 			// cancellation point.

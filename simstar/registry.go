@@ -12,12 +12,23 @@ import (
 // than instances are registered so each caller binds its own parameters.
 type Factory func(opts ...Option) Measure
 
+// regEntry is one registered factory plus whether it is this package's own
+// registration. The flag is what lets the engine detect its fast-path
+// measures without instantiating anything: a user override of a built-in
+// name re-registers with builtin=false, so the fast paths step aside, while
+// detection itself stays allocation-free (the zero-allocation query path
+// depends on that).
+type regEntry struct {
+	f       Factory
+	builtin bool
+}
+
 var registry = struct {
 	sync.RWMutex
-	factories map[string]Factory
+	factories map[string]regEntry
 	aliases   map[string]string
 }{
-	factories: make(map[string]Factory),
+	factories: make(map[string]regEntry),
 	aliases:   make(map[string]string),
 }
 
@@ -37,8 +48,36 @@ func Register(name string, f Factory) {
 	}
 	registry.Lock()
 	defer registry.Unlock()
-	registry.factories[strings.ToLower(name)] = f
+	registry.factories[strings.ToLower(name)] = regEntry{f: f}
 	regGen.Add(1)
+}
+
+// registerBuiltin is Register for this package's own measures: the entry is
+// flagged so engine fast paths recognise it (see regEntry).
+func registerBuiltin(name string, f Factory) {
+	registry.Lock()
+	defer registry.Unlock()
+	registry.factories[strings.ToLower(name)] = regEntry{f: f, builtin: true}
+	regGen.Add(1)
+}
+
+// builtinFor resolves measureName through the registry without instantiating
+// a measure and reports the canonical built-in name it denotes, or "" when
+// the name is unknown or bound to a user-registered implementation (a
+// re-registered built-in name must get the override, not a fast path). It
+// never allocates on lower-case inputs, which is what keeps the engine's
+// pooled query path at zero allocations.
+func builtinFor(measureName string) string {
+	n := strings.ToLower(measureName)
+	registry.RLock()
+	defer registry.RUnlock()
+	if target, ok := registry.aliases[n]; ok {
+		n = target
+	}
+	if e, ok := registry.factories[n]; ok && e.builtin {
+		return n
+	}
+	return ""
 }
 
 // RegisterAlias makes alias resolve to the measure registered under name.
@@ -65,12 +104,12 @@ func canonical(name string) string {
 func Lookup(name string, opts ...Option) (Measure, error) {
 	key := canonical(name)
 	registry.RLock()
-	f, ok := registry.factories[key]
+	e, ok := registry.factories[key]
 	registry.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("simstar: unknown measure %q (have: %s)", name, strings.Join(Names(), ", "))
 	}
-	return f(opts...), nil
+	return e.f(opts...), nil
 }
 
 // Names returns the registered canonical measure names, sorted.
