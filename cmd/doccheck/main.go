@@ -6,6 +6,11 @@
 //
 //	go run ./cmd/doccheck ./simstar
 //
+// With no arguments it checks the repository's enforced set: the public
+// simstar package plus the simlint analyzer suite (internal/lint and its
+// analysistest harness), whose exported API the lint tests and future
+// analyzers build on.
+//
 // Checked: package-level funcs and methods on exported receivers, types,
 // consts and vars, plus struct fields and interface methods of exported
 // types. A grouped const/var spec is fine with either a group doc or a
@@ -22,13 +27,17 @@ import (
 	"strings"
 )
 
+// defaultDirs is the repository's enforced documentation set, checked when
+// doccheck runs without arguments (the CI invocation).
+var defaultDirs = []string{"./simstar", "./internal/lint", "./internal/lint/analysistest"}
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: doccheck <package dir> [...]")
-		os.Exit(2)
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs
 	}
 	bad := 0
-	for _, dir := range os.Args[1:] {
+	for _, dir := range dirs {
 		missing, err := checkDir(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)

@@ -65,16 +65,24 @@ func main() {
 	}
 
 	w := os.Stdout
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		outFile = f
 		w = f
 	}
 	if err := simstar.WriteGraph(w, g); err != nil {
 		fatal(err)
+	}
+	// Close before reporting success: on a write path the close error is the
+	// last chance to hear about a short write.
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "gengraph: %d nodes, %d edges (density %.2f)\n", g.N(), g.M(), g.Density())
 

@@ -63,7 +63,9 @@ func main() {
 		fatal(err)
 	}
 	g, err := simstar.ReadGraph(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fatal(err)
 	}

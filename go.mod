@@ -1,3 +1,7 @@
 module repro
 
 go 1.22
+
+// Pin the release the suite is developed and CI-tested against; `go` will
+// download and delegate to it when the host toolchain is older.
+toolchain go1.24.0

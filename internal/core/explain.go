@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -70,6 +71,14 @@ func walksInto(g *graph.Graph, t, maxLen, maxWalks int) [][]walk {
 // maxWalks caps the enumeration per (node, length); 0 means 10000. With the
 // cap unhit, contributions sum to the exact partial sum Ŝ_{maxLen}(a, b).
 func ExplainGeometric(g *graph.Graph, a, b int, c float64, maxLen, maxWalks int) []Explanation {
+	out, _ := ExplainGeometricCtx(context.Background(), g, a, b, c, maxLen, maxWalks)
+	return out
+}
+
+// ExplainGeometricCtx is ExplainGeometric with cancellation checked between
+// length classes — the pair enumeration is combinatorial, so a deadline
+// must be able to abort it.
+func ExplainGeometricCtx(ctx context.Context, g *graph.Graph, a, b int, c float64, maxLen, maxWalks int) ([]Explanation, error) {
 	if maxWalks <= 0 {
 		maxWalks = 10000
 	}
@@ -77,6 +86,9 @@ func ExplainGeometric(g *graph.Graph, a, b int, c float64, maxLen, maxWalks int)
 	wb := walksInto(g, b, maxLen, maxWalks)
 	var out []Explanation
 	for alpha := 0; alpha <= maxLen; alpha++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for beta := 0; alpha+beta <= maxLen; beta++ {
 			coef := (1 - c) * math.Pow(c/2, float64(alpha+beta)) * binom(alpha+beta, alpha)
 			for _, w1 := range wa[alpha] {
@@ -95,7 +107,7 @@ func ExplainGeometric(g *graph.Graph, a, b int, c float64, maxLen, maxWalks int)
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Contribution > out[j].Contribution })
-	return out
+	return out, nil
 }
 
 // ExplainedScore sums the contributions — the reconstructed Ŝ_K(a, b).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/dense"
@@ -18,6 +19,14 @@ import (
 // exists purely as an independent oracle: the recursive, memoized,
 // closed-form and single-source implementations are all tested against it.
 func SeriesGeometric(g *graph.Graph, opt Options) *dense.Matrix {
+	s, _ := SeriesGeometricCtx(context.Background(), g, opt)
+	return s
+}
+
+// SeriesGeometricCtx is SeriesGeometric with cancellation checked between
+// series terms — even an oracle sweep of dense O(n³) products should die
+// with its caller's deadline.
+func SeriesGeometricCtx(ctx context.Context, g *graph.Graph, opt Options) (*dense.Matrix, error) {
 	opt = opt.withDefaults()
 	k := opt.IterationsGeometric()
 	n := g.N()
@@ -30,6 +39,9 @@ func SeriesGeometric(g *graph.Graph, opt Options) *dense.Matrix {
 
 	s := dense.New(n, n)
 	for l := 0; l <= k; l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lw := math.Pow(opt.C, float64(l)) / math.Pow(2, float64(l))
 		for alpha := 0; alpha <= l; alpha++ {
 			term := dense.Mul(qPow[alpha], qtPow[l-alpha])
@@ -38,7 +50,7 @@ func SeriesGeometric(g *graph.Graph, opt Options) *dense.Matrix {
 	}
 	s.Scale(1 - opt.C)
 	sieve(s, opt.Sieve)
-	return s
+	return s, nil
 }
 
 // SeriesExponential evaluates the K-th partial sum of the exponential series
@@ -49,6 +61,13 @@ func SeriesGeometric(g *graph.Graph, opt Options) *dense.Matrix {
 // Eq. (12) tail bound and converge to the same S′. Use
 // SeriesExponentialFactored for an exact oracle of the closed form.
 func SeriesExponential(g *graph.Graph, opt Options) *dense.Matrix {
+	s, _ := SeriesExponentialCtx(context.Background(), g, opt)
+	return s
+}
+
+// SeriesExponentialCtx is SeriesExponential with cancellation checked
+// between series terms.
+func SeriesExponentialCtx(ctx context.Context, g *graph.Graph, opt Options) (*dense.Matrix, error) {
 	opt = opt.withDefaults()
 	k := opt.IterationsExponential()
 	n := g.N()
@@ -59,6 +78,9 @@ func SeriesExponential(g *graph.Graph, opt Options) *dense.Matrix {
 
 	s := dense.New(n, n)
 	for l := 0; l <= k; l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lw := math.Pow(opt.C, float64(l)) / (factorial(l) * math.Pow(2, float64(l)))
 		for alpha := 0; alpha <= l; alpha++ {
 			term := dense.Mul(qPow[alpha], qtPow[l-alpha])
@@ -67,7 +89,7 @@ func SeriesExponential(g *graph.Graph, opt Options) *dense.Matrix {
 	}
 	s.Scale(math.Exp(-opt.C))
 	sieve(s, opt.Sieve)
-	return s
+	return s, nil
 }
 
 // SeriesExponentialFactored brute-forces the factored form of Theorem 3
@@ -78,6 +100,13 @@ func SeriesExponential(g *graph.Graph, opt Options) *dense.Matrix {
 // by expanding the double sum over dense powers. It is the exact oracle for
 // the Exponential/ExponentialMemo implementations.
 func SeriesExponentialFactored(g *graph.Graph, opt Options) *dense.Matrix {
+	s, _ := SeriesExponentialFactoredCtx(context.Background(), g, opt)
+	return s
+}
+
+// SeriesExponentialFactoredCtx is SeriesExponentialFactored with
+// cancellation checked between outer terms.
+func SeriesExponentialFactoredCtx(ctx context.Context, g *graph.Graph, opt Options) (*dense.Matrix, error) {
 	opt = opt.withDefaults()
 	k := opt.IterationsExponential()
 	n := g.N()
@@ -90,6 +119,9 @@ func SeriesExponentialFactored(g *graph.Graph, opt Options) *dense.Matrix {
 	}
 	s := dense.New(n, n)
 	for alpha := 0; alpha <= k; alpha++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for beta := 0; beta <= k; beta++ {
 			term := dense.Mul(qPow[alpha], qtPow[beta])
 			s.Axpy(coef(alpha)*coef(beta), term)
@@ -97,7 +129,7 @@ func SeriesExponentialFactored(g *graph.Graph, opt Options) *dense.Matrix {
 	}
 	s.Scale(math.Exp(-opt.C))
 	sieve(s, opt.Sieve)
-	return s
+	return s, nil
 }
 
 // LengthWeight is a pluggable length-weight sequence {w_l} for the Sec. 3.2
@@ -155,12 +187,22 @@ func HarmonicWeight(c float64) LengthWeight {
 // symmetry weight is fixed — it is what makes the recurrence exist at all
 // (the paper's argument (b) for choosing binomials).
 func SeriesWeighted(g *graph.Graph, w LengthWeight, k int) *dense.Matrix {
+	s, _ := SeriesWeightedCtx(context.Background(), g, w, k)
+	return s
+}
+
+// SeriesWeightedCtx is SeriesWeighted with cancellation checked between
+// recurrence steps.
+func SeriesWeightedCtx(ctx context.Context, g *graph.Graph, w LengthWeight, k int) (*dense.Matrix, error) {
 	n := g.N()
 	q := sparse.BackwardTransition(g)
 	that := dense.Identity(n) // T̂_0 = I
 	next := dense.New(n, n)
 	s := dense.New(n, n)
 	for l := 0; ; l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s.Axpy(w.Coef(l)/w.Norm, that)
 		if l == k {
 			break
@@ -175,7 +217,7 @@ func SeriesWeighted(g *graph.Graph, w LengthWeight, k int) *dense.Matrix {
 			}
 		}
 	}
-	return s
+	return s, nil
 }
 
 // densePowers returns [I, A, A², …, A^k].

@@ -60,6 +60,8 @@ func SingleSourceGeometricFromTransition(ctx context.Context, qm *sparse.CSR, q 
 // nil ws uses a private one. The arithmetic — coefficients and per-element
 // accumulation order — is identical to the allocating kernel, so the scores
 // are bitwise-equal.
+//
+//simstar:noalloc
 func SingleSourceGeometricWS(ctx context.Context, qm *sparse.CSR, q int, opt Options, ws *sparse.Workspace, dst []float64) error {
 	opt = opt.withDefaults()
 	k := opt.IterationsGeometric()
@@ -68,6 +70,7 @@ func SingleSourceGeometricWS(ctx context.Context, qm *sparse.CSR, q int, opt Opt
 		panic("core: SingleSourceGeometricWS dst length mismatch")
 	}
 	if ws == nil {
+		//simstar:lint-ignore noalloc nil-ws convenience fallback, off the pooled serving path
 		ws = sparse.NewWorkspace(n)
 	} else if ws.Dim() != n {
 		panic("core: SingleSourceGeometricWS workspace dimension mismatch")
@@ -145,6 +148,8 @@ func SingleSourceExponentialFromTransition(ctx context.Context, qm *sparse.CSR, 
 // single-source kernel: scores go into dst (length n), intermediates come
 // from ws (nil for a private one), and the arithmetic is bitwise-identical
 // to the allocating kernel.
+//
+//simstar:noalloc
 func SingleSourceExponentialWS(ctx context.Context, qm *sparse.CSR, q int, opt Options, ws *sparse.Workspace, dst []float64) error {
 	opt = opt.withDefaults()
 	k := opt.IterationsExponential()
@@ -153,6 +158,7 @@ func SingleSourceExponentialWS(ctx context.Context, qm *sparse.CSR, q int, opt O
 		panic("core: SingleSourceExponentialWS dst length mismatch")
 	}
 	if ws == nil {
+		//simstar:lint-ignore noalloc nil-ws convenience fallback, off the pooled serving path
 		ws = sparse.NewWorkspace(n)
 	} else if ws.Dim() != n {
 		panic("core: SingleSourceExponentialWS workspace dimension mismatch")

@@ -1,0 +1,123 @@
+// Package analysistest runs simlint analyzers against fixture packages and
+// checks their diagnostics against the fixtures' own expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the dependency-free suite.
+//
+// A fixture is one package under testdata/src/<name>. Lines that must be
+// flagged carry a trailing expectation comment,
+//
+//	// want `regexp`
+//
+// with one backquoted or double-quoted regular expression per expected
+// diagnostic on that line. Run loads the fixture, applies one analyzer —
+// suppression directives included, so fixtures can demonstrate the escape
+// hatch — and fails the test on any unexpected diagnostic or unmatched
+// expectation.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"go/token"
+
+	"repro/internal/lint"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, the conventional fixture root.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// expectation is one parsed want annotation: a source line that must produce
+// a diagnostic whose message matches the pattern.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRe extracts the backquoted or double-quoted patterns of a want comment.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the fixture package at <testdata>/src/<rel>, applies the
+// analyzer, and reports any mismatch between the diagnostics and the
+// fixture's want annotations. The surviving diagnostics are returned for
+// tests that assert beyond positions and messages.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, rel string) []lint.Diagnostic {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", rel)
+	fset, pkg, err := lint.LoadFixture(dir, rel)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	diags := lint.Run(fset, []*lint.Package{pkg}, []*lint.Analyzer{a})
+	wants := collectWants(t, fset, pkg)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+	return diags
+}
+
+// claim marks the first unmatched expectation at (file, line) whose pattern
+// matches the message, reporting whether one existed.
+func claim(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every want comment of the fixture package.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				body, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns := wantRe.FindAllString(body, -1)
+				if len(patterns) == 0 {
+					t.Fatalf("%s:%d: malformed want comment: no quoted pattern", filepath.Base(pos.Filename), pos.Line)
+				}
+				for _, p := range patterns {
+					text := p
+					if strings.HasPrefix(p, "`") {
+						text = strings.Trim(p, "`")
+					} else if unq, err := strconv.Unquote(p); err == nil {
+						text = unq
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", filepath.Base(pos.Filename), pos.Line, text, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The cachekey analyzer keeps the result cache sound. The engine's cache
+// key embeds the full option struct after a strip function (cacheParams)
+// zeroes the serving-only knobs; a correct strip set is precisely what
+// stands between "cache hit" and "stale scores served to a user". The
+// failure mode is always the same: someone adds a query-affecting option,
+// strips it from the key "like the others", and two requests that compute
+// different numbers start sharing an entry.
+//
+// The contract is declared next to the code it governs. The strip function
+// carries
+//
+//	//simstar:cachekey-exempt field1 field2 ...
+//
+// naming every field it is allowed to zero (the serving-only set). The
+// analyzer then checks, for the strip function's receiver struct:
+//
+//   - every field unconditionally zeroed in the strip function is declared
+//     exempt (stripping an undeclared field is the stale-cache bug),
+//   - every declared-exempt field is actually stripped (a stale allowlist
+//     entry means the contract and the code disagree),
+//   - every exempt name is a real field (catches renames),
+//   - some struct in the package embeds the receiver type as a field — the
+//     cache key must actually carry the surviving params.
+//
+// Conditional assignments (inside if/for) are treated as normalisation,
+// not stripping: collapsing sub-threshold tolerances to zero changes the
+// key only where results are identical by construction.
+//
+// A function named cacheParams without the directive is reported too: the
+// convention is load-bearing, so opting out must be visible.
+
+// CachekeyDirective declares the serving-only fields a strip function may
+// zero.
+const CachekeyDirective = "//simstar:cachekey-exempt"
+
+// cacheParamsName is the conventional name of the strip function.
+const cacheParamsName = "cacheParams"
+
+// Cachekey is the analyzer enforcing the result-cache key contract.
+var Cachekey = &Analyzer{
+	Name: "cachekey",
+	Doc:  "every query-affecting option field must survive into the result-cache key; stripped fields must be declared exempt",
+	Run:  runCachekey,
+}
+
+func runCachekey(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			exempt, declared := cachekeyExemptList(fn.Doc)
+			if !declared {
+				if fn.Name.Name == cacheParamsName {
+					pass.Reportf(fn.Name.Pos(), "%s has no %s declaration; list its serving-only fields so strips are auditable", cacheParamsName, CachekeyDirective)
+				}
+				continue
+			}
+			checkCachekey(pass, fn, exempt)
+		}
+	}
+	return nil
+}
+
+// cachekeyExemptList parses the directive from doc, returning the exempt
+// field names and whether the directive is present.
+func cachekeyExemptList(doc *ast.CommentGroup) ([]string, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		if c.Text == CachekeyDirective {
+			return nil, true
+		}
+		if strings.HasPrefix(c.Text, CachekeyDirective+" ") {
+			return strings.Fields(strings.TrimPrefix(c.Text, CachekeyDirective+" ")), true
+		}
+	}
+	return nil, false
+}
+
+func checkCachekey(pass *Pass, fn *ast.FuncDecl, exempt []string) {
+	recv := receiverStruct(pass, fn)
+	if recv == nil {
+		pass.Reportf(fn.Name.Pos(), "%s carries %s but is not a method on a struct", fn.Name.Name, CachekeyDirective)
+		return
+	}
+	fields := make(map[string]bool)
+	for i := 0; i < recv.NumFields(); i++ {
+		fields[recv.Field(i).Name()] = true
+	}
+	exemptSet := make(map[string]bool, len(exempt))
+	for _, name := range exempt {
+		exemptSet[name] = true
+		if !fields[name] {
+			pass.Reportf(fn.Name.Pos(), "%s names %q, which is not a field of the receiver struct (renamed or removed?)", CachekeyDirective, name)
+		}
+	}
+	stripped := strippedFields(pass, fn)
+	for _, s := range stripped {
+		if !exemptSet[s.name] {
+			pass.Reportf(s.pos, "%s strips field %q from the result-cache key without declaring it exempt; a query-affecting field here serves stale results", fn.Name.Name, s.name)
+		}
+	}
+	strippedSet := make(map[string]bool, len(stripped))
+	for _, s := range stripped {
+		strippedSet[s.name] = true
+	}
+	for _, name := range exempt {
+		if fields[name] && !strippedSet[name] {
+			pass.Reportf(fn.Name.Pos(), "field %q is declared exempt but %s never strips it; drop it from %s or strip it", name, fn.Name.Name, CachekeyDirective)
+		}
+	}
+	if !packageEmbedsStruct(pass, fn, recv) {
+		pass.Reportf(fn.Name.Pos(), "no struct in this package embeds the receiver type of %s as a field; the cache key must carry the stripped params struct", fn.Name.Name)
+	}
+}
+
+// receiverStruct returns the struct type underlying fn's receiver, nil if
+// fn is not a method on a (possibly pointer-to-) struct.
+func receiverStruct(pass *Pass, fn *ast.FuncDecl) *types.Struct {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := pass.Info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	s, _ := t.Underlying().(*types.Struct)
+	return s
+}
+
+// strippedField is one unconditional receiver-field assignment in the
+// strip function.
+type strippedField struct {
+	name string
+	pos  token.Pos
+}
+
+// strippedFields returns the receiver fields assigned at the top level of
+// fn's body (assignments nested under if/for/switch are normalisations,
+// not strips).
+func strippedFields(pass *Pass, fn *ast.FuncDecl) []strippedField {
+	recvNames := make(map[types.Object]bool)
+	for _, field := range fn.Recv.List {
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				recvNames[obj] = true
+			}
+		}
+	}
+	var out []strippedField
+	for _, stmt := range fn.Body.List {
+		assign, ok := stmt.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		for _, lhs := range assign.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok || !recvNames[pass.Info.Uses[base]] {
+				continue
+			}
+			out = append(out, strippedField{name: sel.Sel.Name, pos: sel.Pos()})
+		}
+	}
+	return out
+}
+
+// packageEmbedsStruct reports whether any other struct type in the package
+// has a field whose type is fn's receiver struct — i.e. whether a cache key
+// actually carries the params.
+func packageEmbedsStruct(pass *Pass, fn *ast.FuncDecl, recv *types.Struct) bool {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		s, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok || s == recv {
+			continue
+		}
+		for i := 0; i < s.NumFields(); i++ {
+			if types.Identical(s.Field(i).Type().Underlying(), recv) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The ctxflow analyzer enforces the cancellation contract of the iterative
+// kernels: every serving query must be abortable, so a kernel that sweeps
+// the graph has to accept a context.Context and actually consult it inside
+// its sweep loops — a ctx parameter that is threaded in but never checked
+// between iterations is a deadline that cannot fire.
+//
+// Two rules, applied to exported functions only (unexported helpers are
+// reached through exported entry points that already carry the contract):
+//
+//   - In kernel and sweep packages alike: a function that takes a
+//     context.Context and contains loops must reference the context inside
+//     at least one loop — either checking ctx.Err()/ctx.Done() directly or
+//     passing ctx to a callee that does.
+//   - In kernel packages only: a function without a context.Context whose
+//     body nests loops two deep or more is an iterative kernel that cannot
+//     be cancelled. The fix is a Ctx variant (the loop-free original stays
+//     as a context.Background() wrapper) or threading ctx outright. Leaf
+//     sweep packages (internal/sparse) are exempt from this rule: their
+//     kernels are deliberately context-free single sweeps, with
+//     cancellation checked by the callers between sweeps.
+
+// DefaultKernelPackages are the packages whose exported iterative kernels
+// must thread and check context.Context.
+var DefaultKernelPackages = []string{
+	"repro/internal/core",
+	"repro/internal/rwr",
+	"repro/internal/sparsesim",
+	"repro/internal/prank",
+}
+
+// DefaultSweepPackages are leaf sweep packages: functions there that do
+// take a context must check it inside loops, but context-free leaf kernels
+// are allowed (callers cancel between sweeps).
+var DefaultSweepPackages = []string{
+	"repro/internal/sparse",
+}
+
+// NewCtxflow returns a ctxflow analyzer checking the given package sets:
+// kernel packages get both rules, sweep packages only the checked-if-taken
+// rule. Paths match by prefix, so one entry covers a subtree.
+func NewCtxflow(kernelPackages, sweepPackages []string) *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "exported iterative kernels must accept context.Context and check cancellation inside their sweep loops",
+	}
+	a.Run = func(pass *Pass) error {
+		kernel := matchesAny(pass.Path, kernelPackages)
+		sweep := matchesAny(pass.Path, sweepPackages)
+		if !kernel && !sweep {
+			return nil
+		}
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !fn.Name.IsExported() {
+					continue
+				}
+				if ctx := ctxParam(pass, fn); ctx != nil {
+					checkCtxUsedInLoops(pass, fn, ctx)
+				} else if kernel && maxLoopDepth(fn.Body) >= 2 {
+					pass.Reportf(fn.Name.Pos(),
+						"%s is an iterative kernel (nested sweep loops) without a context.Context; add a Ctx variant or thread ctx and check cancellation in the sweep loop", fn.Name.Name)
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// matchesAny reports whether path equals one of the prefixes or lies under
+// one of them.
+func matchesAny(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxParam returns the object of fn's context.Context parameter, if any.
+func ctxParam(pass *Pass, fn *ast.FuncDecl) types.Object {
+	for _, field := range fn.Type.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkCtxUsedInLoops reports fn if it contains loops but never references
+// its context parameter inside any of them.
+func checkCtxUsedInLoops(pass *Pass, fn *ast.FuncDecl, ctx types.Object) {
+	hasLoop := false
+	used := false
+	var visitLoop func(body ast.Node)
+	visitLoop = func(body ast.Node) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == ctx {
+				used = true
+			}
+			return !used
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			hasLoop = true
+			visitLoop(loop.Body)
+			return false // the subtree scan covered nested loops
+		case *ast.RangeStmt:
+			hasLoop = true
+			visitLoop(loop.Body)
+			return false
+		case *ast.FuncLit:
+			// Loops inside function literals belong to the literal, not to
+			// fn's own iteration structure.
+			return false
+		}
+		return true
+	})
+	if hasLoop && !used {
+		pass.Reportf(fn.Name.Pos(),
+			"%s takes a context.Context but never consults it inside its loops; check ctx.Err() (or pass ctx to the kernel) in the sweep loop", fn.Name.Name)
+	}
+}
+
+// maxLoopDepth returns the deepest nesting of for/range statements directly
+// in body, not descending into function literals.
+func maxLoopDepth(body ast.Node) int {
+	max := 0
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch loop := m.(type) {
+			case *ast.ForStmt:
+				if depth+1 > max {
+					max = depth + 1
+				}
+				walk(loop.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				if depth+1 > max {
+					max = depth + 1
+				}
+				walk(loop.Body, depth+1)
+				return false
+			case *ast.FuncLit:
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+	return max
+}

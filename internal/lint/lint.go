@@ -1,0 +1,205 @@
+// Package lint implements simlint, a suite of project-specific static
+// analyzers that machine-check the invariants the engine's hot paths rely
+// on. The rules are enforced only by convention otherwise, and every one of
+// them fails as a p99 regression or a race in production rather than as a
+// compile error:
+//
+//   - ctxflow: iterative kernels must thread context.Context and consult it
+//     inside their sweep loops, so deadlines and cancellation actually abort
+//     long runs.
+//   - poolescape: values handed out by a sync.Pool or a sparse.Workspace
+//     arena must not outlive their release — escaping them silently corrupts
+//     the pooled serving loop.
+//   - noalloc: functions annotated //simstar:noalloc must contain no
+//     allocating constructs, keeping the zero-alloc serving paths honest.
+//   - cachekey: the result-cache key must cover every query-affecting
+//     option; fields stripped from the key must be declared serving-only.
+//
+// The types here deliberately mirror golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) so the suite can migrate onto the real
+// framework wholesale if the dependency ever becomes available; the module
+// is dependency-free by policy, so a minimal reimplementation ships instead.
+//
+// # Suppression
+//
+// Any diagnostic can be silenced with an explicit, reasoned escape hatch:
+//
+//	//simstar:lint-ignore <analyzer> <reason>
+//
+// placed either on the flagged line or alone on the line directly above it.
+// The reason is mandatory — an ignore without one is itself reported — so
+// every suppression documents why the invariant does not apply.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check: a name (used in diagnostics and
+// suppression comments), a one-paragraph doc string, and the function that
+// runs the check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in lint-ignore comments.
+	Name string
+	// Doc describes the invariant the analyzer enforces.
+	Doc string
+	// Run reports the package's violations through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one analyzed package — its syntax, type information and a
+// sink for diagnostics — to an Analyzer's Run function.
+type Pass struct {
+	// Analyzer is the check this pass is running.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files back to file/line/column.
+	Fset *token.FileSet
+	// Files holds the package's parsed syntax trees, comments included.
+	Files []*ast.File
+	// Path is the package's import path.
+	Path string
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	// Pos locates the violation in the Fset of the pass that produced it.
+	Pos token.Pos
+	// Message states the violation and, where possible, the fix.
+	Message string
+	// Analyzer is the name of the check that produced the diagnostic.
+	Analyzer string
+}
+
+// IgnoreDirective is the comment prefix of the suppression escape hatch.
+const IgnoreDirective = "//simstar:lint-ignore"
+
+// ignoreAnalyzer is the pseudo-analyzer name under which malformed
+// suppression comments are reported; it cannot itself be suppressed.
+const ignoreAnalyzer = "lint-ignore"
+
+// ignoreRe splits a well-formed ignore: directive, analyzer name, reason.
+var ignoreRe = regexp.MustCompile(`^//simstar:lint-ignore\s+(\S+)\s+(.+)$`)
+
+// Run applies every analyzer to every package, resolves suppression
+// comments, and returns the surviving diagnostics sorted by position. All
+// packages must share one token.FileSet (the Loader guarantees this).
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores, malformed := collectIgnores(fset, pkg.Files)
+		diags = append(diags, malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Path:     pkg.Path,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				if !ignores.covers(fset.Position(d.Pos), a.Name) {
+					diags = append(diags, d)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Files[0].Pos(),
+					Message:  fmt.Sprintf("analyzer failed: %v", err),
+					Analyzer: a.Name,
+				})
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// ignoreSet records, per file and line, which analyzers are suppressed
+// there. A directive covers its own line and the line below it, so it works
+// both as a trailing comment and as a standalone line above the construct.
+type ignoreSet map[string]map[int]map[string]bool
+
+func (s ignoreSet) add(file string, line int, analyzer string) {
+	if s[file] == nil {
+		s[file] = make(map[int]map[string]bool)
+	}
+	if s[file][line] == nil {
+		s[file][line] = make(map[string]bool)
+	}
+	s[file][line][analyzer] = true
+}
+
+func (s ignoreSet) covers(pos token.Position, analyzer string) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][analyzer] || byLine[pos.Line-1][analyzer]
+}
+
+// collectIgnores scans every comment for ignore directives. Malformed
+// directives — no analyzer name, or no reason — come back as diagnostics:
+// an undocumented suppression is a violation in its own right.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	ignores := make(ignoreSet)
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnoreDirective) {
+					continue
+				}
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("malformed %s: need \"%s <analyzer> <reason>\"", IgnoreDirective, IgnoreDirective),
+						Analyzer: ignoreAnalyzer,
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ignores.add(pos.Filename, pos.Line, m[1])
+			}
+		}
+	}
+	return ignores, malformed
+}
+
+// Analyzers returns the default suite with the production configuration:
+// the kernel-package lists and arena types of this repository.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NewCtxflow(DefaultKernelPackages, DefaultSweepPackages),
+		NewPoolescape(DefaultArenaTypes),
+		Noalloc,
+		Cachekey,
+	}
+}

@@ -1,0 +1,109 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"path/filepath"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+// The fixture tests pin each analyzer's behaviour on a purpose-built
+// package: at least one true positive (the // want lines), true negatives
+// (compliant shapes that must stay silent), and one finding silenced by a
+// well-formed //simstar:lint-ignore.
+
+func TestCtxflowKernelFixture(t *testing.T) {
+	a := lint.NewCtxflow([]string{"ctxflow"}, nil)
+	analysistest.Run(t, analysistest.TestData(), a, "ctxflow")
+}
+
+func TestCtxflowSweepFixture(t *testing.T) {
+	a := lint.NewCtxflow(nil, []string{"ctxflowsweep"})
+	analysistest.Run(t, analysistest.TestData(), a, "ctxflowsweep")
+}
+
+func TestPoolescapeFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.NewPoolescape(lint.DefaultArenaTypes), "poolescape")
+}
+
+func TestNoallocFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Noalloc, "noalloc")
+}
+
+func TestCachekeyFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Cachekey, "cachekey")
+}
+
+// TestMalformedIgnoreReported checks the suppression syntax's own contract:
+// a directive without a reason is reported under the lint-ignore
+// pseudo-analyzer and does not silence the finding it sits on.
+func TestMalformedIgnoreReported(t *testing.T) {
+	dir := filepath.Join(analysistest.TestData(), "src", "ignores")
+	fset, pkg, err := lint.LoadFixture(dir, "ignores")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := lint.Run(fset, []*lint.Package{pkg}, []*lint.Analyzer{lint.Noalloc})
+	var malformed, unsuppressed bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "lint-ignore" && strings.Contains(d.Message, "malformed"):
+			malformed = true
+		case d.Analyzer == "noalloc" && strings.Contains(d.Message, "calls make"):
+			unsuppressed = true
+		}
+	}
+	if !malformed {
+		t.Errorf("malformed lint-ignore directive was not reported; got %v", diags)
+	}
+	if !unsuppressed {
+		t.Errorf("malformed lint-ignore silenced the noalloc finding; got %v", diags)
+	}
+	if len(diags) != 2 {
+		t.Errorf("want exactly 2 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+// TestDefaultSuite pins the shape of the production configuration: four
+// analyzers, unique names, documented.
+func TestDefaultSuite(t *testing.T) {
+	suite := lint.Analyzers()
+	if len(suite) != 4 {
+		t.Fatalf("want 4 analyzers, got %d", len(suite))
+	}
+	seen := make(map[string]bool)
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestRepositoryIsClean runs the full production suite over the whole
+// module — the same invocation as `go run ./cmd/simlint ./...` — and fails
+// on any finding. This is the self-test that keeps the tree at zero
+// violations: a hot-path regression fails `go test` before it reaches CI's
+// lint job.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	fset, pkgs, err := lint.LoadPatterns("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	for _, d := range lint.Run(fset, pkgs, lint.Analyzers()) {
+		pos := fset.Position(d.Pos)
+		t.Errorf("%s:%d: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+	}
+}

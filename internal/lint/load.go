@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the suite's package loader. The module is dependency-free by
+// policy, so instead of golang.org/x/tools/go/packages it drives the go
+// command directly: `go list -export -deps -json` enumerates the packages
+// matching a pattern together with compiled export data for every
+// dependency (standard library included), the target packages are re-parsed
+// from source for full syntax, and go/types checks them against the export
+// data through the compiler importer. The result is the same
+// (fset, syntax, types) triple the x/tools loader would produce.
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (for fixtures, the fixture's
+	// testdata-relative path).
+	Path string
+	// Files is the package's parsed syntax, comments included. Test files
+	// are not loaded: the invariants guard production paths.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs the go command in dir and decodes its JSON package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts a map of import path → export data file into the
+// lookup function the gc importer wants.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// newChecker returns a types.Config resolving imports from exports.
+func newChecker(fset *token.FileSet, exports map[string]string) *types.Config {
+	return &types.Config{
+		Importer: importer.ForCompiler(fset, "gc", exportLookup(exports)),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+// newInfo returns an Info with every map the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// parseFiles parses the named files (absolute paths) with comments.
+func parseFiles(fset *token.FileSet, files []string) ([]*ast.File, error) {
+	var parsed []*ast.File
+	for _, f := range files {
+		file, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, file)
+	}
+	return parsed, nil
+}
+
+// check type-checks one package's parsed files.
+func check(fset *token.FileSet, cfg *types.Config, path string, files []*ast.File) (*Package, error) {
+	info := newInfo()
+	tpkg, err := cfg.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadPatterns loads and type-checks the non-test source of every package
+// matching the go patterns (e.g. "./..."), resolved relative to dir. All
+// returned packages share the returned FileSet.
+func LoadPatterns(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	listed, err := goList(dir, append([]string{"list", "-export", "-deps", "-json=Dir,ImportPath,Export,GoFiles,DepOnly,Error"}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		exports[p.ImportPath] = p.Export
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	cfg := newChecker(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		parsed, err := parseFiles(fset, files)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkg, err := check(fset, cfg, t.ImportPath, parsed)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return fset, pkgs, nil
+}
+
+// LoadFixture loads the single fixture package in dir (every .go file, test
+// fixtures are plain files) and type-checks it under the import path
+// `path`, resolving its imports — standard library or module packages —
+// through fresh export data from the go command. The analysistest harness
+// loads its testdata packages through this.
+func LoadFixture(dir, path string) (*token.FileSet, *Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	parsed, err := parseFiles(fset, files)
+	if err != nil {
+		return nil, nil, err
+	}
+	importSet := make(map[string]bool)
+	for _, f := range parsed {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, nil, err
+			}
+			importSet[p] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		var imports []string
+		for p := range importSet {
+			imports = append(imports, p)
+		}
+		sort.Strings(imports)
+		listed, err := goList(dir, append([]string{"list", "-export", "-deps", "-json=ImportPath,Export,Error"}, imports...)...)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	pkg, err := check(fset, newChecker(fset, exports), path, parsed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fset, pkg, nil
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The noalloc analyzer keeps the zero-alloc serving paths honest. A warmed
+// engine answers SingleSourceInto queries with zero heap allocations — the
+// property PR 5's benchmarks bought — and the easiest way to lose it is an
+// innocent-looking edit: an append in a sweep, a closure that captures a
+// loop variable, a value boxed into an interface for a log line. Functions
+// annotated
+//
+//	//simstar:noalloc
+//
+// in their doc comment are checked for allocating constructs:
+//
+//   - make, new and append calls,
+//   - map/slice composite literals and &T{...} (heap-escaping literals),
+//   - function literals (closures allocate when they capture),
+//   - string concatenation and string<->[]byte/[]rune conversions,
+//   - explicit conversions of concrete values to interface types,
+//   - calls to constructors named New* (allocation moved behind a call).
+//
+// panic(...) subtrees are exempt: a panicking path is already fatal.
+// Intentional cold-path allocations (a nil-workspace fallback, a
+// grow-on-first-use branch) carry a //simstar:lint-ignore noalloc <reason>
+// on the allocating line, so every exception is visible and justified.
+//
+// This is a syntactic approximation, not escape analysis: ordinary calls
+// are trusted to be noalloc themselves (annotate the callee to check it),
+// and plain struct literals pass (they stay on the stack unless they
+// escape). The benchmark suite's allocs/op tracking is the ground truth the
+// analyzer approximates between benchmark runs.
+
+// NoallocDirective marks a function whose body must not allocate.
+const NoallocDirective = "//simstar:noalloc"
+
+// Noalloc is the analyzer enforcing //simstar:noalloc annotations.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //simstar:noalloc must contain no allocating constructs",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, NoallocDirective) {
+				continue
+			}
+			checkNoalloc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// hasDirective reports whether doc contains the given directive comment as
+// a full line (exact match or directive followed by whitespace).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNoalloc(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch e := m.(type) {
+			case *ast.CallExpr:
+				switch funName(pass, e.Fun) {
+				case "panic":
+					// A panicking path is fatal; its boxing is irrelevant.
+					return false
+				case "make":
+					pass.Reportf(e.Pos(), "%s is //simstar:noalloc but calls make", name)
+				case "new":
+					pass.Reportf(e.Pos(), "%s is //simstar:noalloc but calls new", name)
+				case "append":
+					pass.Reportf(e.Pos(), "%s is //simstar:noalloc but calls append (may grow the backing array)", name)
+				}
+				if isInterfaceConversion(pass, e) {
+					pass.Reportf(e.Pos(), "%s is //simstar:noalloc but converts a concrete value to an interface (boxes on the heap)", name)
+				}
+				if isStringBytesConversion(pass, e) {
+					pass.Reportf(e.Pos(), "%s is //simstar:noalloc but converts between string and byte/rune slice (copies)", name)
+				}
+				if ctor := constructorName(pass, e.Fun); ctor != "" {
+					pass.Reportf(e.Pos(), "%s is //simstar:noalloc but calls constructor %s (allocates behind the call)", name, ctor)
+				}
+			case *ast.CompositeLit:
+				tv, ok := pass.Info.Types[e]
+				if !ok {
+					return true
+				}
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(e.Pos(), "%s is //simstar:noalloc but builds a map literal", name)
+				case *types.Slice:
+					pass.Reportf(e.Pos(), "%s is //simstar:noalloc but builds a slice literal", name)
+				}
+			case *ast.UnaryExpr:
+				if e.Op == token.AND {
+					if _, ok := e.X.(*ast.CompositeLit); ok {
+						pass.Reportf(e.Pos(), "%s is //simstar:noalloc but takes the address of a composite literal (escapes to the heap)", name)
+					}
+				}
+			case *ast.FuncLit:
+				pass.Reportf(e.Pos(), "%s is //simstar:noalloc but declares a function literal (closures allocate when they capture)", name)
+				return false
+			case *ast.BinaryExpr:
+				if e.Op == token.ADD {
+					if tv, ok := pass.Info.Types[e]; ok {
+						if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+							pass.Reportf(e.Pos(), "%s is //simstar:noalloc but concatenates strings", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Body)
+}
+
+// funName resolves fun to a builtin or top-level function name, "" for
+// anything else (method values, conversions, locals).
+func funName(pass *Pass, fun ast.Expr) string {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if obj := pass.Info.Uses[id]; obj != nil {
+		if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+			return obj.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+// constructorName reports calls to functions named New or New*: the
+// conventional shape of an allocating constructor.
+func constructorName(pass *Pass, fun ast.Expr) string {
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return ""
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return ""
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return ""
+	}
+	if obj.Name() == "New" || (strings.HasPrefix(obj.Name(), "New") && len(obj.Name()) > 3 && obj.Name()[3] >= 'A' && obj.Name()[3] <= 'Z') {
+		return obj.Name()
+	}
+	return ""
+}
+
+// isInterfaceConversion reports explicit conversions T(x) where T is an
+// interface type and x is concrete.
+func isInterfaceConversion(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	if !types.IsInterface(tv.Type) {
+		return false
+	}
+	if len(call.Args) != 1 {
+		return false
+	}
+	argTV, ok := pass.Info.Types[call.Args[0]]
+	return ok && !types.IsInterface(argTV.Type)
+}
+
+// isStringBytesConversion reports []byte(s), []rune(s) and string(b)
+// conversions, which copy their operand.
+func isStringBytesConversion(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	argTV, ok := pass.Info.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	toString := isBasicString(tv.Type) && isByteOrRuneSlice(argTV.Type)
+	toSlice := isByteOrRuneSlice(tv.Type) && isBasicString(argTV.Type)
+	return toString || toSlice
+}
+
+func isBasicString(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	slice, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem, ok := slice.Elem().Underlying().(*types.Basic)
+	return ok && (elem.Kind() == types.Byte || elem.Kind() == types.Rune || elem.Kind() == types.Uint8 || elem.Kind() == types.Int32)
+}

@@ -1,0 +1,108 @@
+// Package cachekey is a simlint fixture for the cachekey analyzer: the
+// strip function of a result-cache key must declare every field it zeroes.
+package cachekey
+
+// config is a params struct whose strip function is fully compliant.
+type config struct {
+	c         float64
+	tolerance float64
+	workers   int
+}
+
+// key is the cache key carrying the stripped params.
+type key struct {
+	params config
+	node   int
+}
+
+// cacheParams declares and strips exactly the serving-only set; the
+// conditional tolerance collapse is a normalisation, not a strip.
+//
+//simstar:cachekey-exempt workers
+func (cfg config) cacheParams() config {
+	cfg.workers = 0
+	if cfg.tolerance < 1e-12 {
+		cfg.tolerance = 0
+	}
+	return cfg
+}
+
+// badConfig is a params struct whose strip function zeroes an undeclared
+// field.
+type badConfig struct {
+	c       float64
+	workers int
+}
+
+// badKey carries badConfig so the embed check passes.
+type badKey struct {
+	params badConfig
+}
+
+// strip zeroes c, a query-affecting field, without declaring it exempt.
+//
+//simstar:cachekey-exempt workers
+func (cfg badConfig) strip() badConfig {
+	cfg.workers = 0
+	cfg.c = 0 // want `strip strips field "c" from the result-cache key without declaring it exempt`
+	return cfg
+}
+
+// staleConfig is a params struct whose allowlist has drifted from the code.
+type staleConfig struct {
+	c       float64
+	workers int
+	cache   int
+}
+
+// staleKey carries staleConfig so the embed check passes.
+type staleKey struct {
+	params staleConfig
+}
+
+// stale declares cache exempt but never strips it.
+//
+//simstar:cachekey-exempt workers cache
+func (cfg staleConfig) stale() staleConfig { // want `field "cache" is declared exempt but stale never strips it`
+	cfg.workers = 0
+	return cfg
+}
+
+// lonelyConfig is a params struct whose strip function opts out of the
+// contract silently.
+type lonelyConfig struct {
+	workers int
+}
+
+// lonelyKey carries lonelyConfig so the embed check passes.
+type lonelyKey struct {
+	params lonelyConfig
+}
+
+// cacheParams lacks the directive; the conventional name makes that
+// reportable.
+func (cfg lonelyConfig) cacheParams() lonelyConfig { // want `cacheParams has no //simstar:cachekey-exempt declaration`
+	cfg.workers = 0
+	return cfg
+}
+
+// suppressedConfig is a params struct with a documented contract exception.
+type suppressedConfig struct {
+	c       float64
+	workers int
+}
+
+// suppressedKey carries suppressedConfig so the embed check passes.
+type suppressedKey struct {
+	params suppressedConfig
+}
+
+// suppressedStrip zeroes an undeclared field under an explicit suppression.
+//
+//simstar:cachekey-exempt workers
+func (cfg suppressedConfig) suppressedStrip() suppressedConfig {
+	cfg.workers = 0
+	//simstar:lint-ignore cachekey fixture: c is provably query-neutral here
+	cfg.c = 0
+	return cfg
+}

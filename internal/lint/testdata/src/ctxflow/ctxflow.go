@@ -1,0 +1,97 @@
+// Package ctxflow is a simlint fixture for the ctxflow analyzer, loaded as a
+// kernel package: exported iterative kernels must thread context.Context and
+// consult it inside their sweep loops.
+package ctxflow
+
+import "context"
+
+// SweepChecked consults ctx inside its loop: compliant.
+func SweepChecked(ctx context.Context, xs []float64) error {
+	for range xs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SweepDelegated passes ctx to a helper on every iteration, which counts as
+// consulting it: compliant.
+func SweepDelegated(ctx context.Context, xs []float64) error {
+	for range xs {
+		if err := step(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func step(ctx context.Context) error { return ctx.Err() }
+
+// SweepUnchecked threads a context but never consults it, so its deadline
+// can never fire.
+func SweepUnchecked(ctx context.Context, xs []float64) float64 { // want `SweepUnchecked takes a context.Context but never consults it inside its loops`
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Kernel nests sweep loops without a context: an uncancellable kernel.
+func Kernel(m [][]float64) float64 { // want `Kernel is an iterative kernel \(nested sweep loops\) without a context.Context`
+	var s float64
+	for _, row := range m {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+// Scale has only a single flat loop, which rule 2 does not treat as an
+// iterative kernel: compliant.
+func Scale(xs []float64, c float64) {
+	for i := range xs {
+		xs[i] *= c
+	}
+}
+
+// kernel is unexported; the contract is carried by exported entry points.
+func kernel(m [][]float64) float64 {
+	var s float64
+	for _, row := range m {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+// Batch nests loops without a context, with the suppression documenting why
+// the invariant does not apply.
+//
+//simstar:lint-ignore ctxflow fixture: bounded 8x8 sweep, cancellation unneeded
+func Batch(m [][]float64) float64 {
+	var s float64
+	for _, row := range m {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+// Nest nests its loops inside a function literal, which belongs to the
+// literal rather than to Nest's own iteration structure: compliant.
+func Nest(m [][]float64) func() float64 {
+	return func() float64 {
+		var s float64
+		for _, row := range m {
+			for _, v := range row {
+				s += v
+			}
+		}
+		return s
+	}
+}

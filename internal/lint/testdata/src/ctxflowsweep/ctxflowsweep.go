@@ -1,0 +1,28 @@
+// Package ctxflowsweep is a simlint fixture for the ctxflow analyzer,
+// loaded as a leaf sweep package: context-free nested-loop kernels are
+// allowed (callers cancel between sweeps), but a function that does take a
+// context must still consult it inside its loops.
+package ctxflowsweep
+
+import "context"
+
+// MulInto is a context-free leaf sweep with nested loops: allowed in sweep
+// packages, where cancellation is the caller's job.
+func MulInto(dst []float64, m [][]float64, x []float64) {
+	for i, row := range m {
+		dst[i] = 0
+		for j, v := range row {
+			dst[i] += v * x[j]
+		}
+	}
+}
+
+// SweepCtx takes a context but never consults it: flagged even in a sweep
+// package, because a threaded-but-ignored context is worse than none.
+func SweepCtx(ctx context.Context, xs []float64) float64 { // want `SweepCtx takes a context.Context but never consults it inside its loops`
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,15 @@
+// Package ignores is a simlint fixture for the suppression syntax itself: a
+// directive without a reason is malformed, reported, and suppresses nothing.
+package ignores
+
+// Sum carries a malformed suppression — analyzer named, reason missing — on
+// an annotated function that does allocate, so both the malformed directive
+// and the unsuppressed finding must surface.
+//
+//simstar:noalloc
+func Sum(xs []float64) []float64 {
+	//simstar:lint-ignore noalloc
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	return out
+}

@@ -1,0 +1,70 @@
+// Package noalloc is a simlint fixture for the noalloc analyzer: functions
+// annotated //simstar:noalloc must contain no allocating constructs.
+package noalloc
+
+// Sum is annotated and clean: pure loop arithmetic.
+//
+//simstar:noalloc
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Guard panics on bad input; the boxing inside a fatal path is exempt.
+//
+//simstar:noalloc
+func Guard(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("noalloc: length mismatch")
+	}
+	copy(dst, src)
+}
+
+// Grow is annotated but allocates twice.
+//
+//simstar:noalloc
+func Grow(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs)) // want `Grow is //simstar:noalloc but calls make`
+	out = append(out, xs...)           // want `Grow is //simstar:noalloc but calls append`
+	return out
+}
+
+// Box converts a concrete value to an interface, which boxes on the heap.
+//
+//simstar:noalloc
+func Box(x float64) any {
+	return any(x) // want `Box is //simstar:noalloc but converts a concrete value to an interface`
+}
+
+// Capture declares a closure.
+//
+//simstar:noalloc
+func Capture(xs []float64) func() int {
+	return func() int { return len(xs) } // want `Capture is //simstar:noalloc but declares a function literal`
+}
+
+// Helper allocates freely: no annotation, no check.
+func Helper(n int) []float64 { return make([]float64, n) }
+
+// Fallback allocates only on its cold first-use path, with the suppression
+// documenting the exception.
+//
+//simstar:noalloc
+func Fallback(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		//simstar:lint-ignore noalloc fixture: documented grow-on-first-use branch
+		dst = make([]float64, n)
+	}
+	return dst[:n]
+}
+
+// Mislabeled suppresses the wrong analyzer, so the finding still lands.
+//
+//simstar:noalloc
+func Mislabeled(n int) []float64 {
+	//simstar:lint-ignore ctxflow fixture: names the wrong analyzer
+	return make([]float64, n) // want `Mislabeled is //simstar:noalloc but calls make`
+}

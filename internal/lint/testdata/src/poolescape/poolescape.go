@@ -1,0 +1,80 @@
+// Package poolescape is a simlint fixture for the poolescape analyzer:
+// values on loan from a sync.Pool or a workspace arena must not outlive
+// their release.
+package poolescape
+
+import (
+	"sync"
+
+	"repro/internal/sparse"
+)
+
+var pool = sync.Pool{New: func() any { return make([]float64, 16) }}
+
+var sink []float64
+
+// Borrow uses the pooled buffer and releases it on exit: compliant.
+func Borrow() float64 {
+	buf := pool.Get().([]float64)
+	defer pool.Put(buf)
+	return buf[0]
+}
+
+// Leak returns the pooled buffer, so the loan escapes the frame that is
+// responsible for releasing it.
+func Leak() []float64 {
+	buf := pool.Get().([]float64)
+	return buf // want `pooled value buf is returned`
+}
+
+// Stash parks the pooled buffer in a package-level variable, outliving any
+// release.
+func Stash() {
+	buf := pool.Get().([]float64)
+	sink = buf // want `pooled value buf is stored in a package-level variable`
+}
+
+// Ship sends the pooled buffer to a receiver that outlives the release.
+func Ship(ch chan []float64) {
+	buf := pool.Get().([]float64)
+	ch <- buf // want `pooled value buf is sent on a channel`
+}
+
+// Spawn captures the pooled buffer in a goroutine that may run after the
+// deferred release.
+func Spawn() {
+	buf := pool.Get().([]float64)
+	defer pool.Put(buf)
+	go func(b []float64) { // want `pooled value captured by a goroutine`
+		_ = b[0]
+	}(buf)
+}
+
+// get is a sanctioned single-expression accessor: its own return is exempt,
+// and its call sites count as pool sources.
+func get() []float64 { return pool.Get().([]float64) }
+
+// ViaAccessor obtains the buffer through the accessor; returning it is
+// still an escape.
+func ViaAccessor() []float64 {
+	buf := get()
+	return buf // want `pooled value buf is returned`
+}
+
+// holder demonstrates the struct-field escape against a real workspace
+// arena: the next Reset scribbles over h.v.
+type holder struct{ v []float64 }
+
+// TakeAndLeak stores an arena buffer in a field.
+func (h *holder) TakeAndLeak(ws *sparse.Workspace) {
+	v := ws.Take()
+	h.v = v // want `pooled value v is stored in a struct field`
+}
+
+// Retire intentionally removes a buffer from pool circulation; the
+// suppression documents the one place that is legal.
+func Retire() {
+	buf := pool.Get().([]float64)
+	//simstar:lint-ignore poolescape fixture: buffer is retired from the pool on purpose
+	sink = buf
+}

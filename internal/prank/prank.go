@@ -184,11 +184,21 @@ func MatrixFormCtx(ctx context.Context, g *graph.Graph, opt Options) (*dense.Mat
 
 // Naive computes P-Rank with the direct double summation; test oracle.
 func Naive(g *graph.Graph, opt Options) *dense.Matrix {
+	s, _ := NaiveCtx(context.Background(), g, opt)
+	return s
+}
+
+// NaiveCtx is Naive with cancellation checked between iterations — even an
+// O(K·n²·d²) oracle must die with its caller's deadline.
+func NaiveCtx(ctx context.Context, g *graph.Graph, opt Options) (*dense.Matrix, error) {
 	opt = opt.withDefaults()
 	n := g.N()
 	s := dense.Identity(n)
 	next := dense.New(n, n)
 	for k := 0; k < opt.K; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for a := 0; a < n; a++ {
 			for b := 0; b < n; b++ {
 				if a == b {
@@ -221,5 +231,5 @@ func Naive(g *graph.Graph, opt Options) *dense.Matrix {
 		}
 		s, next = next, s
 	}
-	return s
+	return s, nil
 }

@@ -106,6 +106,8 @@ func SingleSourceFromTransition(ctx context.Context, w *sparse.CSR, q int, opt O
 // accumulate into dst (length n) and the two walk buffers come from ws (nil
 // for a private one), so a pooling caller pays zero allocations per query.
 // The arithmetic is bitwise-identical to the allocating kernel.
+//
+//simstar:noalloc
 func SingleSourceWS(ctx context.Context, w *sparse.CSR, q int, opt Options, ws *sparse.Workspace, dst []float64) error {
 	opt = opt.withDefaults()
 	n := w.R
@@ -113,6 +115,7 @@ func SingleSourceWS(ctx context.Context, w *sparse.CSR, q int, opt Options, ws *
 		panic("rwr: SingleSourceWS dst length mismatch")
 	}
 	if ws == nil {
+		//simstar:lint-ignore noalloc nil-ws convenience fallback, off the pooled serving path
 		ws = sparse.NewWorkspace(n)
 	} else if ws.Dim() != n {
 		panic("rwr: SingleSourceWS workspace dimension mismatch")

@@ -153,6 +153,8 @@ func (m *CSR) MulVec(x []float64) []float64 {
 }
 
 // MulVecInto computes y = m·x, overwriting y.
+//
+//simstar:noalloc
 func (m *CSR) MulVecInto(y, x []float64) {
 	for i := 0; i < m.R; i++ {
 		cols, vals := m.RowView(i)
@@ -179,6 +181,8 @@ func (m *CSR) MulVecT(x []float64) []float64 {
 // 4-way unrolled: within a row the column indices are distinct, so the four
 // updates are independent and the accumulation order per target element is
 // unchanged — results are bitwise-identical to the rolled loop.
+//
+//simstar:noalloc
 func (m *CSR) MulVecTInto(y, x []float64) {
 	if len(x) != m.R || len(y) != m.C {
 		panic("sparse: MulVecTInto dimension mismatch")
@@ -210,6 +214,8 @@ func (m *CSR) MulVecTInto(y, x []float64) {
 // the sweep so the iteration makes one pass over y instead of two. y must
 // alias neither x nor add. Element-wise the operations match MulVecInto
 // followed by AddTo, so results are bitwise-identical.
+//
+//simstar:noalloc
 func (m *CSR) MulVecAddInto(y, x, add []float64) {
 	if len(x) != m.C || len(y) != m.R || len(add) != m.R {
 		panic("sparse: MulVecAddInto dimension mismatch")
@@ -227,6 +233,8 @@ func (m *CSR) MulVecAddInto(y, x, add []float64) {
 // MulVecAddScaleInto computes y = (m·x + add)·scale, folding the final
 // normalisation of a series kernel into its last sweep. Bitwise-identical to
 // MulVecAddInto followed by an element-wise multiply.
+//
+//simstar:noalloc
 func (m *CSR) MulVecAddScaleInto(y, x, add []float64, scale float64) {
 	if len(x) != m.C || len(y) != m.R || len(add) != m.R {
 		panic("sparse: MulVecAddScaleInto dimension mismatch")

@@ -531,6 +531,8 @@ func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measu
 // layout, writing kernel-order scores into dst from the pooled workspace —
 // the allocation-free core of the serving path. qi is a kernel-layout node
 // id; callers translate the result back with externalize.
+//
+//simstar:noalloc
 func (e *Engine) exactSingleSourceInto(ctx context.Context, st *engineState, builtin string, qi int, ws *sparse.Workspace, dst []float64) error {
 	switch builtin {
 	case MeasureGeometric, MeasureGeometricMemo:
@@ -553,6 +555,8 @@ func (e *Engine) exactSingleSourceInto(ctx context.Context, st *engineState, bui
 // allocations per call. Other measures, and engines configured with
 // WithTolerance, fall back to the allocating SingleSource path (result
 // cache included) and copy into dst.
+//
+//simstar:noalloc
 func (e *Engine) SingleSourceInto(ctx context.Context, measureName string, q int, dst []float64) ([]float64, error) {
 	st := e.load()
 	if err := st.checkQuery(ctx, q); err != nil {
@@ -560,6 +564,7 @@ func (e *Engine) SingleSourceInto(ctx context.Context, measureName string, q int
 	}
 	n := st.g.N()
 	if cap(dst) < n {
+		//simstar:lint-ignore noalloc documented grow-on-first-use of an undersized dst
 		dst = make([]float64, n)
 	} else {
 		dst = dst[:n]

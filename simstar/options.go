@@ -45,6 +45,13 @@ type config struct {
 // to 0 for the same reason: they are served by the exact kernels, so their
 // results are the exact results — a distinct key would fragment the cache
 // and dodge the exact-donor probe.
+//
+// The directive below is the machine-checked contract (simlint's cachekey
+// analyzer): every field stripped here must be listed, and anything not
+// listed must ride into the cache key untouched. Add a field to the list
+// only if it can never change what a query returns.
+//
+//simstar:cachekey-exempt workers cacheSize epochInterval baseEpoch relabel
 func (cfg config) cacheParams() config {
 	cfg.workers = 0
 	cfg.cacheSize = 0
