@@ -40,16 +40,21 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// report schema history: 1 = kernel results only; 2 adds the optional
+// "serving" member — a cmd/simbench report embedded verbatim (-serving), so
+// one BENCH file carries both the kernel ns/op and the serving-path
+// latency/throughput baselines for the same graph shape.
 type report struct {
-	Schema  int      `json:"schema"`
-	Go      string   `json:"go"`
-	GOOS    string   `json:"goos"`
-	GOARCH  string   `json:"goarch"`
-	CPUs    int      `json:"cpus"`
-	Nodes   int      `json:"nodes"`
-	Edges   int      `json:"edges"`
-	Note    string   `json:"note,omitempty"`
-	Results []result `json:"results"`
+	Schema  int             `json:"schema"`
+	Go      string          `json:"go"`
+	GOOS    string          `json:"goos"`
+	GOARCH  string          `json:"goarch"`
+	CPUs    int             `json:"cpus"`
+	Nodes   int             `json:"nodes"`
+	Edges   int             `json:"edges"`
+	Note    string          `json:"note,omitempty"`
+	Results []result        `json:"results"`
+	Serving json.RawMessage `json:"serving,omitempty"`
 }
 
 // benchGraph mirrors the simstar benchmark graph: local structure behind
@@ -75,6 +80,7 @@ func main() {
 	nodes := flag.Int("nodes", 100_000, "benchmark graph size")
 	quick := flag.Bool("quick", false, "CI smoke mode: a small graph, same suite")
 	note := flag.String("note", "", "free-form context recorded in the report")
+	serving := flag.String("serving", "", "path to a cmd/simbench report to embed under \"serving\"")
 	flag.Parse()
 	if *quick {
 		*nodes = 10_000
@@ -134,7 +140,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema: 1,
+		Schema: 2,
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
@@ -155,6 +161,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-42s %12.0f ns/op %10d B/op %6d allocs/op\n",
 			bm.name, rep.Results[len(rep.Results)-1].NsPerOp,
 			r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	if *serving != "" {
+		raw, err := os.ReadFile(*serving)
+		if err != nil {
+			log.Fatalf("benchjson: reading -serving report: %v", err)
+		}
+		if !json.Valid(raw) {
+			log.Fatalf("benchjson: -serving report %s is not valid JSON", *serving)
+		}
+		rep.Serving = json.RawMessage(raw)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

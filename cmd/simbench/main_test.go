@@ -1,0 +1,371 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func tinyProfile(ops int) profile {
+	p := profiles["tiny"]
+	p.ops = ops
+	return p
+}
+
+// TestTinyProfileDeterminism is the satellite contract: two independent runs
+// of the tiny profile at the same seed — fresh graph, fresh engine, fresh
+// rngs, real concurrent workers — produce identical workload AND result
+// checksums, op counts and kind mixes. Only timing may differ.
+func TestTinyProfileDeterminism(t *testing.T) {
+	p := tinyProfile(96)
+	run := func() scenarioJSON {
+		g, _ := benchGraph(p.nodes, p.deg)
+		return runScenario(newEngineTarget(g, p.tolerance), p, scenario{name: "mixed"}, 1, false)
+	}
+	a, b := run(), run()
+	if a.WorkloadChecksum != b.WorkloadChecksum {
+		t.Errorf("workload checksum drifted: %s vs %s", a.WorkloadChecksum, b.WorkloadChecksum)
+	}
+	if a.ResultChecksum == "" || a.ResultChecksum != b.ResultChecksum {
+		t.Errorf("result checksum drifted: %q vs %q", a.ResultChecksum, b.ResultChecksum)
+	}
+	if a.Ops != p.ops || b.Ops != p.ops {
+		t.Errorf("ops = %d, %d, want %d", a.Ops, b.Ops, p.ops)
+	}
+	if !reflect.DeepEqual(a.Kinds, b.Kinds) {
+		t.Errorf("kind mix drifted: %v vs %v", a.Kinds, b.Kinds)
+	}
+	if a.Errors != 0 || b.Errors != 0 {
+		t.Errorf("errors: %d, %d", a.Errors, b.Errors)
+	}
+
+	// A different seed must actually move the workload — the checksum is not
+	// a constant.
+	g, _ := benchGraph(p.nodes, p.deg)
+	c := runScenario(newEngineTarget(g, p.tolerance), p, scenario{name: "mixed"}, 2, false)
+	if c.WorkloadChecksum == a.WorkloadChecksum {
+		t.Errorf("seed 2 produced seed 1's workload checksum %s", a.WorkloadChecksum)
+	}
+}
+
+// TestScenarioReportShape pins the report row invariants the regression
+// tooling depends on: ordered percentiles, positive throughput, a full kind
+// mix, cache counters, and the churn row's epoch/err accounting with its
+// result checksum withheld.
+func TestScenarioReportShape(t *testing.T) {
+	p := tinyProfile(120)
+	g, _ := benchGraph(p.nodes, p.deg)
+	tgt := newEngineTarget(g, p.tolerance)
+
+	row := runScenario(tgt, p, scenario{name: "mixed"}, 1, true)
+	if row.Errors != 0 {
+		t.Fatalf("mixed scenario had %d errors", row.Errors)
+	}
+	l := row.Latency
+	if !(l.P50Us <= l.P95Us && l.P95Us <= l.P99Us && l.P99Us <= l.MaxUs) {
+		t.Errorf("latency percentiles out of order: %+v", l)
+	}
+	if l.P50Us <= 0 || row.ThroughputOpsSec <= 0 || row.DurationMs <= 0 {
+		t.Errorf("non-positive timing: %+v", row)
+	}
+	total := 0
+	for _, n := range row.Kinds {
+		total += n
+	}
+	if total != row.Ops || row.Ops != p.ops {
+		t.Errorf("kind counts sum to %d, ops %d, budget %d", total, row.Ops, p.ops)
+	}
+	for _, kind := range []string{"single", "topk", "stream", "batch", "tolerance"} {
+		if row.Kinds[kind] == 0 {
+			t.Errorf("op mix never produced a %s op", kind)
+		}
+	}
+	if row.Cache == nil || row.Cache.Hits+row.Cache.Misses == 0 {
+		t.Errorf("cache counters missing: %+v", row.Cache)
+	}
+	if row.AllocsPerOp <= 0 {
+		t.Errorf("allocs_per_op = %v, want > 0 when measured", row.AllocsPerOp)
+	}
+	if row.ResultChecksum == "" || len(row.WorkloadChecksum) != 16 {
+		t.Errorf("checksums malformed: %q %q", row.WorkloadChecksum, row.ResultChecksum)
+	}
+
+	churnRow := runScenario(tgt, p, scenario{name: "mixed_churn", churn: true}, 1, false)
+	if churnRow.Errors != 0 {
+		t.Fatalf("churn scenario had %d errors", churnRow.Errors)
+	}
+	if churnRow.Churn == nil || churnRow.Churn.Batches < 1 {
+		t.Fatalf("churn scenario recorded no churn: %+v", churnRow.Churn)
+	}
+	if churnRow.Churn.FinalEpoch == 0 {
+		t.Errorf("churn never advanced the epoch")
+	}
+	if churnRow.ResultChecksum != "" {
+		t.Errorf("churn scenario must withhold the result checksum (epoch-dependent), got %q", churnRow.ResultChecksum)
+	}
+}
+
+// TestOpenLoopPacing checks that an open-loop scenario completes its budget
+// and spreads it over at least the scheduled span (ops/rate), rather than
+// collapsing into a closed loop.
+func TestOpenLoopPacing(t *testing.T) {
+	p := tinyProfile(40)
+	g, _ := benchGraph(p.nodes, p.deg)
+	tgt := newEngineTarget(g, p.tolerance)
+	sc := scenario{name: "mixed_open", rate: 2000}
+	row := runScenario(tgt, p, sc, 1, false)
+	if row.Ops != p.ops || row.Errors != 0 {
+		t.Fatalf("ops %d errors %d", row.Ops, row.Errors)
+	}
+	if minMs := float64(p.ops-1) / sc.rate * 1000; row.DurationMs < minMs {
+		t.Errorf("open loop at %v ops/s finished %d ops in %.1fms, want >= %.1fms",
+			sc.rate, row.Ops, row.DurationMs, minMs)
+	}
+	if row.OpenRateOpsSec != sc.rate {
+		t.Errorf("report dropped the open rate: %+v", row)
+	}
+}
+
+func TestOpsForWorkerPartition(t *testing.T) {
+	for _, tc := range []struct{ total, workers int }{{480, 4}, {7, 3}, {3, 4}, {0, 2}} {
+		sum := 0
+		for w := 0; w < tc.workers; w++ {
+			n := opsForWorker(tc.total, tc.workers, w)
+			if n < 0 || n > tc.total/tc.workers+1 {
+				t.Errorf("opsForWorker(%d,%d,%d) = %d", tc.total, tc.workers, w, n)
+			}
+			sum += n
+		}
+		if sum != tc.total {
+			t.Errorf("partition of %d over %d workers sums to %d", tc.total, tc.workers, sum)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		ds[i] = time.Duration(100-i) * time.Microsecond // descending: summarize must sort
+	}
+	l := summarizeLatency(ds)
+	if l.P50Us != 50 || l.P99Us != 99 || l.MaxUs != 100 {
+		t.Errorf("percentiles: %+v", l)
+	}
+	if one := summarizeLatency(ds[:1]); one.P50Us != one.P99Us || one.P50Us != one.MaxUs {
+		t.Errorf("single-sample percentiles disagree: %+v", one)
+	}
+	if zero := summarizeLatency(nil); zero != (latencyJSON{}) {
+		t.Errorf("empty latency summary: %+v", zero)
+	}
+}
+
+func TestFilterScenarios(t *testing.T) {
+	scs := scenariosFor(profiles["small"])
+	if len(scs) != 3 {
+		t.Fatalf("small profile scenarios: %d, want 3", len(scs))
+	}
+	got := filterScenarios(scs, "mixed_churn")
+	if len(got) != 1 || got[0].name != "mixed_churn" {
+		t.Errorf("filter: %+v", got)
+	}
+	if all := filterScenarios(scs, ""); len(all) != len(scs) {
+		t.Errorf("empty filter dropped scenarios")
+	}
+}
+
+// TestChurnStreamDeterminism: same seed, same batches; all node ids in
+// range; deletions only ever name previously-inserted edges.
+func TestChurnStreamDeterminism(t *testing.T) {
+	p := profiles["tiny"]
+	a, b := newChurnStream(p, 1), newChurnStream(p, 1)
+	live := make(map[[2]int]int)
+	for round := 0; round < 20; round++ {
+		ia, da := a.next()
+		ib, db := b.next()
+		if !reflect.DeepEqual(ia, ib) || !reflect.DeepEqual(da, db) {
+			t.Fatalf("round %d diverged", round)
+		}
+		for _, e := range ia {
+			if e[0] < 0 || e[0] >= p.nodes || e[1] < 0 || e[1] >= p.nodes {
+				t.Fatalf("edge %v out of range", e)
+			}
+			live[e]++
+		}
+		for _, e := range da {
+			if live[e] == 0 {
+				t.Fatalf("round %d deletes never-inserted edge %v", round, e)
+			}
+			live[e]--
+		}
+	}
+	if _, d := newChurnStream(p, 2).next(); len(d) != 0 {
+		t.Errorf("first round deleted edges before inserting any")
+	}
+}
+
+// stubServe is a canned simserve look-alike: fixed answers in the real wire
+// shapes, so the test can assert httpTarget's parsing and digesting against
+// digests computed directly from the same data.
+func stubServe(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(v)
+	}
+	mux.HandleFunc("POST /v1/query/single", func(w http.ResponseWriter, r *http.Request) {
+		var q wireQuery
+		json.NewDecoder(r.Body).Decode(&q)
+		if q.Measure == "no-such-measure" {
+			w.WriteHeader(http.StatusBadRequest)
+			writeJSON(w, map[string]string{"error": "unknown measure"})
+			return
+		}
+		resp := map[string]any{"scores": []float64{1, 0.5, 0.25}}
+		if q.Tolerance != nil {
+			resp["maxError"] = *q.Tolerance
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /v1/query/topk", func(w http.ResponseWriter, r *http.Request) {
+		var q wireQuery
+		json.NewDecoder(r.Body).Decode(&q)
+		top := []wireRanked{{Node: 2, Score: 0.5}, {Node: 7, Score: 0.25}}
+		if !q.Stream {
+			writeJSON(w, map[string]any{"top": top})
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		enc.Encode(map[string]any{"measure": q.Measure, "k": q.K, "maxError": 0.0})
+		for _, e := range top {
+			enc.Encode(e)
+		}
+		enc.Encode(map[string]any{"done": true, "count": len(top)})
+	})
+	mux.HandleFunc("POST /v1/query/batch", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"results": []map[string]any{
+			{"top": []wireRanked{{Node: 1, Score: 0.75}}},
+			{"top": []wireRanked{{Node: 4, Score: 0.125}}},
+		}})
+	})
+	mux.HandleFunc("POST /v1/edges", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"epoch": 3, "applied": 5, "refresh_ms": 1.5})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"cache": map[string]any{"hits": 11, "misses": 4}})
+	})
+	mux.HandleFunc("POST /v1/graph", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Nodes int      `json:"nodes"`
+			Edges [][2]int `json:"edges"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		writeJSON(w, map[string]any{"nodes": req.Nodes, "edges": len(req.Edges)})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestHTTPTargetWireProtocol drives every op kind at the stub and checks
+// each digest equals the one computed directly from the canned floats — the
+// cross-mode equivalence the target layer promises.
+func TestHTTPTargetWireProtocol(t *testing.T) {
+	srv := stubServe(t)
+	tgt := newHTTPTarget(srv.URL+"/", 1e-3) // trailing slash must not break URLs
+	ctx := context.Background()
+
+	wantSingle := func() uint64 {
+		d := newDigest()
+		d.scores([]float64{1, 0.5, 0.25})
+		return d.sum()
+	}()
+	wantTop := func() uint64 {
+		d := newDigest()
+		d.score(2, 0.5)
+		d.score(7, 0.25)
+		return d.sum()
+	}()
+	wantBatch := func() uint64 {
+		d := newDigest()
+		d.score(1, 0.75)
+		d.score(4, 0.125)
+		return d.sum()
+	}()
+
+	cases := []struct {
+		op   op
+		want uint64
+	}{
+		{op{kind: opSingle, measure: "simrank-star", node: 3}, wantSingle},
+		{op{kind: opTolerance, measure: "simrank-star", node: 3}, wantSingle},
+		{op{kind: opTopK, measure: "simrank-star", node: 3, k: 2}, wantTop},
+		{op{kind: opStream, measure: "simrank-star", node: 3, k: 2}, wantTop},
+		{op{kind: opBatch, batch: []batchItem{{"simrank-star", 1}, {"rwr", 4}}, k: 1}, wantBatch},
+	}
+	for _, tc := range cases {
+		got, err := tgt.run(ctx, tc.op)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.op.kind, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s digest = %016x, want %016x", tc.op.kind, got, tc.want)
+		}
+	}
+
+	// Stream and materialised topk must digest identically — the NDJSON
+	// entries carry the same (node, score) sequence.
+	if _, err := tgt.run(ctx, op{kind: opSingle, measure: "no-such-measure"}); err == nil {
+		t.Errorf("400 answer did not surface as an error")
+	}
+
+	delta, err := tgt.applyChurn(ctx, [][2]int{{1, 2}}, [][2]int{{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.epoch != 3 || delta.applied != 5 || delta.refreshMs != 1.5 {
+		t.Errorf("churn delta: %+v", delta)
+	}
+
+	hits, misses, ok := tgt.cacheCounters()
+	if !ok || hits != 11 || misses != 4 {
+		t.Errorf("cache counters: %d %d %v", hits, misses, ok)
+	}
+
+	if err := tgt.loadGraph(ctx, 10, [][2]int{{0, 1}}); err != nil {
+		t.Errorf("loadGraph: %v", err)
+	}
+}
+
+// TestHTTPTargetStreamTrailerContract: a stream that ends without a done
+// trailer (aborted server side) or whose trailer carries an error must fail
+// the op rather than silently digesting a prefix.
+func TestHTTPTargetStreamTrailerContract(t *testing.T) {
+	fail := "trailer"
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query/topk", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		enc.Encode(map[string]any{"measure": "m", "k": 2})
+		enc.Encode(wireRanked{Node: 1, Score: 0.5})
+		if fail == "trailer" {
+			enc.Encode(map[string]any{"error": "client closed request", "status": 499})
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	tgt := newHTTPTarget(srv.URL, 1e-3)
+
+	if _, err := tgt.run(context.Background(), op{kind: opStream, measure: "m", node: 0, k: 2}); err == nil {
+		t.Errorf("error trailer did not fail the op")
+	}
+	fail = "truncate"
+	if _, err := tgt.run(context.Background(), op{kind: opStream, measure: "m", node: 0, k: 2}); err == nil {
+		t.Errorf("truncated stream did not fail the op")
+	}
+}

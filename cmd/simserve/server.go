@@ -36,6 +36,11 @@ type server struct {
 	// concurrent snapshot requests cannot interleave the temp-file dance.
 	snapPath string
 	snapMu   sync.Mutex
+
+	// streamsAborted counts NDJSON streams cut short by a client disconnect
+	// mid-stream — the 499s that never reach an access log because the
+	// status line already said 200.
+	streamsAborted atomic.Int64
 }
 
 func newServer() *server {
@@ -326,12 +331,15 @@ type statsResponse struct {
 	LoadedAgoMs  float64         `json:"graph_loaded_ago_ms,omitempty"`
 	UptimeMs     float64         `json:"uptime_ms"`
 	RequestCount int64           `json:"requests"`
+	// StreamsAborted counts NDJSON streams the client abandoned mid-body.
+	StreamsAborted int64 `json:"streams_aborted"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
-		UptimeMs:     float64(time.Since(s.started).Microseconds()) / 1e3,
-		RequestCount: s.served.Load(),
+		UptimeMs:       float64(time.Since(s.started).Microseconds()) / 1e3,
+		RequestCount:   s.served.Load(),
+		StreamsAborted: s.streamsAborted.Load(),
 	}
 	s.mu.RLock()
 	eng, loaded := s.eng, s.loaded
@@ -366,6 +374,16 @@ type queryJSON struct {
 	Exclude   []int        `json:"exclude,omitempty"`
 	Tolerance *float64     `json:"tolerance,omitempty"`
 	Options   *optionsJSON `json:"options,omitempty"`
+	// Stream switches the topk endpoint to the chunked NDJSON response
+	// (see stream.go); the single endpoint rejects it.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// wantsTolerance reports whether the wire query asked for the certified
+// approximate path — the queries whose streamed entries carry a per-chunk
+// maxError.
+func (q *queryJSON) wantsTolerance() bool {
+	return q.Tolerance != nil || (q.Options != nil && q.Options.Tolerance != nil)
 }
 
 // resolveNode maps the wire query to a node id on g.
@@ -419,19 +437,19 @@ func (s *server) requireEngine(w http.ResponseWriter) *simstar.Engine {
 	return eng
 }
 
-func decodeQuery(w http.ResponseWriter, r *http.Request, g *simstar.Graph) (simstar.Query, bool) {
+func decodeQuery(w http.ResponseWriter, r *http.Request, g *simstar.Graph) (simstar.Query, *queryJSON, bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
 	var qj queryJSON
 	if err := json.NewDecoder(r.Body).Decode(&qj); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding query: %w", err))
-		return simstar.Query{}, false
+		return simstar.Query{}, nil, false
 	}
 	q, err := qj.toQuery(g)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return simstar.Query{}, false
+		return simstar.Query{}, nil, false
 	}
-	return q, true
+	return q, &qj, true
 }
 
 type singleResponse struct {
@@ -451,8 +469,12 @@ func (s *server) handleSingle(w http.ResponseWriter, r *http.Request) {
 	if eng == nil {
 		return
 	}
-	q, ok := decodeQuery(w, r, eng.Graph())
+	q, qj, ok := decodeQuery(w, r, eng.Graph())
 	if !ok {
+		return
+	}
+	if qj.Stream {
+		writeError(w, http.StatusBadRequest, errors.New("stream is only supported on the topk and batch endpoints"))
 		return
 	}
 	// One-element batch: same cache, same validation, same kernels.
@@ -509,8 +531,12 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if eng == nil {
 		return
 	}
-	q, ok := decodeQuery(w, r, eng.Graph())
+	q, qj, ok := decodeQuery(w, r, eng.Graph())
 	if !ok {
+		return
+	}
+	if qj.Stream {
+		s.streamTopK(w, r, eng, q, qj.wantsTolerance())
 		return
 	}
 	res := eng.BatchTopK(r.Context(), []simstar.Query{q})[0]
@@ -534,6 +560,9 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 type batchRequest struct {
 	Mode    string      `json:"mode,omitempty"`
 	Queries []queryJSON `json:"queries"`
+	// Stream switches the response to chunked NDJSON: one line per query
+	// result instead of one enveloping JSON document (see stream.go).
+	Stream bool `json:"stream,omitempty"`
 }
 
 type batchResultJSON struct {
@@ -605,6 +634,17 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	assembleBatchResults(g, resp.Results, queries, slot, results)
+	if req.Stream {
+		s.streamBatch(w, r, resp.Results)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// assembleBatchResults fills each computed query's slot of dst; slots of
+// queries that failed wire-level resolution were answered at decode time.
+func assembleBatchResults(g *simstar.Graph, dst []batchResultJSON, queries []simstar.Query, slot []int, results []simstar.Result) {
 	for j, res := range results {
 		node := queries[j].Node
 		out := batchResultJSON{Node: &node}
@@ -617,9 +657,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out.Scores = res.Scores
 			out.Top = rankedList(g, res.Top)
 		}
-		resp.Results[slot[j]] = out
+		dst[slot[j]] = out
 	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 // editsRequest is the wire form of POST /v1/edges: two parallel edge lists.

@@ -1,0 +1,318 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// ndjsonLines splits a streamed body and asserts every line is a complete
+// JSON document — the well-formedness guarantee that must hold for any
+// prefix a disconnecting client saw.
+func ndjsonLines(t *testing.T, body string) []map[string]any {
+	t.Helper()
+	var lines []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// The streamed topk response must carry, over the wire with chunked
+// transfer encoding, exactly the entries of the materialized response.
+func TestTopKStreamNDJSONMatchesMaterialized(t *testing.T) {
+	_, h := newTestServer(t)
+	loadTestGraph(t, h)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	query := `{"measure":"gsimrank*","label":"followup1","k":5}`
+	rec := doJSON(t, h, "POST", "/v1/query/topk", json.RawMessage(query))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("materialized topk: %d: %s", rec.Code, rec.Body)
+	}
+	var want topKResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+
+	streamed := strings.Replace(query, "}", `,"stream":true}`, 1)
+	resp, err := http.Post(srv.URL+"/v1/query/topk", "application/json", strings.NewReader(streamed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	chunked := false
+	for _, te := range resp.TransferEncoding {
+		chunked = chunked || te == "chunked"
+	}
+	if !chunked {
+		t.Fatalf("TransferEncoding = %v, want chunked", resp.TransferEncoding)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := ndjsonLines(t, buf.String())
+	if len(lines) != len(want.Top)+2 {
+		t.Fatalf("%d lines, want header + %d entries + trailer", len(lines), len(want.Top))
+	}
+	header, entries, trailer := lines[0], lines[1:len(lines)-1], lines[len(lines)-1]
+	if header["measure"] != "gsimrank*" || header["label"] != "followup1" {
+		t.Fatalf("header = %v", header)
+	}
+	for i, e := range entries {
+		w := want.Top[i]
+		if int(e["node"].(float64)) != w.Node || e["score"].(float64) != w.Score || e["label"] != w.Label {
+			t.Fatalf("entry %d = %v, want %+v", i, e, w)
+		}
+		if _, hasErr := e["maxError"]; hasErr {
+			t.Fatalf("exact entry %d carries maxError: %v", i, e)
+		}
+	}
+	if trailer["done"] != true || int(trailer["count"].(float64)) != len(want.Top) {
+		t.Fatalf("trailer = %v", trailer)
+	}
+}
+
+// Tolerance queries must repeat the certificate on every chunk.
+func TestTopKStreamTolerancePerChunkMaxError(t *testing.T) {
+	_, h := newTestServer(t)
+	loadTestGraph(t, h)
+	rec := doJSON(t, h, "POST", "/v1/query/topk", map[string]any{
+		"measure": "gsimrank*", "label": "review", "k": 4,
+		"tolerance": 1e-3, "stream": true,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	lines := ndjsonLines(t, rec.Body.String())
+	if len(lines) < 3 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+	for i, e := range lines[1 : len(lines)-1] {
+		me, ok := e["maxError"]
+		if !ok {
+			t.Fatalf("tolerance entry %d missing per-chunk maxError: %v", i, e)
+		}
+		if me.(float64) > 1e-3 {
+			t.Fatalf("entry %d certificate %v exceeds tolerance", i, me)
+		}
+	}
+}
+
+// The streamed batch response: header with the slot count, one indexed line
+// per query (wire-level failures answer in their line), trailer.
+func TestBatchStreamNDJSON(t *testing.T) {
+	_, h := newTestServer(t)
+	loadTestGraph(t, h)
+	body := map[string]any{
+		"mode":   "topk",
+		"stream": true,
+		"queries": []map[string]any{
+			{"measure": "gsimrank*", "label": "survey", "k": 3},
+			{"measure": "rwr", "label": "no-such-node", "k": 3},
+			{"measure": "rwr", "label": "review", "k": 2},
+		},
+	}
+	rec := doJSON(t, h, "POST", "/v1/query/batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	lines := ndjsonLines(t, rec.Body.String())
+	if len(lines) != 5 {
+		t.Fatalf("%d lines, want header + 3 entries + trailer", len(lines))
+	}
+	if int(lines[0]["count"].(float64)) != 3 {
+		t.Fatalf("header = %v", lines[0])
+	}
+	for i, e := range lines[1:4] {
+		if int(e["index"].(float64)) != i {
+			t.Fatalf("entry %d has index %v", i, e["index"])
+		}
+	}
+	if _, ok := lines[2]["error"]; !ok {
+		t.Fatalf("bad-label slot has no error: %v", lines[2])
+	}
+	if _, ok := lines[1]["top"]; !ok {
+		t.Fatalf("good slot has no top: %v", lines[1])
+	}
+	if lines[4]["done"] != true {
+		t.Fatalf("trailer = %v", lines[4])
+	}
+
+	// The streamed lines must carry the same results as the enveloping
+	// document.
+	delete(body, "stream")
+	recPlain := doJSON(t, h, "POST", "/v1/query/batch", body)
+	var plain batchResponse
+	if err := json.Unmarshal(recPlain.Body.Bytes(), &plain); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range plain.Results {
+		line := lines[i+1]
+		if res.Error != "" {
+			if line["error"] != res.Error {
+				t.Fatalf("slot %d: stream error %v != %q", i, line["error"], res.Error)
+			}
+			continue
+		}
+		top := line["top"].([]any)
+		if len(top) != len(res.Top) {
+			t.Fatalf("slot %d: %d streamed entries, want %d", i, len(top), len(res.Top))
+		}
+		for j, te := range top {
+			e := te.(map[string]any)
+			if int(e["node"].(float64)) != res.Top[j].Node || e["score"].(float64) != res.Top[j].Score {
+				t.Fatalf("slot %d entry %d: %v != %+v", i, j, e, res.Top[j])
+			}
+		}
+	}
+}
+
+// abortWriter is a ResponseWriter whose client "hangs up" after a fixed
+// number of flushed lines: it cancels the request context, the way the net
+// poller surfaces a closed connection. Writes keep succeeding — what the
+// handler emits after the cancellation is exactly what a slow proxy would
+// still buffer — so the test can assert the 499 trailer.
+type abortWriter struct {
+	header      http.Header
+	buf         bytes.Buffer
+	code        int
+	flushes     int
+	cancelAfter int
+	cancel      context.CancelFunc
+}
+
+func (a *abortWriter) Header() http.Header { return a.header }
+
+func (a *abortWriter) WriteHeader(code int) { a.code = code }
+
+func (a *abortWriter) Write(p []byte) (int, error) { return a.buf.Write(p) }
+
+func (a *abortWriter) Flush() {
+	a.flushes++
+	if a.flushes == a.cancelAfter {
+		a.cancel()
+	}
+}
+
+// A client disconnect mid-stream: the partial body stays well-formed
+// NDJSON, the final line carries 499, and the abort is counted in stats.
+func TestTopKStreamClientDisconnectMidStream(t *testing.T) {
+	s, h := newTestServer(t)
+	loadTestGraph(t, h)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	body := `{"measure":"gsimrank*","label":"followup1","k":6,"stream":true}`
+	req := httptest.NewRequest("POST", "/v1/query/topk", strings.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	// Hang up after the header line and the first entry have been flushed.
+	aw := &abortWriter{header: make(http.Header), cancelAfter: 2, cancel: cancel}
+	h.ServeHTTP(aw, req)
+
+	if aw.code != http.StatusOK {
+		t.Fatalf("status %d (the stream had already committed 200)", aw.code)
+	}
+	lines := ndjsonLines(t, aw.buf.String())
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want header + 1 entry + abort trailer:\n%s", len(lines), aw.buf.String())
+	}
+	trailer := lines[len(lines)-1]
+	if int(trailer["status"].(float64)) != statusClientClosedRequest {
+		t.Fatalf("trailer = %v, want status %d", trailer, statusClientClosedRequest)
+	}
+	if trailer["done"] == true {
+		t.Fatalf("aborted stream claims done: %v", trailer)
+	}
+	if _, ok := trailer["error"]; !ok {
+		t.Fatalf("abort trailer has no error: %v", trailer)
+	}
+	if got := s.streamsAborted.Load(); got != 1 {
+		t.Fatalf("streamsAborted = %d, want 1", got)
+	}
+	rec := doJSON(t, h, "GET", "/v1/stats", nil)
+	var stats statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.StreamsAborted != 1 {
+		t.Fatalf("stats streams_aborted = %d, want 1", stats.StreamsAborted)
+	}
+}
+
+// Batch streams abort the same way.
+func TestBatchStreamClientDisconnectMidStream(t *testing.T) {
+	s, h := newTestServer(t)
+	loadTestGraph(t, h)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	body := `{"mode":"topk","stream":true,"queries":[` +
+		`{"measure":"gsimrank*","label":"survey","k":2},` +
+		`{"measure":"rwr","label":"review","k":2},` +
+		`{"measure":"rwr","label":"survey","k":2}]}`
+	req := httptest.NewRequest("POST", "/v1/query/batch", strings.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	aw := &abortWriter{header: make(http.Header), cancelAfter: 2, cancel: cancel}
+	h.ServeHTTP(aw, req)
+
+	lines := ndjsonLines(t, aw.buf.String())
+	trailer := lines[len(lines)-1]
+	if int(trailer["status"].(float64)) != statusClientClosedRequest {
+		t.Fatalf("trailer = %v, want 499", trailer)
+	}
+	if len(lines) != 3 { // header + first result + abort trailer
+		t.Fatalf("%d lines: %s", len(lines), aw.buf.String())
+	}
+	if got := s.streamsAborted.Load(); got != 1 {
+		t.Fatalf("streamsAborted = %d, want 1", got)
+	}
+}
+
+// Errors before the first streamed byte must answer as ordinary JSON with a
+// real HTTP status, not as a half-open stream.
+func TestStreamErrorsBeforeFirstByte(t *testing.T) {
+	_, h := newTestServer(t)
+	loadTestGraph(t, h)
+	rec := doJSON(t, h, "POST", "/v1/query/topk", map[string]any{
+		"measure": "no-such-measure", "label": "survey", "k": 3, "stream": true,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q, want plain JSON error", ct)
+	}
+	// And the single endpoint rejects the flag outright.
+	rec = doJSON(t, h, "POST", "/v1/query/single", map[string]any{
+		"measure": "rwr", "label": "survey", "stream": true,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("single with stream: status %d, want 400", rec.Code)
+	}
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"math"
-	"sort"
 
 	"repro/internal/dense"
 	"repro/internal/graph"
@@ -242,62 +241,135 @@ func rankedBelow(a, b Ranked) bool {
 // result, and k greater than the number of candidates (len(scores) minus
 // the excluded nodes) returns every candidate, fully ordered.
 func TopK(scores []float64, k int, exclude ...int) []Ranked {
-	if k <= 0 {
-		return nil
+	return TopKInto(scores, k, nil, exclude...)
+}
+
+// excludeScanMax is the exclusion-list length up to which TopKInto skips
+// excluded nodes by linear scan. Past it a lookup map is cheaper — and worth
+// its allocation, since a caller excluding hundreds of nodes is not on the
+// zero-alloc streaming path.
+const excludeScanMax = 16
+
+// excludedNode reports whether node is in exclude.
+func excludedNode(exclude []int, node int) bool {
+	for _, e := range exclude {
+		if e == node {
+			return true
+		}
 	}
-	// Clamp before allocating: the heap can never hold more than one entry
-	// per score, so an oversized k must not size the backing array.
+	return false
+}
+
+// rankedSiftUp restores the min-heap order of h (under rankedBelow) after an
+// append at index i.
+func rankedSiftUp(h []Ranked, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !rankedBelow(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// rankedSiftDown restores the min-heap order of h after the root changed.
+func rankedSiftDown(h []Ranked) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && rankedBelow(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && rankedBelow(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// TopKInto is TopK writing into caller-provided storage — the
+// bounded-materialization selection behind the streaming top-k paths. The
+// result is built in dst's backing array (grown only when cap(dst) < the
+// clamped k) and returned; entries and order are identical to TopK. With
+// cap(dst) >= min(k, len(scores)) and at most excludeScanMax excluded nodes
+// the call performs zero heap allocations, so a pooling caller selects the
+// top k of an n-vector without materialising anything but the k results.
+func TopKInto(scores []float64, k int, dst []Ranked, exclude ...int) []Ranked {
+	if k <= 0 {
+		return dst[:0]
+	}
+	// Clamp before sizing the heap: it can never hold more than one entry
+	// per score, so an oversized k must not grow the backing array.
 	if k > len(scores) {
 		k = len(scores)
 	}
-	skip := make(map[int]bool, len(exclude))
-	for _, e := range exclude {
-		skip[e] = true
+	var skip map[int]bool
+	if len(exclude) > excludeScanMax {
+		skip = make(map[int]bool, len(exclude))
+		for _, e := range exclude {
+			skip[e] = true
+		}
 	}
 	// h is a min-heap under rankedBelow: h[0] is the weakest kept entry.
-	h := make([]Ranked, 0, k)
-	siftUp := func(i int) {
-		for i > 0 {
-			p := (i - 1) / 2
-			if !rankedBelow(h[i], h[p]) {
-				break
-			}
-			h[i], h[p] = h[p], h[i]
-			i = p
-		}
-	}
-	siftDown := func() {
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			min := i
-			if l < len(h) && rankedBelow(h[l], h[min]) {
-				min = l
-			}
-			if r < len(h) && rankedBelow(h[r], h[min]) {
-				min = r
-			}
-			if min == i {
-				break
-			}
-			h[i], h[min] = h[min], h[i]
-			i = min
-		}
+	h := dst[:0]
+	if cap(h) < k {
+		h = make([]Ranked, 0, k)
 	}
 	for i, s := range scores {
-		if skip[i] {
+		if skip != nil {
+			if skip[i] {
+				continue
+			}
+		} else if excludedNode(exclude, i) {
 			continue
 		}
 		r := Ranked{Node: i, Score: s}
 		if len(h) < k {
 			h = append(h, r)
-			siftUp(len(h) - 1)
+			rankedSiftUp(h, len(h)-1)
 		} else if rankedBelow(h[0], r) {
 			h[0] = r
-			siftDown()
+			rankedSiftDown(h)
 		}
 	}
-	// Order the k survivors best-first (score descending, node id ascending).
-	sort.Slice(h, func(i, j int) bool { return rankedBelow(h[j], h[i]) })
+	// Order the survivors best-first (score descending, node id ascending)
+	// by in-place heapsort: popping the weakest to the back repeatedly
+	// leaves the strongest at the front. rankedBelow is a strict total
+	// order, so this is the exact sequence a comparison sort produces.
+	for i := len(h) - 1; i > 0; i-- {
+		h[0], h[i] = h[i], h[0]
+		rankedSiftDown(h[:i])
+	}
 	return h
+}
+
+// SingleSourceGeometricTopKWS fuses the geometric single-source kernel with
+// bounded top-k selection: the full score vector lands in scores (length n,
+// scratch — kernels reset ws, so it must not come from the same workspace)
+// and only the selected entries are built, in dst's backing array. With a
+// pooled scores buffer and cap(dst) >= k the query materialises nothing of
+// size O(n) beyond its reused scratch: the result is k entries, not a
+// per-query n-vector. Entries and order are exactly
+// TopK(SingleSourceGeometric..., k, exclude...).
+func SingleSourceGeometricTopKWS(ctx context.Context, qm *sparse.CSR, q, k int, opt Options, ws *sparse.Workspace, scores []float64, dst []Ranked, exclude ...int) ([]Ranked, error) {
+	if err := SingleSourceGeometricWS(ctx, qm, q, opt, ws, scores); err != nil {
+		return nil, err
+	}
+	return TopKInto(scores, k, dst, exclude...), nil
+}
+
+// SingleSourceExponentialTopKWS is the exponential-form counterpart of
+// SingleSourceGeometricTopKWS: kernel into the scores scratch, bounded
+// selection into dst, zero per-query allocations on the pooled path.
+func SingleSourceExponentialTopKWS(ctx context.Context, qm *sparse.CSR, q, k int, opt Options, ws *sparse.Workspace, scores []float64, dst []Ranked, exclude ...int) ([]Ranked, error) {
+	if err := SingleSourceExponentialWS(ctx, qm, q, opt, ws, scores); err != nil {
+		return nil, err
+	}
+	return TopKInto(scores, k, dst, exclude...), nil
 }

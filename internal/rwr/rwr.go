@@ -13,6 +13,7 @@ package rwr
 import (
 	"context"
 
+	"repro/internal/core"
 	"repro/internal/dense"
 	"repro/internal/graph"
 	"repro/internal/sparse"
@@ -147,6 +148,19 @@ func SingleSourceWS(ctx context.Context, w *sparse.CSR, q int, opt Options, ws *
 		}
 	}
 	return nil
+}
+
+// SingleSourceTopKWS fuses the single-source RWR kernel with bounded top-k
+// selection: the full score vector lands in scores (length n, scratch — the
+// kernel resets ws, so scores must not come from the same workspace) and the
+// selected entries are built in dst's backing array. With a pooled scores
+// buffer and cap(dst) >= k the query materialises only its k results.
+// Entries and order are exactly core.TopK(SingleSourceWS..., k, exclude...).
+func SingleSourceTopKWS(ctx context.Context, w *sparse.CSR, q, k int, opt Options, ws *sparse.Workspace, scores []float64, dst []core.Ranked, exclude ...int) ([]core.Ranked, error) {
+	if err := SingleSourceWS(ctx, w, q, opt, ws, scores); err != nil {
+		return nil, err
+	}
+	return core.TopKInto(scores, k, dst, exclude...), nil
 }
 
 // MultiSourceFromTransition answers one single-source RWR query per entry

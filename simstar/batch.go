@@ -53,6 +53,15 @@ type Result struct {
 	Err error
 }
 
+// Stream adapts a BatchTopK Result into the lazy iterator form, carrying
+// the result's Cached flag and MaxError certificate. The stream aliases
+// Top — it is a view, not a copy — so a consumer can hand batch answers to
+// the same sink that consumes Engine.TopKStream. A failed or MultiSource
+// result streams zero entries.
+func (r *Result) Stream() *TopKStream {
+	return &TopKStream{ranked: r.Top, maxErr: r.MaxError, cached: r.Cached}
+}
+
 // MultiSource answers a batch of single-source queries, sharing work three
 // ways no serial loop of SingleSource calls can:
 //

@@ -96,6 +96,12 @@ type engineState struct {
 	// count.
 	pool sync.Pool
 
+	// streamPool recycles the score/exclusion scratch of the TopKStream
+	// fast path, so a streamed top-k query materialises no per-query O(n)
+	// vector. Separate from pool because the kernels reset their workspace
+	// — the scores under selection cannot share it.
+	streamPool sync.Pool
+
 	// transitionTime is what building (epoch 0) or incrementally refreshing
 	// (later epochs) the two transition matrices cost.
 	transitionTime time.Duration
@@ -107,6 +113,7 @@ func newEngineState(g *Graph, epoch uint64) *engineState {
 	st := &engineState{g: g, epoch: epoch, tr: &transposes{}}
 	n := g.N()
 	st.pool.New = func() any { return sparse.NewWorkspace(n) }
+	st.streamPool.New = func() any { return &streamScratch{scores: make([]float64, n)} }
 	return st
 }
 
