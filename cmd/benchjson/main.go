@@ -14,7 +14,9 @@
 // in the simstar package: exact single-source SimRank* and RWR on a
 // 100k-node degree-3 graph whose real locality is hidden behind scrambled
 // ids, across the WithRelabeling layouts, plus the pooled zero-allocation
-// SingleSourceInto loop and a 64-query blocked batch.
+// SingleSourceInto loop (with and without a live Observer — the "obs"
+// member reports the instrumentation overhead) and a 64-query blocked
+// batch.
 package main
 
 import (
@@ -23,10 +25,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/simstar"
@@ -43,7 +47,8 @@ type result struct {
 // report schema history: 1 = kernel results only; 2 adds the optional
 // "serving" member — a cmd/simbench report embedded verbatim (-serving), so
 // one BENCH file carries both the kernel ns/op and the serving-path
-// latency/throughput baselines for the same graph shape.
+// latency/throughput baselines for the same graph shape; 3 adds the "obs"
+// member bounding the cost of kernel instrumentation.
 type report struct {
 	Schema  int             `json:"schema"`
 	Go      string          `json:"go"`
@@ -54,7 +59,70 @@ type report struct {
 	Edges   int             `json:"edges"`
 	Note    string          `json:"note,omitempty"`
 	Results []result        `json:"results"`
+	Obs     *obsJSON        `json:"obs,omitempty"`
 	Serving json.RawMessage `json:"serving,omitempty"`
+}
+
+// obsJSON records the observability tax on the hottest zero-alloc path:
+// the pooled SingleSourceInto loop with no observer attached (every hook a
+// single not-taken nil branch) against the same loop with a live Observer
+// recording into an obs.Registry. allocs_per_op_off pins the zero-cost-
+// when-off contract — instrumentation must not reintroduce allocations —
+// and overhead_pct — the ratio of each side's fastest interleaved timing
+// block (see measureObs) — is the figure the PR gates at ≤2%.
+type obsJSON struct {
+	ObserverOffNsPerOp float64 `json:"observer_off_ns_per_op"`
+	ObserverOnNsPerOp  float64 `json:"observer_on_ns_per_op"`
+	OverheadPct        float64 `json:"overhead_pct"`
+	AllocsPerOpOff     int64   `json:"allocs_per_op_off"`
+	AllocsPerOpOn      int64   `json:"allocs_per_op_on"`
+}
+
+// measureObs estimates the instrumentation overhead by interleaving short
+// off and on timing blocks and comparing each side's fastest block. One
+// long benchmark per side cannot resolve the sub-percent signal — machine
+// noise (thermal ramp, neighbours, interrupts) across two one-second runs
+// routinely exceeds it — but timing noise is one-sided, it only ever adds
+// time, so over many interleaved ~200ms blocks each side's minimum
+// converges on that loop's true cost and their ratio isolates the
+// instrumentation. off and on run n pooled queries and return the wall
+// time; offAllocs/onAllocs report steady-state allocations per query.
+func measureObs(off, on func(n int) time.Duration, offAllocs, onAllocs func() float64) *obsJSON {
+	const reps = 30
+	const block = 200 * time.Millisecond
+	// Calibrate the block length off a short probe, then warm both sides'
+	// workspace pools before any timed block.
+	per := off(32) / 32
+	if per <= 0 {
+		per = time.Microsecond
+	}
+	iters := int(block / per)
+	if iters < 16 {
+		iters = 16
+	}
+	on(iters)
+
+	o := &obsJSON{ObserverOffNsPerOp: math.Inf(1), ObserverOnNsPerOp: math.Inf(1)}
+	for i := 0; i < reps; i++ {
+		// Alternate which side runs first so slow drift across the
+		// measurement window cannot systematically favour one side.
+		first, second := off, on
+		if i%2 == 1 {
+			first, second = on, off
+		}
+		d1 := float64(first(iters).Nanoseconds()) / float64(iters)
+		d2 := float64(second(iters).Nanoseconds()) / float64(iters)
+		offNs, onNs := d1, d2
+		if i%2 == 1 {
+			offNs, onNs = d2, d1
+		}
+		o.ObserverOffNsPerOp = math.Min(o.ObserverOffNsPerOp, offNs)
+		o.ObserverOnNsPerOp = math.Min(o.ObserverOnNsPerOp, onNs)
+	}
+	o.OverheadPct = (o.ObserverOnNsPerOp/o.ObserverOffNsPerOp - 1) * 100
+	o.AllocsPerOpOff = int64(math.Round(offAllocs()))
+	o.AllocsPerOpOn = int64(math.Round(onAllocs()))
+	return o
 }
 
 // benchGraph mirrors the simstar benchmark graph: local structure behind
@@ -107,6 +175,23 @@ func main() {
 	natural := engine()
 	rcm := engine(simstar.WithRelabeling(simstar.RelabelRCM))
 	degree := engine(simstar.WithRelabeling(simstar.RelabelDegree))
+	// observed is the degree engine with a live Observer: identical kernel
+	// work plus real counter/histogram updates, the "on" side of the obs
+	// member.
+	observed := engine(simstar.WithRelabeling(simstar.RelabelDegree), simstar.WithObserver(simstar.NewObserver(nil)))
+	pooled := func(eng *simstar.Engine) func(b *testing.B) {
+		return func(b *testing.B) {
+			buf := make([]float64, g.N())
+			for i := 0; i < b.N; i++ {
+				var err error
+				if buf, err = eng.SingleSourceInto(ctx, simstar.MeasureGeometric, (i*7919)%g.N(), buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	const pooledOff = "engine_single_source_into_pooled_degree"
+	const pooledOn = "engine_single_source_into_pooled_degree_obs"
 	suite := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -114,15 +199,8 @@ func main() {
 		{"engine_single_source_exact", single(natural, simstar.MeasureGeometric)},
 		{"engine_single_source_exact_rcm", single(rcm, simstar.MeasureGeometric)},
 		{"engine_single_source_exact_degree", single(degree, simstar.MeasureGeometric)},
-		{"engine_single_source_into_pooled_degree", func(b *testing.B) {
-			buf := make([]float64, g.N())
-			for i := 0; i < b.N; i++ {
-				var err error
-				if buf, err = degree.SingleSourceInto(ctx, simstar.MeasureGeometric, (i*7919)%g.N(), buf); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}},
+		{pooledOff, pooled(degree)},
+		{pooledOn, pooled(observed)},
 		{"engine_single_source_rwr_degree", single(degree, simstar.MeasureRWR)},
 		{"engine_multi_source_block64_degree", func(b *testing.B) {
 			queries := make([]simstar.Query, 64)
@@ -140,7 +218,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema: 2,
+		Schema: 3,
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
@@ -151,17 +229,49 @@ func main() {
 	}
 	for _, bm := range suite {
 		r := testing.Benchmark(bm.fn)
-		rep.Results = append(rep.Results, result{
+		row := result{
 			Name:        bm.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-		})
+		}
+		rep.Results = append(rep.Results, row)
 		fmt.Fprintf(os.Stderr, "%-42s %12.0f ns/op %10d B/op %6d allocs/op\n",
-			bm.name, rep.Results[len(rep.Results)-1].NsPerOp,
-			r.AllocedBytesPerOp(), r.AllocsPerOp())
+			bm.name, row.NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
+
+	pooledTimed := func(eng *simstar.Engine) func(n int) time.Duration {
+		buf := make([]float64, g.N())
+		return func(n int) time.Duration {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				var err error
+				if buf, err = eng.SingleSourceInto(ctx, simstar.MeasureGeometric, (i*7919)%g.N(), buf); err != nil {
+					log.Fatalf("benchjson: obs measurement: %v", err)
+				}
+			}
+			return time.Since(start)
+		}
+	}
+	pooledAllocs := func(eng *simstar.Engine) func() float64 {
+		buf := make([]float64, g.N())
+		i := 0
+		return func() float64 {
+			return testing.AllocsPerRun(50, func() {
+				var err error
+				if buf, err = eng.SingleSourceInto(ctx, simstar.MeasureGeometric, (i*7919)%g.N(), buf); err != nil {
+					log.Fatalf("benchjson: obs allocs: %v", err)
+				}
+				i++
+			})
+		}
+	}
+	rep.Obs = measureObs(pooledTimed(degree), pooledTimed(observed),
+		pooledAllocs(degree), pooledAllocs(observed))
+	fmt.Fprintf(os.Stderr, "obs overhead: %+.2f%% (off %.0f ns/op, on %.0f ns/op, allocs off=%d on=%d)\n",
+		rep.Obs.OverheadPct, rep.Obs.ObserverOffNsPerOp, rep.Obs.ObserverOnNsPerOp,
+		rep.Obs.AllocsPerOpOff, rep.Obs.AllocsPerOpOn)
 
 	if *serving != "" {
 		raw, err := os.ReadFile(*serving)

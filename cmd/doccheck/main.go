@@ -29,7 +29,7 @@ import (
 
 // defaultDirs is the repository's enforced documentation set, checked when
 // doccheck runs without arguments (the CI invocation).
-var defaultDirs = []string{"./simstar", "./internal/lint", "./internal/lint/analysistest"}
+var defaultDirs = []string{"./simstar", "./internal/lint", "./internal/lint/analysistest", "./internal/obs"}
 
 func main() {
 	dirs := os.Args[1:]

@@ -137,6 +137,7 @@ func runChurn(ctx context.Context, t target, p profile, seed int64, stop <-chan 
 func runScenario(t target, p profile, sc scenario, seed int64, measureAllocs bool) scenarioJSON {
 	ctx := context.Background()
 	hits0, misses0, cacheOK := t.cacheCounters()
+	metrics0, metricsOK := t.metricsSnapshot()
 
 	var m0, m1 runtime.MemStats
 	if measureAllocs {
@@ -215,7 +216,36 @@ func runScenario(t target, p profile, sc scenario, seed int64, measureAllocs boo
 		row.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(row.Ops)
 		row.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(row.Ops)
 	}
+	if metricsOK {
+		if metrics1, ok := t.metricsSnapshot(); ok {
+			row.ServerMetrics = counterDeltas(metrics0, metrics1)
+		}
+	}
 	return row
+}
+
+// counterDeltas keeps the positive before/after deltas of the cumulative
+// families — counters (_total) and histogram counts (_count). Gauges read
+// instantaneous state, not work done, so they are dropped; zero deltas are
+// dropped so each row lists only what the scenario exercised.
+func counterDeltas(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for key, v1 := range after {
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !strings.HasSuffix(name, "_total") && !strings.HasSuffix(name, "_count") {
+			continue
+		}
+		if d := v1 - before[key]; d > 0 {
+			out[key] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // filterScenarios keeps the comma-separated names in filter, or all when

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -92,6 +93,24 @@ func TestScenarioReportShape(t *testing.T) {
 	}
 	if row.ResultChecksum == "" || len(row.WorkloadChecksum) != 16 {
 		t.Errorf("checksums malformed: %q %q", row.WorkloadChecksum, row.ResultChecksum)
+	}
+	if row.ServerMetrics == nil {
+		t.Fatalf("server_metrics missing from engine-mode row")
+	}
+	queries := 0.0
+	for key, d := range row.ServerMetrics {
+		if d <= 0 {
+			t.Errorf("server_metrics[%q] = %v, want positive deltas only", key, d)
+		}
+		if strings.HasPrefix(key, `simstar_queries_total{`) {
+			queries += d
+		}
+	}
+	if queries == 0 {
+		t.Errorf("server_metrics recorded no simstar_queries_total deltas: %v", row.ServerMetrics)
+	}
+	if _, ok := row.ServerMetrics["simstar_kernel_seconds_count"]; !ok {
+		t.Errorf("server_metrics missing kernel histogram count: %v", row.ServerMetrics)
 	}
 
 	churnRow := runScenario(tgt, p, scenario{name: "mixed_churn", churn: true}, 1, false)

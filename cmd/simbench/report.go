@@ -10,7 +10,8 @@ import (
 // benchReport is the schema-versioned output of one simbench run —
 // serving-path behaviour under load, the counterpart of cmd/benchjson's
 // kernel ns/op. Checked-in BENCH_<pr>.json files embed it under "serving"
-// (see benchjson -serving).
+// (see benchjson -serving). Schema history: 1 = latency/cache/churn rows;
+// 2 adds per-scenario "server_metrics" counter deltas.
 type benchReport struct {
 	Schema    int            `json:"schema"`
 	Tool      string         `json:"tool"`
@@ -73,11 +74,18 @@ type scenarioJSON struct {
 	// ResultChecksum fingerprints every answer's bits. Omitted under churn,
 	// where answers legitimately depend on which epoch served each op.
 	ResultChecksum string `json:"result_checksum,omitempty"`
+	// ServerMetrics holds the scenario's delta of the serving side's
+	// cumulative counter families (keys ending _total or _count, as named
+	// by obs.Registry.Snapshot) — in engine mode from the target's own
+	// observer, in http mode from a /metrics scrape before and after the
+	// run. Gauges and zero deltas are elided so the member stays a
+	// cross-checkable statement of what the workload exercised.
+	ServerMetrics map[string]float64 `json:"server_metrics,omitempty"`
 }
 
 func newReport(profile string, seed int64, mode string, nodes, edges int, note string) benchReport {
 	return benchReport{
-		Schema:  1,
+		Schema:  2,
 		Tool:    "simbench",
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,

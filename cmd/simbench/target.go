@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/simstar"
 )
 
@@ -31,6 +32,11 @@ type target interface {
 	// cacheCounters reports the serving-side result-cache counters, when
 	// the surface exposes them.
 	cacheCounters() (hits, misses uint64, ok bool)
+	// metricsSnapshot reports the serving side's cumulative metrics — the
+	// engine observer's registry in-process, a GET /metrics scrape over
+	// HTTP — keyed like obs.Registry.Snapshot. Scenario rows record the
+	// delta of the counter families across the run.
+	metricsSnapshot() (map[string]float64, bool)
 }
 
 type churnDelta struct {
@@ -72,13 +78,18 @@ func (d *digestWriter) sum() uint64 { return d.h.Sum64() }
 // tolerance view (Engine.With), built once so opTolerance queries do not
 // pay a per-op derivation.
 type engineTarget struct {
-	eng *simstar.Engine
-	tol *simstar.Engine
+	eng  *simstar.Engine
+	tol  *simstar.Engine
+	obsv *simstar.Observer
 }
 
 func newEngineTarget(g *simstar.Graph, tolerance float64, opts ...simstar.Option) *engineTarget {
-	eng := simstar.NewEngine(g, opts...)
-	return &engineTarget{eng: eng, tol: eng.With(simstar.WithTolerance(tolerance))}
+	// The observer is part of the measured configuration: the serving path
+	// always runs instrumented in production, so the benchmark does too
+	// (BENCH_8's "obs" member bounds what that instrumentation costs).
+	o := simstar.NewObserver(nil)
+	eng := simstar.NewEngine(g, append(opts, simstar.WithObserver(o))...)
+	return &engineTarget{eng: eng, tol: eng.With(simstar.WithTolerance(tolerance)), obsv: o}
 }
 
 func (t *engineTarget) run(ctx context.Context, o op) (uint64, error) {
@@ -153,6 +164,10 @@ func (t *engineTarget) applyChurn(ctx context.Context, insert, del [][2]int) (ch
 func (t *engineTarget) cacheCounters() (uint64, uint64, bool) {
 	cs := t.eng.CacheStats()
 	return cs.Hits, cs.Misses, true
+}
+
+func (t *engineTarget) metricsSnapshot() (map[string]float64, bool) {
+	return t.obsv.Registry().Snapshot(), true
 }
 
 // httpTarget drives a running simserve over its v1 wire protocol, streaming
@@ -372,6 +387,25 @@ func (t *httpTarget) cacheCounters() (uint64, uint64, bool) {
 		return 0, 0, false
 	}
 	return out.Cache.Hits, out.Cache.Misses, true
+}
+
+// metricsSnapshot scrapes the server's /metrics exposition. A scrape
+// failure (an older simserve without the endpoint) degrades to "no
+// metrics", never to a failed benchmark.
+func (t *httpTarget) metricsSnapshot() (map[string]float64, bool) {
+	resp, err := t.client.Get(t.base + "/metrics")
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	vals, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return nil, false
+	}
+	return vals, true
 }
 
 // loadGraph installs the benchmark graph on the remote server so both modes

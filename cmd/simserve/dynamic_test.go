@@ -57,7 +57,7 @@ func TestEdgeMutationEndpoints(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Engine == nil || st.Engine.Epoch != 2 {
+	if st.Engine.Epoch != 2 {
 		t.Fatalf("stats engine %+v, want epoch 2", st.Engine)
 	}
 }

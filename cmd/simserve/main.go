@@ -11,6 +11,7 @@
 // Endpoints:
 //
 //	GET    /healthz          liveness + whether a graph is loaded
+//	GET    /metrics          Prometheus text exposition: request, engine and kernel metrics
 //	GET    /v1/measures      registered measure names
 //	GET    /v1/stats         engine preprocessing + epoch + result-cache + process stats
 //	POST   /v1/graph         load/replace the graph (JSON edges or text edge list)
@@ -24,6 +25,12 @@
 // With -snapshot, a binary image written by POST /v1/snapshot is reloaded at
 // the next start (epoch included), so the server warm-restarts without
 // re-parsing an edge list or replaying mutations.
+//
+// The query endpoints accept ?trace=1, which embeds a per-query stage trace
+// (plan/cache/kernel spans plus kernel counters) in the JSON response — in
+// the NDJSON trailer for streamed responses. GET /metrics exposes the
+// cumulative counters behind those traces in the Prometheus text format;
+// they survive graph swaps because every engine shares one observer.
 //
 // Each request's context flows into the iterative kernels, so a client
 // disconnect aborts the computation mid-iteration. SIGINT/SIGTERM drain
@@ -75,6 +82,7 @@ func main() {
 
 	srv := newServer()
 	srv.snapPath = *snapPath
+	srv.logRequests = true
 	opts := func() []simstar.Option {
 		var opts []simstar.Option
 		if *c > 0 {
@@ -118,7 +126,7 @@ func main() {
 			}
 		}
 		if g != nil {
-			eng := simstar.NewEngine(g, append(opts(), simstar.WithBaseEpoch(epoch))...)
+			eng := simstar.NewEngine(g, srv.engineOptions(append(opts(), simstar.WithBaseEpoch(epoch)))...)
 			srv.swap(eng)
 			st := eng.Stats()
 			log.Printf("simserve: serving %s: %d nodes, %d edges, epoch %d (compression %.1f%% in %v)",

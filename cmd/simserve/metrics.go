@@ -1,0 +1,167 @@
+package main
+
+// Server-side observability: the obs.Registry behind GET /metrics, the
+// per-route instrumentation wrapper, and the process-level gauges. The
+// registry is shared with the engine's simstar.Observer — every engine the
+// server builds (startup, POST /v1/graph) is handed the same Observer, so
+// query counters are cumulative across graph swaps and epochs while the
+// per-graph result cache keeps dying with its engine.
+
+import (
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/simstar"
+)
+
+const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// initMetrics builds the server's registry, the shared engine observer and
+// the request-level instruments, and registers the gauge functions that
+// read live server state at scrape time.
+func (s *server) initMetrics() {
+	s.reg = obs.NewRegistry()
+	s.obsv = simstar.NewObserver(s.reg)
+	s.inflight = s.reg.Gauge("simserve_inflight_requests",
+		"HTTP requests currently being served.")
+	s.aborted = s.reg.Counter("simserve_streams_aborted_total",
+		"NDJSON streams cut short by a client disconnect mid-stream.")
+	s.reg.GaugeFunc("simserve_graph_loaded",
+		"Whether a graph is loaded (1) or the server is empty (0).",
+		func() float64 {
+			if s.engine() != nil {
+				return 1
+			}
+			return 0
+		})
+	s.reg.GaugeFunc("simserve_graph_epoch",
+		"Epoch of the currently-served graph (0 when none is loaded).",
+		func() float64 {
+			if eng := s.engine(); eng != nil {
+				return float64(eng.Epoch())
+			}
+			return 0
+		})
+	s.reg.GaugeFunc("simserve_graph_nodes",
+		"Node count of the currently-served graph.",
+		func() float64 {
+			if eng := s.engine(); eng != nil {
+				return float64(eng.Snapshot().Graph.N())
+			}
+			return 0
+		})
+	s.reg.GaugeFunc("simserve_graph_edges",
+		"Edge count of the currently-served graph.",
+		func() float64 {
+			if eng := s.engine(); eng != nil {
+				return float64(eng.Snapshot().Graph.M())
+			}
+			return 0
+		})
+	s.reg.GaugeFunc("simserve_cache_entries",
+		"Entries resident in the served engine's result cache.",
+		func() float64 {
+			if eng := s.engine(); eng != nil {
+				return float64(eng.CacheStats().Size)
+			}
+			return 0
+		})
+}
+
+// engineOptions appends the server's shared observer to a request's engine
+// options. It goes last so nothing on the wire can detach the metrics.
+func (s *server) engineOptions(opts []simstar.Option) []simstar.Option {
+	return append(opts, simstar.WithObserver(s.obsv))
+}
+
+// statusWriter records the response status and size for the route
+// instruments. It forwards Flush because the NDJSON streamWriter type-asserts
+// http.Flusher on whatever ResponseWriter it is handed — dropping the
+// interface here would silently turn chunked streams into buffered bodies.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// status is the effective response status: a handler that never wrote is an
+// implicit 200, exactly as net/http treats it.
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// instrument wraps one route's handler with the request metrics: a counter
+// and an error counter labelled by route, a latency histogram, the in-flight
+// gauge, and (when -log-requests style logging is on) one logfmt access line.
+// The instruments are resolved once at route-table build time, so the
+// per-request cost is a few atomic updates — no registry lookups.
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.reg.Counter("simserve_requests_total",
+		"HTTP requests served, by route.",
+		obs.Label{Name: "route", Value: route})
+	errs := s.reg.Counter("simserve_request_errors_total",
+		"HTTP requests answered with a 4xx/5xx status, by route.",
+		obs.Label{Name: "route", Value: route})
+	lat := s.reg.Histogram("simserve_request_seconds",
+		"HTTP request latency in seconds, by route.",
+		obs.LatencyBuckets,
+		obs.Label{Name: "route", Value: route})
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		d := time.Since(start)
+		s.inflight.Dec()
+		reqs.Inc()
+		if sw.status() >= 400 {
+			errs.Inc()
+		}
+		lat.Observe(d.Seconds())
+		if s.logRequests {
+			log.Printf("simserve: method=%s route=%s status=%d dur_ms=%.3f bytes=%d",
+				r.Method, route, sw.status(), float64(d.Microseconds())/1e3, sw.bytes)
+		}
+	}
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format. A scrape only snapshots atomics; it never blocks the query path.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", prometheusContentType)
+	// An encoding error here can only mean a dead scraper connection.
+	_ = s.reg.WritePrometheus(w)
+}
+
+// traceWanted reports whether the request opted into the per-query trace
+// (?trace=1) that embeds the obs.Trace in the response.
+func traceWanted(r *http.Request) bool {
+	return r.URL.Query().Get("trace") == "1"
+}

@@ -1,0 +1,323 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// scrape fetches /metrics and parses the exposition text; every scrape must
+// be well-formed Prometheus text or the test dies on the spot.
+func scrape(t *testing.T, h http.Handler) map[string]float64 {
+	t.Helper()
+	rec := doJSON(t, h, "GET", "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != prometheusContentType {
+		t.Fatalf("/metrics content type %q, want %q", ct, prometheusContentType)
+	}
+	vals, err := obs.ParseText(strings.NewReader(rec.Body.String()))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, rec.Body)
+	}
+	return vals
+}
+
+// The /metrics endpoint must account for every request by route, mirror the
+// engine's query counters, and read the live graph state through the gauges.
+func TestMetricsEndpointCountsRequests(t *testing.T) {
+	_, h := newTestServer(t)
+	loadTestGraph(t, h)
+
+	single := json.RawMessage(`{"measure":"gsimrank*","label":"survey"}`)
+	for i := 0; i < 2; i++ {
+		if rec := doJSON(t, h, "POST", "/v1/query/single", single); rec.Code != http.StatusOK {
+			t.Fatalf("single: %d: %s", rec.Code, rec.Body)
+		}
+	}
+	if rec := doJSON(t, h, "POST", "/v1/query/topk", json.RawMessage(`{"measure":"rwr","label":"review","k":3}`)); rec.Code != http.StatusOK {
+		t.Fatalf("topk: %d: %s", rec.Code, rec.Body)
+	}
+	if rec := doJSON(t, h, "POST", "/v1/query/topk", json.RawMessage(`{"measure":"gsimrank*","label":"review","k":3,"stream":true}`)); rec.Code != http.StatusOK {
+		t.Fatalf("stream topk: %d: %s", rec.Code, rec.Body)
+	}
+	batch := json.RawMessage(`{"mode":"topk","queries":[{"measure":"gsimrank*","label":"survey","k":2},{"measure":"esimrank*","label":"review","k":2}]}`)
+	if rec := doJSON(t, h, "POST", "/v1/query/batch", batch); rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d: %s", rec.Code, rec.Body)
+	}
+	// A bad request must land in the error counter, not just the total.
+	if rec := doJSON(t, h, "POST", "/v1/query/single", json.RawMessage(`{"measure":"gsimrank*","label":"nope"}`)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad single: %d", rec.Code)
+	}
+
+	vals := scrape(t, h)
+	wantRoutes := map[string]float64{
+		`simserve_requests_total{route="graph"}`:        1,
+		`simserve_requests_total{route="single"}`:       3,
+		`simserve_requests_total{route="topk"}`:         2,
+		`simserve_requests_total{route="batch"}`:        1,
+		`simserve_request_errors_total{route="single"}`: 1,
+	}
+	for key, want := range wantRoutes {
+		if got := vals[key]; got != want {
+			t.Errorf("%s = %g, want %g", key, got, want)
+		}
+	}
+	// Engine-side counters flow into the same registry: the single endpoint
+	// serves through a one-element batch, topk through BatchTopK, and the
+	// streamed topk through the stream path.
+	wantQueries := map[string]float64{
+		`simstar_queries_total{kind="batch"}`:  2 + 1 + 2, // 2 single + 1 topk + 2 batch slots
+		`simstar_queries_total{kind="stream"}`: 1,
+	}
+	for key, want := range wantQueries {
+		if got := vals[key]; got != want {
+			t.Errorf("%s = %g, want %g", key, got, want)
+		}
+	}
+	if vals[`simserve_request_seconds_count{route="single"}`] != 3 {
+		t.Errorf("latency histogram count = %g, want 3", vals[`simserve_request_seconds_count{route="single"}`])
+	}
+	// The scrape observes itself mid-flight: exactly one request (the
+	// /metrics GET rendering the snapshot) is in the gauge.
+	if vals["simserve_inflight_requests"] != 1 {
+		t.Errorf("inflight = %g during the scrape, want 1 (the scrape itself)", vals["simserve_inflight_requests"])
+	}
+	if vals["simserve_graph_loaded"] != 1 || vals["simserve_graph_nodes"] != 7 || vals["simserve_graph_edges"] != 9 {
+		t.Errorf("graph gauges wrong: loaded=%g nodes=%g edges=%g",
+			vals["simserve_graph_loaded"], vals["simserve_graph_nodes"], vals["simserve_graph_edges"])
+	}
+	if vals["simstar_kernel_seconds_count"] == 0 {
+		t.Error("no kernel latencies observed through the served engine")
+	}
+}
+
+// Query counters must be cumulative across graph swaps: a new engine shares
+// the server's observer, only the per-engine cache stats reset.
+func TestMetricsSurviveGraphSwap(t *testing.T) {
+	_, h := newTestServer(t)
+	loadTestGraph(t, h)
+	single := json.RawMessage(`{"measure":"gsimrank*","label":"survey"}`)
+	if rec := doJSON(t, h, "POST", "/v1/query/single", single); rec.Code != http.StatusOK {
+		t.Fatalf("single: %d", rec.Code)
+	}
+	before := scrape(t, h)[`simstar_queries_total{kind="batch"}`]
+	loadTestGraph(t, h) // swap in a fresh engine
+	if rec := doJSON(t, h, "POST", "/v1/query/single", single); rec.Code != http.StatusOK {
+		t.Fatalf("single after swap: %d", rec.Code)
+	}
+	after := scrape(t, h)[`simstar_queries_total{kind="batch"}`]
+	if after != before+1 {
+		t.Fatalf("query counter %g -> %g across a graph swap, want +1", before, after)
+	}
+}
+
+// ?trace=1 must embed the per-query stage trace in every response shape:
+// single, topk, request-level batch, and the NDJSON trailer of a stream.
+func TestTraceParameter(t *testing.T) {
+	_, h := newTestServer(t)
+	loadTestGraph(t, h)
+
+	plain := doJSON(t, h, "POST", "/v1/query/single", json.RawMessage(`{"measure":"gsimrank*","label":"survey"}`))
+	var want singleResponse
+	if err := json.Unmarshal(plain.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+	rec := doJSON(t, h, "POST", "/v1/query/single?trace=1", json.RawMessage(`{"measure":"gsimrank*","label":"survey"}`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traced single: %d: %s", rec.Code, rec.Body)
+	}
+	var got singleResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace == nil {
+		t.Fatal("traced single carries no trace")
+	}
+	if len(got.Scores) != len(want.Scores) {
+		t.Fatalf("traced scores length %d, want %d", len(got.Scores), len(want.Scores))
+	}
+	for i := range want.Scores {
+		if got.Scores[i] != want.Scores[i] {
+			t.Fatalf("traced scores differ at %d", i)
+		}
+	}
+	stages := map[string]bool{}
+	for _, sp := range got.Trace.Spans {
+		stages[sp.Stage] = true
+	}
+	for _, stage := range []string{"plan", "cache"} {
+		if !stages[stage] {
+			t.Errorf("single trace missing %q span: %+v", stage, got.Trace.Spans)
+		}
+	}
+	// The untraced request above warmed the cache, so the traced one hits.
+	if !got.Trace.Cached || !got.Cached {
+		t.Errorf("traced repeat query not served from cache: %+v", got.Trace)
+	}
+
+	rec = doJSON(t, h, "POST", "/v1/query/topk?trace=1", json.RawMessage(`{"measure":"rwr","label":"review","k":3}`))
+	var topk topKResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &topk); err != nil {
+		t.Fatal(err)
+	}
+	if topk.Trace == nil || topk.Trace.K != 3 {
+		t.Fatalf("topk trace missing or wrong K: %+v", topk.Trace)
+	}
+
+	batch := json.RawMessage(`{"queries":[{"measure":"gsimrank*","label":"survey"},{"measure":"esimrank*","label":"review"}]}`)
+	rec = doJSON(t, h, "POST", "/v1/query/batch?trace=1", batch)
+	var br batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Trace == nil || br.Trace.Queries != 2 || br.Trace.Node != -1 {
+		t.Fatalf("batch trace missing or wrong shape: %+v", br.Trace)
+	}
+	if len(br.Trace.Spans) == 0 || br.Trace.Spans[0].Stage != "batch" {
+		t.Fatalf("batch trace spans: %+v", br.Trace.Spans)
+	}
+
+	rec = doJSON(t, h, "POST", "/v1/query/topk?trace=1", json.RawMessage(`{"measure":"gsimrank*","label":"review","k":3,"stream":true}`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traced stream: %d: %s", rec.Code, rec.Body)
+	}
+	lines := ndjsonLines(t, rec.Body.String())
+	trailer := lines[len(lines)-1]
+	if trailer["done"] != true {
+		t.Fatalf("stream trailer not done: %v", trailer)
+	}
+	tr, ok := trailer["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("stream trailer carries no trace: %v", trailer)
+	}
+	if tr["measure"] != "gsimrank*" {
+		t.Errorf("stream trace measure = %v", tr["measure"])
+	}
+	// An untraced stream must keep its trailer lean.
+	rec = doJSON(t, h, "POST", "/v1/query/topk", json.RawMessage(`{"measure":"gsimrank*","label":"review","k":3,"stream":true}`))
+	lines = ndjsonLines(t, rec.Body.String())
+	if _, has := lines[len(lines)-1]["trace"]; has {
+		t.Error("untraced stream trailer carries a trace")
+	}
+}
+
+// /v1/stats must be schema-stable: the same keys in the no-graph and loaded
+// states, with cumulative query counts from the shared observer.
+func TestStatsSchemaStable(t *testing.T) {
+	_, h := newTestServer(t)
+
+	keysOf := func(rec string) map[string]bool {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(rec), &m); err != nil {
+			t.Fatal(err)
+		}
+		keys := map[string]bool{}
+		for k := range m {
+			keys[k] = true
+		}
+		return keys
+	}
+	empty := doJSON(t, h, "GET", "/v1/stats", nil)
+	if empty.Code != http.StatusOK {
+		t.Fatalf("stats without a graph: %d", empty.Code)
+	}
+	emptyKeys := keysOf(empty.Body.String())
+	for _, k := range []string{"engine", "cache", "queries", "graph_loaded", "graph_loaded_ago_ms", "uptime_ms", "requests", "streams_aborted"} {
+		if !emptyKeys[k] {
+			t.Errorf("no-graph stats missing key %q", k)
+		}
+	}
+	var st statsResponse
+	if err := json.Unmarshal(empty.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.GraphLoaded || st.Engine.Nodes != 0 || st.Queries.SingleSource != 0 {
+		t.Fatalf("no-graph stats not zero-valued: %+v", st)
+	}
+
+	loadTestGraph(t, h)
+	if rec := doJSON(t, h, "POST", "/v1/query/single", json.RawMessage(`{"measure":"gsimrank*","label":"survey"}`)); rec.Code != http.StatusOK {
+		t.Fatalf("single: %d", rec.Code)
+	}
+	if rec := doJSON(t, h, "POST", "/v1/query/topk", json.RawMessage(`{"measure":"gsimrank*","label":"review","k":3,"stream":true}`)); rec.Code != http.StatusOK {
+		t.Fatalf("stream: %d", rec.Code)
+	}
+	loaded := doJSON(t, h, "GET", "/v1/stats", nil)
+	loadedKeys := keysOf(loaded.Body.String())
+	for k := range emptyKeys {
+		if !loadedKeys[k] {
+			t.Errorf("loaded stats dropped key %q", k)
+		}
+	}
+	for k := range loadedKeys {
+		if !emptyKeys[k] {
+			t.Errorf("key %q appears only when a graph is loaded", k)
+		}
+	}
+	if err := json.Unmarshal(loaded.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries.Batch == 0 || st.Queries.Stream != 1 {
+		t.Fatalf("loaded stats query counts wrong: %+v", st.Queries)
+	}
+}
+
+// Scraping /metrics while edits churn epochs and queries run concurrently
+// must always parse, and the counters must be monotonic scrape over scrape.
+// Run under -race this also proves the registry and the observer hooks are
+// data-race free against the edit path.
+func TestMetricsScrapeDuringChurn(t *testing.T) {
+	_, h := newTestServer(t)
+	loadTestGraph(t, h)
+
+	const rounds = 20
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			body := json.RawMessage(fmt.Sprintf(`{"insert":[[%d,%d]]}`, i%5, (i+3)%7))
+			doJSON(t, h, "POST", "/v1/edges", body)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			doJSON(t, h, "POST", "/v1/query/single", json.RawMessage(fmt.Sprintf(`{"measure":"gsimrank*","node":%d}`, i%7)))
+			doJSON(t, h, "POST", "/v1/query/topk", json.RawMessage(fmt.Sprintf(`{"measure":"rwr","node":%d,"k":3,"stream":true}`, i%7)))
+		}
+	}()
+
+	monotonic := []string{
+		`simserve_requests_total{route="single"}`,
+		`simserve_requests_total{route="edges"}`,
+		`simstar_queries_total{kind="batch"}`,
+		`simstar_queries_total{kind="stream"}`,
+		"simstar_kernel_sweeps_total",
+	}
+	prev := map[string]float64{}
+	for i := 0; i < rounds; i++ {
+		vals := scrape(t, h) // dies if the exposition ever fails to parse
+		for _, key := range monotonic {
+			if vals[key] < prev[key] {
+				t.Fatalf("%s went backwards: %g -> %g", key, prev[key], vals[key])
+			}
+			prev[key] = vals[key]
+		}
+	}
+	wg.Wait()
+	final := scrape(t, h)
+	if got := final[`simserve_requests_total{route="single"}`]; got != rounds {
+		t.Fatalf("single route counter = %g, want %d", got, rounds)
+	}
+	if got := final[`simserve_requests_total{route="edges"}`]; got != rounds {
+		t.Fatalf("edges route counter = %g, want %d", got, rounds)
+	}
+}

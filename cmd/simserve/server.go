@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/simstar"
 )
 
@@ -37,14 +38,25 @@ type server struct {
 	snapPath string
 	snapMu   sync.Mutex
 
-	// streamsAborted counts NDJSON streams cut short by a client disconnect
+	// reg backs GET /metrics; obsv is the engine observer every served
+	// engine shares, so query counters survive graph swaps (see metrics.go).
+	reg  *obs.Registry
+	obsv *simstar.Observer
+	// inflight gauges requests currently being served.
+	inflight *obs.Gauge
+	// aborted counts NDJSON streams cut short by a client disconnect
 	// mid-stream — the 499s that never reach an access log because the
 	// status line already said 200.
-	streamsAborted atomic.Int64
+	aborted *obs.Counter
+	// logRequests turns on the per-request access log line; main() sets it,
+	// tests leave it off.
+	logRequests bool
 }
 
 func newServer() *server {
-	return &server{started: time.Now()}
+	s := &server{started: time.Now()}
+	s.initMetrics()
+	return s
 }
 
 // engine returns the currently-served engine, or nil before the first load.
@@ -68,16 +80,17 @@ func (s *server) swap(eng *simstar.Engine) {
 // net/http) give 405s for free.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/measures", s.handleMeasures)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/graph", s.handleLoadGraph)
-	mux.HandleFunc("POST /v1/edges", s.handleEditEdges)
-	mux.HandleFunc("DELETE /v1/edges", s.handleDeleteEdges)
-	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
-	mux.HandleFunc("POST /v1/query/single", s.handleSingle)
-	mux.HandleFunc("POST /v1/query/topk", s.handleTopK)
-	mux.HandleFunc("POST /v1/query/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/measures", s.instrument("measures", s.handleMeasures))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("POST /v1/graph", s.instrument("graph", s.handleLoadGraph))
+	mux.HandleFunc("POST /v1/edges", s.instrument("edges", s.handleEditEdges))
+	mux.HandleFunc("DELETE /v1/edges", s.instrument("edges_delete", s.handleDeleteEdges))
+	mux.HandleFunc("POST /v1/snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.HandleFunc("POST /v1/query/single", s.instrument("single", s.handleSingle))
+	mux.HandleFunc("POST /v1/query/topk", s.instrument("topk", s.handleTopK))
+	mux.HandleFunc("POST /v1/query/batch", s.instrument("batch", s.handleBatch))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.served.Add(1)
 		mux.ServeHTTP(w, r)
@@ -273,7 +286,7 @@ func (s *server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("need edge_list or edges"))
 		return
 	}
-	eng := simstar.NewEngine(g, req.Options.options()...)
+	eng := simstar.NewEngine(g, s.engineOptions(req.Options.options())...)
 	s.swap(eng)
 	writeJSON(w, http.StatusOK, engineStatsJSON(eng.Stats()))
 }
@@ -324,31 +337,50 @@ type cacheStatsJSON struct {
 	Evictions uint64 `json:"evictions"`
 }
 
+// queryCountsJSON reports the cumulative queries answered since the process
+// started, by engine query kind. Sourced from the shared observer, so the
+// counts survive graph swaps (unlike the per-engine cache stats).
+type queryCountsJSON struct {
+	SingleSource uint64 `json:"single_source"`
+	Stream       uint64 `json:"stream"`
+	Batch        uint64 `json:"batch"`
+}
+
+// statsResponse is schema-stable: every key is present in both the loaded
+// and the no-graph states (engine and cache are zero-valued before the first
+// load), so dashboards and scripts never branch on key absence.
 type statsResponse struct {
-	Engine       *graphResponse  `json:"engine,omitempty"`
-	Cache        *cacheStatsJSON `json:"cache,omitempty"`
-	GraphLoaded  bool            `json:"graph_loaded"`
-	LoadedAgoMs  float64         `json:"graph_loaded_ago_ms,omitempty"`
-	UptimeMs     float64         `json:"uptime_ms"`
-	RequestCount int64           `json:"requests"`
+	Engine      graphResponse   `json:"engine"`
+	Cache       cacheStatsJSON  `json:"cache"`
+	Queries     queryCountsJSON `json:"queries"`
+	GraphLoaded bool            `json:"graph_loaded"`
+	LoadedAgoMs float64         `json:"graph_loaded_ago_ms"`
+	UptimeMs    float64         `json:"uptime_ms"`
+	// RequestCount counts every HTTP request the process served.
+	RequestCount int64 `json:"requests"`
 	// StreamsAborted counts NDJSON streams the client abandoned mid-body.
 	StreamsAborted int64 `json:"streams_aborted"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
 	resp := statsResponse{
+		Queries: queryCountsJSON{
+			SingleSource: uint64(snap[`simstar_queries_total{kind="single_source"}`]),
+			Stream:       uint64(snap[`simstar_queries_total{kind="stream"}`]),
+			Batch:        uint64(snap[`simstar_queries_total{kind="batch"}`]),
+		},
 		UptimeMs:       float64(time.Since(s.started).Microseconds()) / 1e3,
 		RequestCount:   s.served.Load(),
-		StreamsAborted: s.streamsAborted.Load(),
+		StreamsAborted: int64(s.aborted.Value()),
 	}
 	s.mu.RLock()
 	eng, loaded := s.eng, s.loaded
 	s.mu.RUnlock()
 	if eng != nil {
-		est := engineStatsJSON(eng.Stats())
+		resp.Engine = engineStatsJSON(eng.Stats())
 		cs := eng.CacheStats()
-		resp.Engine = &est
-		resp.Cache = &cacheStatsJSON{
+		resp.Cache = cacheStatsJSON{
 			Capacity:  cs.Capacity,
 			Size:      cs.Size,
 			Hits:      cs.Hits,
@@ -462,6 +494,8 @@ type singleResponse struct {
 	// requested tolerance for approximate ones.
 	MaxError float64   `json:"maxError"`
 	Scores   []float64 `json:"scores"`
+	// Trace is the per-query stage trace, present under ?trace=1.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 func (s *server) handleSingle(w http.ResponseWriter, r *http.Request) {
@@ -475,6 +509,27 @@ func (s *server) handleSingle(w http.ResponseWriter, r *http.Request) {
 	}
 	if qj.Stream {
 		writeError(w, http.StatusBadRequest, errors.New("stream is only supported on the topk and batch endpoints"))
+		return
+	}
+	if traceWanted(r) {
+		qe := eng
+		if len(q.Opts) > 0 {
+			qe = eng.With(q.Opts...)
+		}
+		scores, tr, err := qe.TraceSingleSource(r.Context(), q.Measure, q.Node)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, singleResponse{
+			Measure:  q.Measure,
+			Node:     q.Node,
+			Label:    labelOf(eng.Graph(), q.Node),
+			Cached:   tr.Cached,
+			MaxError: tr.MaxError,
+			Scores:   scores,
+			Trace:    tr,
+		})
 		return
 	}
 	// One-element batch: same cache, same validation, same kernels.
@@ -524,6 +579,8 @@ type topKResponse struct {
 	// either order.
 	MaxError float64      `json:"maxError"`
 	Top      []rankedJSON `json:"top"`
+	// Trace is the per-query stage trace, present under ?trace=1.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -536,7 +593,28 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if qj.Stream {
-		s.streamTopK(w, r, eng, q, qj.wantsTolerance())
+		s.streamTopK(w, r, eng, q, qj.wantsTolerance(), traceWanted(r))
+		return
+	}
+	if traceWanted(r) {
+		qe := eng
+		if len(q.Opts) > 0 {
+			qe = eng.With(q.Opts...)
+		}
+		top, tr, err := qe.TraceTopK(r.Context(), q.Measure, q.Node, q.K, q.Exclude...)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, topKResponse{
+			Measure:  q.Measure,
+			Node:     q.Node,
+			Label:    labelOf(eng.Graph(), q.Node),
+			Cached:   tr.Cached,
+			MaxError: tr.MaxError,
+			Top:      rankedList(eng.Graph(), top),
+			Trace:    tr,
+		})
 		return
 	}
 	res := eng.BatchTopK(r.Context(), []simstar.Query{q})[0]
@@ -580,6 +658,9 @@ type batchResultJSON struct {
 
 type batchResponse struct {
 	Results []batchResultJSON `json:"results"`
+	// Trace is the request-level stage trace (node -1, queries = slot
+	// count), present under ?trace=1.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -622,11 +703,21 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		queries = append(queries, q)
 		slot = append(slot, i)
 	}
+	// Batches trace at request level: one obs.Trace covering the whole
+	// engine call and the response assembly, not one per slot.
+	var tr *obs.Trace
+	if traceWanted(r) {
+		tr = &obs.Trace{Node: -1, Queries: len(queries), Epoch: eng.Epoch()}
+	}
+	start := time.Now()
 	var results []simstar.Result
 	if topk {
 		results = eng.BatchTopK(r.Context(), queries)
 	} else {
 		results = eng.MultiSource(r.Context(), queries)
+	}
+	if tr != nil {
+		tr.AddSpan("batch", time.Since(start))
 	}
 	// The whole batch answers 200 unless the request itself died: per-query
 	// failures ride in their result slot.
@@ -634,10 +725,19 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	t1 := time.Now()
 	assembleBatchResults(g, resp.Results, queries, slot, results)
+	if tr != nil {
+		tr.AddSpan("assemble", time.Since(t1))
+	}
 	if req.Stream {
-		s.streamBatch(w, r, resp.Results)
+		// streamBatch adds the emission span and finishes the trace.
+		s.streamBatch(w, r, resp.Results, tr, start)
 		return
+	}
+	if tr != nil {
+		tr.Finish(start)
+		resp.Trace = tr
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

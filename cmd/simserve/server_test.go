@@ -77,7 +77,7 @@ func TestLoadGraphJSONAndStats(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
-	if !st.GraphLoaded || st.Engine == nil || st.Engine.Nodes != 7 {
+	if !st.GraphLoaded || st.Engine.Nodes != 7 {
 		t.Fatalf("stats %+v, want loaded 7-node engine", st)
 	}
 	if st.RequestCount < 2 {

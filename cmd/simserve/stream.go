@@ -18,7 +18,9 @@ package main
 import (
 	"encoding/json"
 	"net/http"
+	"time"
 
+	"repro/internal/obs"
 	"repro/simstar"
 )
 
@@ -64,6 +66,10 @@ type streamTrailerJSON struct {
 	// Status carries the effective status of an aborted stream (499); the
 	// HTTP status line was already committed as 200 when the body started.
 	Status int `json:"status,omitempty"`
+	// Trace is the request's stage trace under ?trace=1. It rides in the
+	// trailer — not the header — because the stream span is still open when
+	// the header line goes out.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // streamWriter emits NDJSON lines, flushing each so the response is
@@ -100,7 +106,7 @@ func (sw *streamWriter) line(v any) bool {
 // abort terminates a stream the client abandoned: best-effort 499 trailer,
 // and the counter that makes these visible in /v1/stats.
 func (s *server) abort(sw *streamWriter, count int, err error) {
-	s.streamsAborted.Add(1)
+	s.aborted.Inc()
 	trailer := streamTrailerJSON{Count: count, Status: statusClientClosedRequest}
 	if err != nil {
 		trailer.Error = err.Error()
@@ -115,15 +121,31 @@ func (s *server) abort(sw *streamWriter, count int, err error) {
 // lazy TopKStream — the serving path never materialises the O(n) score
 // vector. Errors before the first byte map to ordinary JSON error
 // responses; after that the stream owns the connection.
-func (s *server) streamTopK(w http.ResponseWriter, r *http.Request, eng *simstar.Engine, q simstar.Query, tolerance bool) {
+func (s *server) streamTopK(w http.ResponseWriter, r *http.Request, eng *simstar.Engine, q simstar.Query, tolerance, traced bool) {
 	qe := eng
 	if len(q.Opts) > 0 {
 		qe = eng.With(q.Opts...)
 	}
+	// The ?trace=1 trace of a stream covers the serving stages — kernel
+	// (stream construction, where all scoring happens) and the emission loop
+	// — and rides in the trailer once both spans have closed.
+	var tr *obs.Trace
+	start := time.Now()
 	st, err := qe.TopKStream(r.Context(), q.Measure, q.Node, q.K, q.Exclude...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if traced {
+		tr = &obs.Trace{
+			Measure:  q.Measure,
+			Node:     q.Node,
+			K:        q.K,
+			Epoch:    qe.Epoch(),
+			Cached:   st.Cached(),
+			MaxError: st.MaxError(),
+		}
+		tr.AddSpan("kernel", time.Since(start))
 	}
 	g := eng.Graph()
 	sw := newStreamWriter(w)
@@ -135,10 +157,11 @@ func (s *server) streamTopK(w http.ResponseWriter, r *http.Request, eng *simstar
 		Cached:   st.Cached(),
 		MaxError: st.MaxError(),
 	}) {
-		s.streamsAborted.Add(1)
+		s.aborted.Inc()
 		return
 	}
 	count := 0
+	emit := time.Now()
 	for {
 		if err := r.Context().Err(); err != nil {
 			s.abort(sw, count, err)
@@ -154,35 +177,46 @@ func (s *server) streamTopK(w http.ResponseWriter, r *http.Request, eng *simstar
 			entry.MaxError = &me
 		}
 		if !sw.line(entry) {
-			s.streamsAborted.Add(1)
+			s.aborted.Inc()
 			return
 		}
 		count++
 	}
-	sw.line(streamTrailerJSON{Done: true, Count: count})
+	if tr != nil {
+		tr.AddSpan("stream", time.Since(emit))
+		tr.Finish(start)
+	}
+	sw.line(streamTrailerJSON{Done: true, Count: count, Trace: tr})
 }
 
 // streamBatch unrolls an assembled batch response into NDJSON: header, one
 // indexed line per query slot, trailer. Result lines stream in query order
 // with a context check between each, so a consumer of a long batch starts
 // acting on early results while later ones are still in flight on the wire.
-func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, results []batchResultJSON) {
+func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, results []batchResultJSON, tr *obs.Trace, start time.Time) {
 	sw := newStreamWriter(w)
 	if !sw.line(streamBatchHeaderJSON{Count: len(results)}) {
-		s.streamsAborted.Add(1)
+		s.aborted.Inc()
 		return
 	}
 	count := 0
+	emit := time.Now()
 	for i := range results {
 		if err := r.Context().Err(); err != nil {
 			s.abort(sw, count, err)
 			return
 		}
 		if !sw.line(streamBatchEntryJSON{Index: i, batchResultJSON: results[i]}) {
-			s.streamsAborted.Add(1)
+			s.aborted.Inc()
 			return
 		}
 		count++
 	}
-	sw.line(streamTrailerJSON{Done: true, Count: count})
+	if tr != nil {
+		// The batch handler already timed the engine call; the emission loop
+		// is the serving stage it could not see.
+		tr.AddSpan("stream", time.Since(emit))
+		tr.Finish(start)
+	}
+	sw.line(streamTrailerJSON{Done: true, Count: count, Trace: tr})
 }

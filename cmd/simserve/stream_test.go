@@ -252,7 +252,7 @@ func TestTopKStreamClientDisconnectMidStream(t *testing.T) {
 	if _, ok := trailer["error"]; !ok {
 		t.Fatalf("abort trailer has no error: %v", trailer)
 	}
-	if got := s.streamsAborted.Load(); got != 1 {
+	if got := s.aborted.Value(); got != 1 {
 		t.Fatalf("streamsAborted = %d, want 1", got)
 	}
 	rec := doJSON(t, h, "GET", "/v1/stats", nil)
@@ -289,7 +289,7 @@ func TestBatchStreamClientDisconnectMidStream(t *testing.T) {
 	if len(lines) != 3 { // header + first result + abort trailer
 		t.Fatalf("%d lines: %s", len(lines), aw.buf.String())
 	}
-	if got := s.streamsAborted.Load(); got != 1 {
+	if got := s.aborted.Value(); got != 1 {
 		t.Fatalf("streamsAborted = %d, want 1", got)
 	}
 }

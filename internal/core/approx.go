@@ -124,8 +124,10 @@ func (ws *approxGeoWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol f
 	ws.reset()
 	k, opt := ws.k, ws.opt
 	half := opt.C / 2
+	tr := opt.Trace
 	// K backward sieve points plus K Horner sieve points.
 	budget := sparse.NewCertBudget(tol, 2*k)
+	budget.Trace = tr
 
 	// Backward: w_β = (Qᵀ)^β e_q, folded into every y_α it contributes to as
 	// soon as it exists — the same coefficient schedule as the exact kernel.
@@ -140,6 +142,10 @@ func (ws *approxGeoWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol f
 			qm.ScatterMulT(next, cur) // next = Qᵀ·cur
 			cur, next = next, cur
 			budget.SieveMass(cur, ws.weights[beta])
+			if tr != nil {
+				tr.AddSweeps(1)
+				tr.ObserveFrontier(cur.Len())
+			}
 		}
 		for alpha := 0; alpha+beta <= k; alpha++ {
 			coef := math.Pow(half, float64(alpha+beta)) * binom(alpha+beta, alpha)
@@ -160,8 +166,16 @@ func (ws *approxGeoWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol f
 		z, zbuf = zbuf, z
 		z.AddScaled(1, ws.y[alpha])
 		budget.SievePeak(z, 1-opt.C)
+		if tr != nil {
+			tr.AddSweeps(1)
+			tr.ObserveFrontier(z.Len())
+		}
 	}
-	return z.Dense(1 - opt.C), budget.Certificate(), nil
+	cert := budget.Certificate()
+	if tr != nil {
+		tr.Certificate = cert
+	}
+	return z.Dense(1 - opt.C), cert, nil
 }
 
 // ApproxSingleSourceExponentialFromTransition answers one exponential
@@ -232,7 +246,9 @@ func (ws *approxExpWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol f
 	ws.s.Reset()
 	k := ws.k
 	scale := math.Exp(-ws.opt.C)
+	tr := ws.opt.Trace
 	budget := sparse.NewCertBudget(tol, 2*k)
+	budget.Trace = tr
 
 	// Backward: v = T_Kᵀ e_q = Σ_j coef_j·(Qᵀ)ʲ e_q. A drop of mass δ from
 	// the walk at state j reaches v with 1-norm weight suffix[j] and the
@@ -251,6 +267,10 @@ func (ws *approxExpWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol f
 		qm.ScatterMulT(next, cur)
 		cur, next = next, cur
 		budget.SieveMass(cur, scale*ws.suffix[0]*ws.suffix[j+1])
+		if tr != nil {
+			tr.AddSweeps(1)
+			tr.ObserveFrontier(cur.Len())
+		}
 	}
 
 	// Forward: s = T_K·v = Σ_i coef_i·Qⁱ v. A drop at state i passes only
@@ -268,6 +288,14 @@ func (ws *approxExpWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol f
 		qt.ScatterMulT(fnext, fcur) // fnext = Q·fcur
 		fcur, fnext = fnext, fcur
 		budget.SievePeak(fcur, scale*ws.suffix[i+1])
+		if tr != nil {
+			tr.AddSweeps(1)
+			tr.ObserveFrontier(fcur.Len())
+		}
 	}
-	return ws.s.Dense(scale), budget.Certificate(), nil
+	cert := budget.Certificate()
+	if tr != nil {
+		tr.Certificate = cert
+	}
+	return ws.s.Dense(scale), cert, nil
 }

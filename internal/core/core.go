@@ -25,6 +25,7 @@ import (
 	"repro/internal/biclique"
 	"repro/internal/dense"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sparse"
 )
@@ -47,6 +48,11 @@ type Options struct {
 	Sieve float64
 	// Mine configures the biclique miner for the memo variants.
 	Mine biclique.Options
+	// Trace, when non-nil, receives kernel-level detail (sweep counts,
+	// frontier widths, sieve spend) from the single-source kernels. Nil —
+	// the default — costs one branch per kernel run and zero allocations;
+	// call sites on noalloc paths guard it explicitly (simlint obsnoop).
+	Trace *obs.KernelTrace
 }
 
 func (o Options) withDefaults() Options {

@@ -84,12 +84,14 @@ func SingleSourceGeometricWS(ctx context.Context, qm *sparse.CSR, q int, opt Opt
 	cur[q] = 1
 	next := ws.Raw()
 	half := opt.C / 2
+	sweeps := 0
 	for beta := 0; beta <= k; beta++ {
 		if beta > 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			qm.MulVecTInto(next, cur)
+			sweeps++
 			cur, next = next, cur
 		}
 		for alpha := 0; alpha+beta <= k; alpha++ {
@@ -107,6 +109,7 @@ func SingleSourceGeometricWS(ctx context.Context, qm *sparse.CSR, q int, opt Opt
 			return err
 		}
 		qm.MulVecAddInto(next, z, y[alpha])
+		sweeps++
 		z, next = next, z
 	}
 	if k == 0 {
@@ -116,8 +119,12 @@ func SingleSourceGeometricWS(ctx context.Context, qm *sparse.CSR, q int, opt Opt
 			return err
 		}
 		qm.MulVecAddScaleInto(dst, z, y[0], 1-opt.C)
+		sweeps++
 	}
 	applySieveVec(dst, opt.Sieve)
+	if tr := opt.Trace; tr != nil {
+		tr.AddSweeps(sweeps)
+	}
 	return nil
 }
 
@@ -170,6 +177,7 @@ func SingleSourceExponentialWS(ctx context.Context, qm *sparse.CSR, q int, opt O
 	cur[q] = 1
 	next := ws.Raw()
 	coef := 1.0
+	sweeps := 0
 	for j := 0; ; j++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -179,6 +187,7 @@ func SingleSourceExponentialWS(ctx context.Context, qm *sparse.CSR, q int, opt O
 			break
 		}
 		qm.MulVecTInto(next, cur)
+		sweeps++
 		cur, next = next, cur
 		coef *= opt.C / (2 * float64(j+1))
 	}
@@ -196,11 +205,15 @@ func SingleSourceExponentialWS(ctx context.Context, qm *sparse.CSR, q int, opt O
 			break
 		}
 		qm.MulVecInto(fnext, fcur)
+		sweeps++
 		fcur, fnext = fnext, fcur
 		coef *= opt.C / (2 * float64(i+1))
 	}
 	dense.ScaleVec(dst, math.Exp(-opt.C))
 	applySieveVec(dst, opt.Sieve)
+	if tr := opt.Trace; tr != nil {
+		tr.AddSweeps(sweeps)
+	}
 	return nil
 }
 

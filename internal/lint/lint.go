@@ -14,6 +14,9 @@
 //     allocating constructs, keeping the zero-alloc serving paths honest.
 //   - cachekey: the result-cache key must cover every query-affecting
 //     option; fields stripped from the key must be declared serving-only.
+//   - obsnoop: observability hook calls on //simstar:noalloc paths must be
+//     nil-guarded, so metrics-off serving costs one branch per hook and a
+//     missing Observer can never panic a query.
 //
 // The types here deliberately mirror golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) so the suite can migrate onto the real
@@ -201,5 +204,6 @@ func Analyzers() []*Analyzer {
 		NewPoolescape(DefaultArenaTypes),
 		Noalloc,
 		Cachekey,
+		NewObsnoop(DefaultObsPackages),
 	}
 }

@@ -37,6 +37,10 @@ func TestCachekeyFixture(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), lint.Cachekey, "cachekey")
 }
 
+func TestObsnoopFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.NewObsnoop(lint.DefaultObsPackages), "obsnoop")
+}
+
 // TestMalformedIgnoreReported checks the suppression syntax's own contract:
 // a directive without a reason is reported under the lint-ignore
 // pseudo-analyzer and does not silence the finding it sits on.
@@ -67,12 +71,12 @@ func TestMalformedIgnoreReported(t *testing.T) {
 	}
 }
 
-// TestDefaultSuite pins the shape of the production configuration: four
+// TestDefaultSuite pins the shape of the production configuration: five
 // analyzers, unique names, documented.
 func TestDefaultSuite(t *testing.T) {
 	suite := lint.Analyzers()
-	if len(suite) != 4 {
-		t.Fatalf("want 4 analyzers, got %d", len(suite))
+	if len(suite) != 5 {
+		t.Fatalf("want 5 analyzers, got %d", len(suite))
 	}
 	seen := make(map[string]bool)
 	for _, a := range suite {

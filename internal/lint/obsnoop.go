@@ -1,0 +1,380 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The obsnoop analyzer enforces the zero-cost-when-off contract of the
+// observability hooks. Metrics and traces thread through the engine as
+// nilable pointers (*obs.Counter fields on an optional Observer,
+// *obs.KernelTrace threaded through kernel Options); on the
+// //simstar:noalloc serving paths every hook call site must establish that
+// its receiver is non-nil before calling through it — an explicit branch,
+// so an engine without an Observer pays one predictable compare per hook
+// and can never panic on a nil counter.
+//
+// Within annotated functions, a method call whose receiver is a pointer to
+// a type defined in a configured observability package must be one of:
+//
+//   - dominated by a nil check: inside the then-branch of
+//     `if recv != nil` (or `if tr := e.trace; tr != nil`), a
+//     `case recv != nil:` clause, or after an early `if recv == nil {
+//     return }` — checking any prefix of the receiver chain counts, so
+//     `if o != nil` sanctions `o.hits.Inc()` (a non-nil Observer's counter
+//     fields are non-nil by construction);
+//   - provably non-nil: the receiver is (or was assigned) an address-of
+//     expression, like the workspace-resident `kt := &ws.Trace` borrow.
+//
+// Calls through addressable values (`ws.Trace.Reset()`) pass — a value
+// receiver cannot be nil. The analysis is syntactic and flow-insensitive
+// over assignments, matching the guard idioms the hot paths actually use;
+// anything cleverer carries a //simstar:lint-ignore obsnoop <reason>.
+
+// DefaultObsPackages are the packages whose pointer-receiver methods count
+// as observability hooks on noalloc paths.
+var DefaultObsPackages = []string{
+	"repro/internal/obs",
+}
+
+// NewObsnoop returns an obsnoop analyzer treating pointer methods of types
+// from the given packages as nilable observability hooks.
+func NewObsnoop(obsPackages []string) *Analyzer {
+	pkgs := make(map[string]bool, len(obsPackages))
+	for _, p := range obsPackages {
+		pkgs[p] = true
+	}
+	a := &Analyzer{
+		Name: "obsnoop",
+		Doc:  "obs hook calls in //simstar:noalloc functions must be nil-guarded (zero-cost-when-off)",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !hasDirective(fn.Doc, NoallocDirective) {
+					continue
+				}
+				checkObsnoop(pass, fn, pkgs)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// obsnoopCheck carries one annotated function's analysis state.
+type obsnoopCheck struct {
+	pass   *Pass
+	fnName string
+	pkgs   map[string]bool
+	// nonNil holds identifiers assigned an address-of expression anywhere
+	// in the function (flow-insensitive: the &x borrow idiom assigns once).
+	nonNil map[types.Object]bool
+}
+
+func checkObsnoop(pass *Pass, fn *ast.FuncDecl, pkgs map[string]bool) {
+	c := &obsnoopCheck{pass: pass, fnName: fn.Name.Name, pkgs: pkgs, nonNil: map[types.Object]bool{}}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			un, ok := rhs.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := identObj(pass, id); obj != nil {
+				c.nonNil[obj] = true
+			}
+		}
+		return true
+	})
+	c.walk(fn.Body, map[string]bool{})
+}
+
+// walk traverses n carrying the set of receiver chains currently proven
+// non-nil, branching the set at the control structures that establish it.
+func (c *obsnoopCheck) walk(n ast.Node, guards map[string]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case *ast.BlockStmt:
+			c.walkBlock(s, guards)
+			return false
+		case *ast.IfStmt:
+			c.walkIf(s, guards)
+			return false
+		case *ast.SwitchStmt:
+			c.walkSwitch(s, guards)
+			return false
+		case *ast.CallExpr:
+			c.checkCall(s, guards)
+			return true
+		}
+		return true
+	})
+}
+
+// walkBlock handles statement sequences, promoting early-return guards:
+// after `if recv == nil { return }`, the remaining statements run with recv
+// proven non-nil.
+func (c *obsnoopCheck) walkBlock(b *ast.BlockStmt, guards map[string]bool) {
+	for _, stmt := range b.List {
+		c.walk(stmt, guards)
+		if ifs, ok := stmt.(*ast.IfStmt); ok && ifs.Else == nil && ifs.Init == nil && terminates(ifs.Body) {
+			if eq := eqNilChains(ifs.Cond); len(eq) > 0 {
+				guards = copyGuards(guards)
+				for _, chain := range eq {
+					guards[chain] = true
+				}
+			}
+		}
+	}
+}
+
+func (c *obsnoopCheck) walkIf(s *ast.IfStmt, guards map[string]bool) {
+	if s.Init != nil {
+		c.walk(s.Init, guards)
+	}
+	c.walk(s.Cond, guards)
+	inner := guards
+	if neq := neqNilChains(s.Cond); len(neq) > 0 {
+		inner = copyGuards(guards)
+		for _, chain := range neq {
+			inner[chain] = true
+		}
+	}
+	c.walk(s.Body, inner)
+	if s.Else != nil {
+		c.walk(s.Else, guards)
+	}
+}
+
+// walkSwitch gives each tagless `case recv != nil:` clause its guard.
+func (c *obsnoopCheck) walkSwitch(s *ast.SwitchStmt, guards map[string]bool) {
+	if s.Init != nil {
+		c.walk(s.Init, guards)
+	}
+	if s.Tag != nil {
+		c.walk(s.Tag, guards)
+	}
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		inner := guards
+		for _, e := range cc.List {
+			c.walk(e, guards)
+			if s.Tag == nil {
+				if neq := neqNilChains(e); len(neq) > 0 {
+					if !copied(inner, guards) {
+						inner = copyGuards(guards)
+					}
+					for _, chain := range neq {
+						inner[chain] = true
+					}
+				}
+			}
+		}
+		for _, bs := range cc.Body {
+			c.walk(bs, inner)
+		}
+	}
+}
+
+// checkCall reports a method call on a nilable obs-package pointer whose
+// receiver is not proven non-nil here.
+func (c *obsnoopCheck) checkCall(call *ast.CallExpr, guards map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := unparen(sel.X)
+	if id, ok := recv.(*ast.Ident); ok {
+		if _, isPkg := c.pass.Info.Uses[id].(*types.PkgName); isPkg {
+			return
+		}
+	}
+	tv, ok := c.pass.Info.Types[sel.X]
+	if !ok {
+		return
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return // value receivers cannot be nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return
+	}
+	tobj := named.Obj()
+	if tobj.Pkg() == nil || !c.pkgs[tobj.Pkg().Path()] {
+		return
+	}
+	if un, ok := recv.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		return // address-of is non-nil by construction
+	}
+	chain, ok := renderChain(recv)
+	if ok {
+		// A guard on any prefix of the chain counts: a non-nil container's
+		// hook fields are non-nil by construction.
+		for prefix := chain; prefix != ""; {
+			if guards[prefix] {
+				return
+			}
+			i := strings.LastIndexByte(prefix, '.')
+			if i < 0 {
+				break
+			}
+			prefix = prefix[:i]
+		}
+	} else {
+		chain = "the receiver"
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		if obj := identObj(c.pass, id); obj != nil && c.nonNil[obj] {
+			return
+		}
+	}
+	c.pass.Reportf(call.Pos(),
+		"%s is //simstar:noalloc but calls %s.%s on a nilable obs hook without a nil guard; absence must cost one branch, not a panic — wrap it in `if %s != nil`",
+		c.fnName, chain, sel.Sel.Name, chain)
+}
+
+// renderChain prints an ident/selector chain ("o.hits", "cb.Trace");
+// anything else (calls, indexing) is not a guardable chain.
+func renderChain(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		if base, ok := renderChain(x.X); ok {
+			return base + "." + x.Sel.Name, true
+		}
+	case *ast.ParenExpr:
+		return renderChain(x.X)
+	}
+	return "", false
+}
+
+// neqNilChains extracts the receiver chains a condition proves non-nil when
+// true: `x != nil` conjuncts, recursively through &&.
+func neqNilChains(cond ast.Expr) []string {
+	var out []string
+	var collect func(e ast.Expr)
+	collect = func(e ast.Expr) {
+		switch c := unparen(e).(type) {
+		case *ast.BinaryExpr:
+			switch c.Op {
+			case token.LAND:
+				collect(c.X)
+				collect(c.Y)
+			case token.NEQ:
+				if chain, ok := nilCompareChain(c); ok {
+					out = append(out, chain)
+				}
+			}
+		}
+	}
+	collect(cond)
+	return out
+}
+
+// eqNilChains extracts the chains proven non-nil by a condition being
+// *false* — the early-return form: `x == nil` disjuncts through ||.
+func eqNilChains(cond ast.Expr) []string {
+	var out []string
+	var collect func(e ast.Expr)
+	collect = func(e ast.Expr) {
+		switch c := unparen(e).(type) {
+		case *ast.BinaryExpr:
+			switch c.Op {
+			case token.LOR:
+				collect(c.X)
+				collect(c.Y)
+			case token.EQL:
+				if chain, ok := nilCompareChain(c); ok {
+					out = append(out, chain)
+				}
+			}
+		}
+	}
+	collect(cond)
+	return out
+}
+
+// nilCompareChain returns the non-nil side of a comparison against nil.
+func nilCompareChain(c *ast.BinaryExpr) (string, bool) {
+	if isNilIdent(c.Y) {
+		return renderChain(unparen(c.X))
+	}
+	if isNilIdent(c.X) {
+		return renderChain(unparen(c.Y))
+	}
+	return "", false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// terminates reports whether a block always leaves the enclosing statement
+// list: its last statement is a return, a branch, or a panic.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func identObj(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+func copyGuards(g map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(g)+2)
+	for k := range g {
+		out[k] = true
+	}
+	return out
+}
+
+// copied reports whether inner has already diverged from base.
+func copied(inner, base map[string]bool) bool {
+	return len(inner) != len(base)
+}

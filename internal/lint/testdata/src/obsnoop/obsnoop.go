@@ -1,0 +1,115 @@
+// Package obsnoop is a simlint fixture for the obsnoop analyzer: method
+// calls on nilable obs hooks inside //simstar:noalloc functions must be
+// nil-guarded, so absence costs one branch instead of a panic.
+package obsnoop
+
+import "repro/internal/obs"
+
+// engine mimics the production shape: an optional observer whose hook
+// fields are non-nil whenever the observer itself is.
+type engine struct {
+	obsv  *observer
+	trace *obs.KernelTrace
+}
+
+type observer struct {
+	hits   *obs.Counter
+	sweeps *obs.Counter
+}
+
+// workspace carries a value-typed trace, the &ws.Trace borrow source.
+type workspace struct {
+	Trace obs.KernelTrace
+}
+
+// Guarded uses the two production guard idioms: a block guard on the
+// container and an if-init binding on the hook itself.
+//
+//simstar:noalloc
+func (e *engine) Guarded(n int) {
+	if e.obsv != nil {
+		e.obsv.hits.Inc()
+	}
+	if tr := e.trace; tr != nil {
+		tr.AddSweeps(n)
+	}
+}
+
+// EarlyReturn guards by bailing out: past the return, the hook is proven.
+//
+//simstar:noalloc
+func EarlyReturn(tr *obs.KernelTrace, n int) {
+	if tr == nil {
+		return
+	}
+	tr.AddSweeps(n)
+}
+
+// CaseGuard guards through a tagless switch clause.
+//
+//simstar:noalloc
+func CaseGuard(tr *obs.KernelTrace, n int) {
+	switch {
+	case tr != nil:
+		tr.AddSweeps(n)
+	default:
+	}
+}
+
+// Borrowed takes the address of a workspace-resident trace: non-nil by
+// construction, no guard needed.
+//
+//simstar:noalloc
+func Borrowed(ws *workspace, n int) {
+	kt := &ws.Trace
+	kt.AddSweeps(n)
+}
+
+// ValueReceiver calls through an addressable value, which cannot be nil.
+//
+//simstar:noalloc
+func ValueReceiver(ws *workspace) {
+	ws.Trace.Reset()
+}
+
+// Unguarded calls hooks without establishing non-nilness anywhere.
+//
+//simstar:noalloc
+func Unguarded(e *engine, tr *obs.KernelTrace, n int) {
+	e.obsv.hits.Inc() // want `Unguarded is //simstar:noalloc but calls e.obsv.hits.Inc on a nilable obs hook without a nil guard`
+	tr.AddSweeps(n)   // want `Unguarded is //simstar:noalloc but calls tr.AddSweeps on a nilable obs hook without a nil guard`
+}
+
+// WrongBranch checks the hook but calls it where the check does not hold.
+//
+//simstar:noalloc
+func WrongBranch(tr *obs.KernelTrace, n int) {
+	if tr != nil {
+		_ = n
+	} else {
+		tr.AddSweeps(n) // want `WrongBranch is //simstar:noalloc but calls tr.AddSweeps on a nilable obs hook without a nil guard`
+	}
+}
+
+// OtherGuard checks a different hook than the one it calls.
+//
+//simstar:noalloc
+func (e *engine) OtherGuard(n int) {
+	if e.trace != nil {
+		e.obsv.sweeps.Add(uint64(n)) // want `OtherGuard is //simstar:noalloc but calls e.obsv.sweeps.Add on a nilable obs hook without a nil guard`
+	}
+}
+
+// Cold documents an intentionally unguarded hook on a path that only runs
+// with observation on; the suppression carries the reason.
+//
+//simstar:noalloc
+func Cold(tr *obs.KernelTrace) {
+	//simstar:lint-ignore obsnoop fixture: caller contract guarantees a non-nil trace here
+	tr.Reset()
+}
+
+// Unannotated is free to call hooks bare: only noalloc paths are checked.
+func Unannotated(tr *obs.KernelTrace, n int) {
+	tr.AddSweeps(n)
+}

@@ -1,0 +1,133 @@
+// Package obs is the engine's dependency-free observability core:
+// monotonic counters, gauges and fixed-bucket histograms with atomic
+// hot-path updates, a Registry that renders the Prometheus text exposition
+// format, and the per-query Trace / KernelTrace structures the kernels and
+// the serving layer fill in.
+//
+// The package has two design constraints, both imposed by the serving hot
+// path (see ARCHITECTURE.md "Observability"):
+//
+//   - Updates are lock-free. Counter.Inc, Gauge.Set and Histogram.Observe
+//     are single atomic operations (plus a short bucket scan for
+//     histograms) and never allocate, so they are safe inside the
+//     //simstar:noalloc serving paths.
+//   - Absence is free. Every hook threads through the stack as a nilable
+//     pointer; call sites on noalloc paths guard with an explicit nil
+//     check (machine-enforced by simlint's obsnoop analyzer), so an
+//     engine without an Observer pays one predictable branch per hook.
+//
+// Rendering (Registry.WritePrometheus) takes the registry lock but only
+// snapshots atomics — scrapes never block updates for more than an atomic
+// load.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically-increasing integer metric. The zero value is
+// ready to use; updates are single atomic adds.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Counters are monotonic: n is unsigned by construction.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// FloatCounter is a monotonically-increasing float metric — for accumulated
+// quantities that are not event counts, like sieved error-budget spend or
+// histogram sums. Updates are a compare-and-swap loop on the float's bits.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add adds v, which must be non-negative to keep the counter monotonic.
+func (c *FloatCounter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an integer metric that can go up and down — in-flight requests,
+// graph epoch, cache size. The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution metric in the Prometheus
+// cumulative-bucket model: Observe finds the first bucket whose upper bound
+// holds the value and increments it, plus a total count and sum. Bounds are
+// fixed at registration — there is no re-bucketing — so Observe is one
+// short scan plus three atomic updates, with no allocation and no lock.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of the finite buckets, strictly
+	// increasing; an implicit +Inf bucket follows.
+	bounds []float64
+	// buckets[i] counts observations <= bounds[i]; buckets[len(bounds)]
+	// counts the rest. Counts here are NOT cumulative — rendering
+	// accumulates them into the le-form Prometheus requires.
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     FloatCounter
+}
+
+// newHistogram builds a histogram over a copy of bounds.
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.buckets = make([]atomic.Uint64, len(h.bounds)+1)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// LatencyBuckets is the default request/kernel latency bucket layout, in
+// seconds: 100µs to 10s in a coarse log scale. It spans the tiny-profile
+// cache hits and the 100k-node exact sweeps alike.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeFloatCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+	var f FloatCounter
+	f.Add(0.25)
+	f.Add(1.5)
+	if got := f.Value(); got != 1.75 {
+		t.Errorf("float counter = %g, want 1.75", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 106.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	// Non-cumulative internal buckets: <=1: two (0.5, 1), <=2: one (1.5),
+	// <=4: one (3), +Inf: one (100).
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRegistryIdempotentAndKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", Label{Name: "route", Value: "a"})
+	b := r.Counter("x_total", "help", Label{Name: "route", Value: "a"})
+	if a != b {
+		t.Error("re-registering the same (name, labels) returned a different counter")
+	}
+	if c := r.Counter("x_total", "help", Label{Name: "route", Value: "b"}); c == a {
+		t.Error("distinct labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "help")
+}
+
+func TestWritePrometheusRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "requests", Label{Name: "route", Value: "single"}).Add(3)
+	r.Counter("req_total", "requests", Label{Name: "route", Value: `we"ird\`}).Add(1)
+	r.FloatCounter("spend_total", "sieve spend").Add(0.125)
+	r.Gauge("in_flight", "in flight").Set(2)
+	r.GaugeFunc("epoch", "epoch", func() float64 { return 42 })
+	h := r.Histogram("latency_seconds", "latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := buf.String()
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("rendered exposition does not parse: %v\n%s", err, text)
+	}
+	want := map[string]float64{
+		`req_total{route="single"}`:          3,
+		`req_total{route="we\"ird\\"}`:       1,
+		"spend_total":                        0.125,
+		"in_flight":                          2,
+		"epoch":                              42,
+		`latency_seconds_bucket{le="0.001"}`: 1,
+		`latency_seconds_bucket{le="0.01"}`:  1,
+		`latency_seconds_bucket{le="+Inf"}`:  2,
+		"latency_seconds_sum":                0.5005,
+		"latency_seconds_count":              2,
+	}
+	for k, v := range want {
+		got, ok := samples[k]
+		if !ok {
+			t.Errorf("sample %q missing from exposition:\n%s", k, text)
+			continue
+		}
+		if math.Abs(got-v) > 1e-9 {
+			t.Errorf("sample %q = %g, want %g", k, got, v)
+		}
+	}
+	// Snapshot agrees with the scalar samples it covers.
+	snap := r.Snapshot()
+	if snap[`req_total{route="single"}`] != 3 {
+		t.Errorf("snapshot counter = %g, want 3", snap[`req_total{route="single"}`])
+	}
+	if snap["latency_seconds_count"] != 2 {
+		t.Errorf("snapshot histogram count = %g, want 2", snap["latency_seconds_count"])
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"0bad_name 1\n",
+		"name{route=\"a\" 1\n",
+		"name 1.2.3\n",
+		"# TYPE name sideways\n",
+		"# TYPE name\n",
+	}
+	for _, text := range bad {
+		if _, err := ParseText(strings.NewReader(text)); err == nil {
+			t.Errorf("ParseText accepted malformed input %q", text)
+		}
+	}
+	ok := "# HELP a b\n# TYPE a counter\na 1\nb{x=\"y\",z=\"w\"} 2 1700000000\nc{} 3\n"
+	samples, err := ParseText(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("ParseText rejected valid input: %v", err)
+	}
+	if samples["a"] != 1 || samples[`b{x="y",z="w"}`] != 2 {
+		t.Errorf("unexpected samples: %v", samples)
+	}
+}
+
+func TestConcurrentUpdatesWhileRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	h := r.Histogram("h_seconds", "h", LatencyBuckets)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(0.001)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		if _, err := ParseText(&buf); err != nil {
+			t.Fatalf("scrape %d failed to parse: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestKernelTraceNilSafe(t *testing.T) {
+	var kt *KernelTrace
+	kt.AddSweeps(3)       // must not panic
+	kt.ObserveFrontier(5) // must not panic
+	kt.AddSieveSpend(0.1) // must not panic
+	kt.Reset()            // must not panic
+
+	var real KernelTrace
+	real.AddSweeps(2)
+	real.ObserveFrontier(10)
+	real.ObserveFrontier(4)
+	real.AddSieveSpend(0.5)
+	real.AddSieveSpend(0.25)
+	if real.Sweeps != 2 || real.FrontierMax != 10 || real.FrontierLast != 4 {
+		t.Errorf("kernel trace fields wrong: %+v", real)
+	}
+	if real.SievePoints != 2 || real.SieveSpend != 0.75 {
+		t.Errorf("sieve accounting wrong: %+v", real)
+	}
+	real.Reset()
+	if real != (KernelTrace{}) {
+		t.Errorf("Reset left state: %+v", real)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	var tr Trace
+	start := time.Now()
+	tr.AddSpan("cache", 1500*time.Nanosecond)
+	tr.AddSpan("kernel", 2*time.Millisecond)
+	tr.Finish(start)
+	if len(tr.Spans) != 2 || tr.Spans[0].Stage != "cache" || tr.Spans[1].Stage != "kernel" {
+		t.Fatalf("spans wrong: %+v", tr.Spans)
+	}
+	if tr.Spans[0].DurationUs != 1.5 {
+		t.Errorf("span duration = %g, want 1.5", tr.Spans[0].DurationUs)
+	}
+	if tr.TotalUs <= 0 {
+		t.Errorf("TotalUs = %g, want > 0", tr.TotalUs)
+	}
+}
+
+func TestHotPathUpdatesDoNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", LatencyBuckets)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(0.004)
+	}); n != 0 {
+		t.Errorf("hot-path updates allocate %v times per run, want 0", n)
+	}
+}

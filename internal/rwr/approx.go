@@ -91,7 +91,9 @@ func (ws *approxRWRWS) run(ctx context.Context, w *sparse.CSR, q int, tol float6
 	for i := range out {
 		out[i] = 0
 	}
+	tr := opt.Trace
 	budget := sparse.NewCertBudget(tol, opt.K)
+	budget.Trace = tr
 
 	cur, next := ws.a, ws.b
 	cur.Add(int32(q), 1)
@@ -108,7 +110,15 @@ func (ws *approxRWRWS) run(ctx context.Context, w *sparse.CSR, q int, tol float6
 		w.ScatterMulT(next, cur) // next = Wᵀ·cur
 		cur, next = next, cur
 		budget.SieveMass(cur, ws.tail[k+1])
+		if tr != nil {
+			tr.AddSweeps(1)
+			tr.ObserveFrontier(cur.Len())
+		}
 		coef *= opt.C
 	}
-	return out, budget.Certificate(), nil
+	cert := budget.Certificate()
+	if tr != nil {
+		tr.Certificate = cert
+	}
+	return out, cert, nil
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dense"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -28,6 +29,10 @@ type Options struct {
 	K int
 	// Sieve, when positive, zeroes entries below the threshold at the end.
 	Sieve float64
+	// Trace, when non-nil, receives kernel-level detail (sweep counts,
+	// frontier widths, sieve spend). Nil costs one branch per kernel run;
+	// call sites on noalloc paths guard it explicitly (simlint obsnoop).
+	Trace *obs.KernelTrace
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +133,7 @@ func SingleSourceWS(ctx context.Context, w *sparse.CSR, q int, opt Options, ws *
 	next := ws.Raw()
 	dense.ZeroVec(dst)
 	coef := 1 - opt.C
+	sweeps := 0
 	for k := 0; ; k++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -137,6 +143,7 @@ func SingleSourceWS(ctx context.Context, w *sparse.CSR, q int, opt Options, ws *
 			break
 		}
 		w.MulVecTInto(next, cur)
+		sweeps++
 		cur, next = next, cur
 		coef *= opt.C
 	}
@@ -146,6 +153,9 @@ func SingleSourceWS(ctx context.Context, w *sparse.CSR, q int, opt Options, ws *
 				dst[i] = 0
 			}
 		}
+	}
+	if tr := opt.Trace; tr != nil {
+		tr.AddSweeps(sweeps)
 	}
 	return nil
 }

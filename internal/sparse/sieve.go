@@ -1,5 +1,7 @@
 package sparse
 
+import "repro/internal/obs"
+
 // Certified sieving: the approximate kernels drop frontier entries below an
 // adaptive threshold and account every drop against a caller-supplied error
 // budget, so the final result carries a machine-checkable bound on how far
@@ -42,6 +44,11 @@ type CertBudget struct {
 	remaining float64
 	points    int
 	bound     float64
+
+	// Trace, when non-nil, receives the certified spend of every sieve
+	// point (obs.KernelTrace.AddSieveSpend) so query traces can show where
+	// the error budget went. Nil costs one branch per sieve point.
+	Trace *obs.KernelTrace
 }
 
 // NewCertBudget returns a budget that keeps the final certificate within
@@ -75,6 +82,9 @@ func (cb *CertBudget) SieveMass(f *Frontier, w float64) {
 	spent := w * dropped
 	cb.bound += spent
 	cb.remaining -= spent
+	if cb.Trace != nil {
+		cb.Trace.AddSieveSpend(spent)
+	}
 }
 
 // SievePeak sieves f at a forward-direction point with downstream weight w,
@@ -90,6 +100,9 @@ func (cb *CertBudget) SievePeak(f *Frontier, w float64) {
 	spent := w * maxDropped
 	cb.bound += spent
 	cb.remaining -= spent
+	if cb.Trace != nil {
+		cb.Trace.AddSieveSpend(spent)
+	}
 }
 
 // Certificate returns the certified element-wise error bound: everything

@@ -1,5 +1,7 @@
 package sparse
 
+import "repro/internal/obs"
+
 // Workspace is a reusable arena of fixed-dimension dense vectors for the
 // iterative single-source kernels. The exact kernels used to allocate (and
 // the runtime to zero) O(K) length-n vectors per query — ~10MB per request
@@ -16,6 +18,12 @@ type Workspace struct {
 	bufs [][]float64
 	next int
 	hdr  [][]float64 // reusable header slice for TakeVecs
+
+	// Trace is a per-query kernel-trace scratch the workspace carries so
+	// observed zero-alloc paths have a KernelTrace without allocating one:
+	// the serving layer takes &ws.Trace for the duration of its loan.
+	// Reset leaves it untouched — its lifecycle belongs to the borrower.
+	Trace obs.KernelTrace
 }
 
 // NewWorkspace returns an empty arena of dimension n.
@@ -49,6 +57,11 @@ func (w *Workspace) Raw() []float64 {
 	w.next++
 	return b
 }
+
+// Grows reports how many arena buffers have ever been allocated — the
+// trace-visible distinction between a warm pooled workspace (stable) and a
+// fresh one paying its first-use growth.
+func (w *Workspace) Grows() int { return len(w.bufs) }
 
 // TakeVecs returns count zeroed buffers in a reusable header slice. The
 // returned slice is only valid until the next TakeVecs or Reset call; a

@@ -134,6 +134,9 @@ func blockKernelFor(builtin string) blockKernel {
 // one graph epoch even while ApplyEdits streams mutations concurrently.
 func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result {
 	st := e.load()
+	if o := e.cfg.observer; o != nil {
+		o.qBatch.Add(uint64(len(queries)))
+	}
 	results := make([]Result, len(queries))
 	done := make([]bool, len(queries))
 
@@ -294,7 +297,8 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 	}
 	par.ForEachCtx(ctx, len(uniq), e.cfg.workers, func(j int) {
 		i := uniq[j]
-		scores, maxErr, cached, err := engs[i].singleSource(ctx, st, queries[i].Measure, queries[i].Node)
+		// count=false: the whole batch was counted under kind=batch above.
+		scores, maxErr, cached, err := engs[i].singleSourceObs(ctx, st, queries[i].Measure, queries[i].Node, false, nil)
 		for d, ii := range dup[keys[i]] {
 			switch {
 			case err != nil:

@@ -12,6 +12,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/dyngraph"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rwr"
 	"repro/internal/simrank"
 	"repro/internal/sparse"
@@ -108,11 +109,19 @@ type engineState struct {
 }
 
 // newEngineState assembles the shell of an epoch state: the transition
-// matrices, compression and layout are filled in by the caller.
-func newEngineState(g *Graph, epoch uint64) *engineState {
+// matrices, compression and layout are filled in by the caller. A non-nil
+// observer counts the pool misses — the workspace builds the pool could not
+// serve from a recycled arena (every build allocates anyway, so the hook is
+// off the zero-alloc path by construction).
+func newEngineState(g *Graph, epoch uint64, o *Observer) *engineState {
 	st := &engineState{g: g, epoch: epoch, tr: &transposes{}}
 	n := g.N()
-	st.pool.New = func() any { return sparse.NewWorkspace(n) }
+	st.pool.New = func() any {
+		if o != nil {
+			o.poolMisses.Inc()
+		}
+		return sparse.NewWorkspace(n)
+	}
 	st.streamPool.New = func() any { return &streamScratch{scores: make([]float64, n)} }
 	return st
 }
@@ -223,6 +232,18 @@ func (st *engineState) layoutMode() RelabelMode {
 		return RelabelNone
 	}
 	return st.layout.mode
+}
+
+// layoutName names the state's relabeling for traces; empty in natural
+// order, so the trace field omits cleanly.
+func (st *engineState) layoutName() string {
+	switch st.layoutMode() {
+	case RelabelDegree:
+		return "degree"
+	case RelabelRCM:
+		return "rcm"
+	}
+	return ""
 }
 
 // toInternal translates an external (graph) node id into the kernel layout.
@@ -336,7 +357,7 @@ func NewEngine(g *Graph, opts ...Option) *Engine {
 	e.store = dyngraph.New(g,
 		dyngraph.WithInterval(e.cfg.epochInterval),
 		dyngraph.WithBaseEpoch(e.cfg.baseEpoch))
-	st := newEngineState(g, e.cfg.baseEpoch)
+	st := newEngineState(g, e.cfg.baseEpoch, e.cfg.observer)
 	t0 := time.Now()
 	st.backward = sparse.BackwardTransition(g)
 	st.forward = sparse.ForwardTransition(g)
@@ -442,25 +463,49 @@ func (e *Engine) SingleSourceCertified(ctx context.Context, measureName string, 
 // request — for the exact (tolerance-zero) variant of the same key, since
 // an exact result satisfies every tolerance with a zero certificate. A
 // donor hit counts one miss (the approximate key) and one hit in the cache
-// stats.
+// stats; the engine observer, when present, counts the probe's final
+// outcome once.
 func (e *Engine) cacheLookup(key cacheKey) ([]float64, float64, bool) {
-	if scores, maxErr, ok := e.cache.get(key); ok {
-		return scores, maxErr, true
-	}
-	if key.params.tolerance >= MinTolerance {
+	scores, maxErr, ok := e.cache.get(key)
+	if !ok && key.params.tolerance >= MinTolerance {
 		exact := key
 		exact.params.tolerance = 0
-		if scores, _, ok := e.cache.get(exact); ok {
-			return scores, 0, true
+		if donor, _, donorOK := e.cache.get(exact); donorOK {
+			scores, maxErr, ok = donor, 0, true
 		}
 	}
-	return nil, 0, false
+	if o := e.cfg.observer; o != nil {
+		if ok {
+			o.cacheHits.Inc()
+		} else {
+			o.cacheMisses.Inc()
+		}
+	}
+	if !ok {
+		return nil, 0, false
+	}
+	return scores, maxErr, true
 }
 
 // singleSource is SingleSourceCertified against one pinned state, plus a
 // flag reporting whether the result came out of the result cache —
 // surfaced through batch Results and simserve responses.
 func (e *Engine) singleSource(ctx context.Context, st *engineState, measureName string, q int) ([]float64, float64, bool, error) {
+	return e.singleSourceObs(ctx, st, measureName, q, true, nil)
+}
+
+// singleSourceObs is the instrumented core of the allocating single-source
+// read path. count=false suppresses the per-query counter for callers that
+// count under their own kind (batch fan-out, stream slow path); tr, when
+// non-nil, receives the staged trace — the plan/cache/kernel spans, the
+// cache outcome and the kernel detail — with the caller owning the final
+// Finish stamp.
+func (e *Engine) singleSourceObs(ctx context.Context, st *engineState, measureName string, q int, count bool, tr *obs.Trace) ([]float64, float64, bool, error) {
+	o := e.cfg.observer
+	if count && o != nil {
+		o.qSingle.Inc()
+	}
+	t0 := time.Now()
 	if err := st.checkQuery(ctx, q); err != nil {
 		return nil, 0, false, err
 	}
@@ -472,12 +517,46 @@ func (e *Engine) singleSource(ctx context.Context, st *engineState, measureName 
 		params:  e.cfg.cacheParams(),
 		node:    q,
 	}
-	if scores, maxErr, ok := e.cacheLookup(key); ok {
+	if tr != nil {
+		tr.Measure = key.measure
+		tr.Node = q
+		tr.Epoch = st.epoch
+		tr.Layout = st.layoutName()
+		tr.AddSpan("plan", time.Since(t0))
+		t0 = time.Now()
+	}
+	scores, maxErr, hit := e.cacheLookup(key)
+	if tr != nil {
+		tr.AddSpan("cache", time.Since(t0))
+	}
+	if hit {
+		if tr != nil {
+			tr.Cached = true
+			tr.MaxError = maxErr
+		}
 		return scores, maxErr, true, nil
 	}
-	scores, maxErr, err := e.computeSingleSource(ctx, st, measureName, q)
+	var kt *obs.KernelTrace
+	switch {
+	case tr != nil:
+		kt = &tr.Kernel
+	case o != nil:
+		// Observer-only: this path allocates its result vector anyway, so a
+		// transient trace to aggregate from is free in comparison.
+		kt = new(obs.KernelTrace)
+	}
+	t0 = time.Now()
+	scores, maxErr, err := e.computeSingleSource(ctx, st, measureName, q, kt)
+	kernelTime := time.Since(t0)
 	if err != nil {
 		return nil, 0, false, err
+	}
+	if o != nil {
+		o.recordKernel(kt, kernelTime)
+	}
+	if tr != nil {
+		tr.AddSpan("kernel", kernelTime)
+		tr.MaxError = maxErr
 	}
 	e.cache.put(key, scores, maxErr)
 	return scores, maxErr, false, nil
@@ -489,8 +568,10 @@ func (e *Engine) singleSource(ctx context.Context, st *engineState, measureName 
 // effective WithTolerance, exact otherwise — and the measure's own
 // implementation for everything else. The second return is the MaxError
 // certificate (0 on every exact path). Fast-path results come back in
-// external id order regardless of layout.
-func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measureName string, q int) ([]float64, float64, error) {
+// external id order regardless of layout. kt, when non-nil, receives the
+// kernel-level detail of the fast paths (non-built-in measures report
+// nothing — their kernels are opaque to the engine).
+func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measureName string, q int, kt *obs.KernelTrace) ([]float64, float64, error) {
 	builtin := builtinFor(measureName)
 	if !fastPathKernel(builtin) {
 		m, err := Lookup(measureName, e.opts...)
@@ -513,12 +594,18 @@ func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measu
 		switch builtin {
 		case MeasureGeometric, MeasureGeometricMemo:
 			backwardT, _ := st.kernelTransposed()
-			scores, maxErr, err = core.ApproxSingleSourceGeometricFromTransition(ctx, st.kernelBackward(), backwardT, qi, tol, e.cfg.coreOptions())
+			opt := e.cfg.coreOptions()
+			opt.Trace = kt
+			scores, maxErr, err = core.ApproxSingleSourceGeometricFromTransition(ctx, st.kernelBackward(), backwardT, qi, tol, opt)
 		case MeasureExponential, MeasureExponentialMemo:
 			backwardT, _ := st.kernelTransposed()
-			scores, maxErr, err = core.ApproxSingleSourceExponentialFromTransition(ctx, st.kernelBackward(), backwardT, qi, tol, e.cfg.coreOptions())
+			opt := e.cfg.coreOptions()
+			opt.Trace = kt
+			scores, maxErr, err = core.ApproxSingleSourceExponentialFromTransition(ctx, st.kernelBackward(), backwardT, qi, tol, opt)
 		case MeasureRWR:
-			scores, maxErr, err = rwr.ApproxSingleSourceFromTransition(ctx, st.kernelForward(), qi, tol, e.cfg.rwrOptions())
+			opt := e.cfg.rwrOptions()
+			opt.Trace = kt
+			scores, maxErr, err = rwr.ApproxSingleSourceFromTransition(ctx, st.kernelForward(), qi, tol, opt)
 		}
 		if err != nil {
 			return nil, 0, err
@@ -527,8 +614,12 @@ func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measu
 		return scores, maxErr, nil
 	}
 	dst := make([]float64, st.g.N())
-	if err := e.exactSingleSourceInto(ctx, st, builtin, qi, ws, dst); err != nil {
+	grew := ws.Grows()
+	if err := e.exactSingleSourceInto(ctx, st, builtin, qi, ws, dst, kt); err != nil {
 		return nil, 0, err
+	}
+	if kt != nil {
+		kt.WorkspaceGrew = ws.Grows() - grew
 	}
 	st.externalize(dst, ws)
 	return dst, 0, nil
@@ -537,17 +628,25 @@ func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measu
 // exactSingleSourceInto runs one exact fast-path kernel in the state's
 // layout, writing kernel-order scores into dst from the pooled workspace —
 // the allocation-free core of the serving path. qi is a kernel-layout node
-// id; callers translate the result back with externalize.
+// id; callers translate the result back with externalize. kt (nilable)
+// threads kernel-level tracing through the options structs — a plain field
+// copy here, with the kernels guarding their own hook sites.
 //
 //simstar:noalloc
-func (e *Engine) exactSingleSourceInto(ctx context.Context, st *engineState, builtin string, qi int, ws *sparse.Workspace, dst []float64) error {
+func (e *Engine) exactSingleSourceInto(ctx context.Context, st *engineState, builtin string, qi int, ws *sparse.Workspace, dst []float64, kt *obs.KernelTrace) error {
 	switch builtin {
 	case MeasureGeometric, MeasureGeometricMemo:
-		return core.SingleSourceGeometricWS(ctx, st.kernelBackward(), qi, e.cfg.coreOptions(), ws, dst)
+		opt := e.cfg.coreOptions()
+		opt.Trace = kt
+		return core.SingleSourceGeometricWS(ctx, st.kernelBackward(), qi, opt, ws, dst)
 	case MeasureExponential, MeasureExponentialMemo:
-		return core.SingleSourceExponentialWS(ctx, st.kernelBackward(), qi, e.cfg.coreOptions(), ws, dst)
+		opt := e.cfg.coreOptions()
+		opt.Trace = kt
+		return core.SingleSourceExponentialWS(ctx, st.kernelBackward(), qi, opt, ws, dst)
 	case MeasureRWR:
-		return rwr.SingleSourceWS(ctx, st.kernelForward(), qi, e.cfg.rwrOptions(), ws, dst)
+		opt := e.cfg.rwrOptions()
+		opt.Trace = kt
+		return rwr.SingleSourceWS(ctx, st.kernelForward(), qi, opt, ws, dst)
 	}
 	panic("simstar: unreachable fast-path kernel")
 }
@@ -578,12 +677,26 @@ func (e *Engine) SingleSourceInto(ctx context.Context, measureName string, q int
 	}
 	builtin := builtinFor(measureName)
 	if fastPathKernel(builtin) && e.cfg.tolerance < MinTolerance {
+		o := e.cfg.observer
 		ws := st.getWS()
 		defer st.putWS(ws)
-		if err := e.exactSingleSourceInto(ctx, st, builtin, st.toInternal(q), ws, dst); err != nil {
+		// With an observer on, the kernel trace lives inside the pooled
+		// workspace — &ws.Trace is a borrow, not an allocation — so the
+		// zero-alloc contract holds with observation on or off.
+		var kt *obs.KernelTrace
+		if o != nil {
+			o.qSingle.Inc()
+			kt = &ws.Trace
+			kt.Reset()
+		}
+		start := time.Now()
+		if err := e.exactSingleSourceInto(ctx, st, builtin, st.toInternal(q), ws, dst, kt); err != nil {
 			return nil, err
 		}
 		st.externalize(dst, ws)
+		if o != nil {
+			o.recordKernel(kt, time.Since(start))
+		}
 		return dst, nil
 	}
 	scores, _, _, err := e.singleSource(ctx, st, measureName, q)

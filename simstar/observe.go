@@ -1,0 +1,140 @@
+package simstar
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the engine's observability surface: the Observer that
+// aggregates query/cache/kernel counters into an obs.Registry, and the
+// Trace* query variants that return a structured per-stage record of one
+// query. The hooks threading through the serving paths are nilable and
+// explicitly guarded, so an engine without an observer pays one branch per
+// hook and the //simstar:noalloc paths stay allocation-free with
+// observation on or off (asserted in observe_test.go, enforced by simlint's
+// obsnoop analyzer).
+
+// Observer aggregates an engine's serving metrics into an obs.Registry:
+// queries by kind, result-cache hits and misses, kernel sweep counts and
+// wall time, certified sieve spend, and workspace-pool behaviour. One
+// Observer may be shared by several engines (their counts merge) and by the
+// serving layer on top (cmd/simserve registers its HTTP metrics in the same
+// registry); all updates are lock-free and safe under full concurrency.
+type Observer struct {
+	reg *obs.Registry
+
+	qSingle *obs.Counter
+	qStream *obs.Counter
+	qBatch  *obs.Counter
+
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+
+	sweeps     *obs.Counter
+	sieveSpend *obs.FloatCounter
+	poolMisses *obs.Counter
+
+	kernelSeconds *obs.Histogram
+}
+
+// NewObserver builds an Observer registering its metric families in reg
+// (nil means a fresh private registry, read back through Registry). The
+// families:
+//
+//	simstar_queries_total{kind}            counter   queries served, by kind
+//	simstar_cache_hits_total               counter   result-cache hits
+//	simstar_cache_misses_total             counter   result-cache misses
+//	simstar_kernel_sweeps_total            counter   kernel matrix sweeps
+//	simstar_sieve_spend_total              counter   certified sieve error mass
+//	simstar_workspace_pool_misses_total    counter   pool-miss workspace builds
+//	simstar_kernel_seconds                 histogram kernel wall time per query
+//
+// Registration is idempotent per (name, labels), so two observers over one
+// registry share the underlying counters.
+func NewObserver(reg *obs.Registry) *Observer {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	o := &Observer{reg: reg}
+	const qName = "simstar_queries_total"
+	const qHelp = "Queries served, by kind: single_source covers SingleSource/TopK and their variants, stream covers TopKStream, batch counts every query inside MultiSource/BatchTopK."
+	o.qSingle = reg.Counter(qName, qHelp, obs.Label{Name: "kind", Value: "single_source"})
+	o.qStream = reg.Counter(qName, qHelp, obs.Label{Name: "kind", Value: "stream"})
+	o.qBatch = reg.Counter(qName, qHelp, obs.Label{Name: "kind", Value: "batch"})
+	o.cacheHits = reg.Counter("simstar_cache_hits_total",
+		"Single-source result-cache hits, exact-donor hits included.")
+	o.cacheMisses = reg.Counter("simstar_cache_misses_total",
+		"Single-source result-cache misses.")
+	o.sweeps = reg.Counter("simstar_kernel_sweeps_total",
+		"Matrix-sweep iterations the single-source kernels ran.")
+	o.sieveSpend = reg.FloatCounter("simstar_sieve_spend_total",
+		"Certified error mass the approximate kernels' sieves dropped.")
+	o.poolMisses = reg.Counter("simstar_workspace_pool_misses_total",
+		"Kernel workspaces allocated because the per-epoch pool had none to reuse.")
+	o.kernelSeconds = reg.Histogram("simstar_kernel_seconds",
+		"Kernel wall time per uncached single-source query, in seconds.",
+		obs.LatencyBuckets)
+	return o
+}
+
+// Registry returns the registry the observer's metrics live in — the thing
+// to render with WritePrometheus or merge server-level metrics into.
+func (o *Observer) Registry() *obs.Registry { return o.reg }
+
+// recordKernel folds one uncached query's kernel-reported detail and wall
+// time into the aggregates. kt may be nil (a caller observing only
+// latency); callers guard o themselves — the method assumes a non-nil
+// receiver so the hot path pays exactly one branch when observation is off.
+func (o *Observer) recordKernel(kt *obs.KernelTrace, d time.Duration) {
+	if kt != nil {
+		if kt.Sweeps > 0 {
+			o.sweeps.Add(uint64(kt.Sweeps))
+		}
+		if kt.SieveSpend > 0 {
+			o.sieveSpend.Add(kt.SieveSpend)
+		}
+	}
+	o.kernelSeconds.Observe(d.Seconds())
+}
+
+// Metrics returns the engine's observer: the one WithObserver configured,
+// or nil when the engine runs unobserved.
+func (e *Engine) Metrics() *Observer { return e.cfg.observer }
+
+// TraceSingleSource is SingleSourceCertified plus a structured trace of the
+// query's path through the engine: the plan/cache/kernel stages with wall
+// times, whether the result cache answered, the certified MaxError, and —
+// when a kernel ran — its sweep, frontier and sieve detail. The trace is
+// freshly allocated per call; tracing changes the cost, never the scores.
+func (e *Engine) TraceSingleSource(ctx context.Context, measureName string, q int) ([]float64, *obs.Trace, error) {
+	st := e.load()
+	tr := &obs.Trace{}
+	start := time.Now()
+	scores, _, _, err := e.singleSourceObs(ctx, st, measureName, q, true, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr.Finish(start)
+	return scores, tr, nil
+}
+
+// TraceTopK is TopK plus the same structured trace TraceSingleSource
+// returns, extended with a "select" span covering the ranking step and the
+// trace's K field.
+func (e *Engine) TraceTopK(ctx context.Context, measureName string, q, k int, exclude ...int) ([]Ranked, *obs.Trace, error) {
+	st := e.load()
+	tr := &obs.Trace{}
+	start := time.Now()
+	scores, _, _, err := e.singleSourceObs(ctx, st, measureName, q, true, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	t0 := time.Now()
+	top := TopK(scores, k, append([]int{q}, exclude...)...)
+	tr.AddSpan("select", time.Since(t0))
+	tr.K = k
+	tr.Finish(start)
+	return top, tr, nil
+}

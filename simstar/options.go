@@ -37,6 +37,7 @@ type config struct {
 	epochInterval int
 	baseEpoch     uint64
 	relabel       RelabelMode
+	observer      *Observer
 }
 
 // cacheParams strips the serving knobs so that two configs computing the
@@ -51,12 +52,16 @@ type config struct {
 // listed must ride into the cache key untouched. Add a field to the list
 // only if it can never change what a query returns.
 //
-//simstar:cachekey-exempt workers cacheSize epochInterval baseEpoch relabel
+//simstar:cachekey-exempt workers cacheSize epochInterval baseEpoch relabel observer
 func (cfg config) cacheParams() config {
 	cfg.workers = 0
 	cfg.cacheSize = 0
 	cfg.epochInterval = 0
 	cfg.baseEpoch = 0
+	// Observation never changes what a query returns; stripping it also
+	// keeps batch kernel-grouping keys (which embed cacheParams) identical
+	// with and without metrics.
+	cfg.observer = nil
 	// Relabeling changes the internal layout, never the translated scores;
 	// cached vectors are stored in external id order, so the mode is a
 	// serving knob here. The layout *instance* is still versioned, by the
@@ -196,6 +201,14 @@ func WithEpochInterval(n int) Option { return func(cfg *config) { cfg.epochInter
 // warm-started from a persisted snapshot (ReadSnapshot) resumes the version
 // sequence instead of restarting at 0. Fixed at engine construction.
 func WithBaseEpoch(epoch uint64) Option { return func(cfg *config) { cfg.baseEpoch = epoch } }
+
+// WithObserver attaches an Observer: the engine's query, cache, kernel and
+// workspace-pool counters stream into its registry. Without one (the
+// default) every hook is a nil check — the serving fast paths stay
+// allocation-free either way, and observation never changes what a query
+// returns. Engines derived through With inherit the observer; typically it
+// is set once at construction and read back through Engine.Metrics.
+func WithObserver(o *Observer) Option { return func(cfg *config) { cfg.observer = o } }
 
 func buildConfig(opts []Option) config {
 	var cfg config

@@ -2,8 +2,10 @@ package simstar
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rwr"
 )
 
@@ -89,12 +91,17 @@ func (s *TopKStream) Collect() []Ranked {
 // are always identical to Engine.TopK at the same parameters.
 func (e *Engine) TopKStream(ctx context.Context, measureName string, q, k int, exclude ...int) (*TopKStream, error) {
 	st := e.load()
+	o := e.cfg.observer
+	if o != nil {
+		o.qStream.Inc()
+	}
 	if err := st.checkQuery(ctx, q); err != nil {
 		return nil, err
 	}
 	builtin := builtinFor(measureName)
 	if !fastPathKernel(builtin) || e.cfg.tolerance >= MinTolerance {
-		scores, maxErr, cached, err := e.singleSource(ctx, st, measureName, q)
+		// count=false: already counted under kind=stream above.
+		scores, maxErr, cached, err := e.singleSourceObs(ctx, st, measureName, q, false, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -127,6 +134,15 @@ func (e *Engine) TopKStream(ctx context.Context, measureName string, q, k int, e
 	// fills it without growing.
 	dst := make([]Ranked, 0, kk)
 
+	// The stream fast path borrows the workspace-resident kernel trace like
+	// SingleSourceInto does, so observed streams stay O(k)-allocating.
+	var kt *obs.KernelTrace
+	if o != nil {
+		kt = &ws.Trace
+		kt.Reset()
+	}
+	start := time.Now()
+
 	var (
 		top []Ranked
 		err error
@@ -136,22 +152,31 @@ func (e *Engine) TopKStream(ctx context.Context, measureName string, q, k int, e
 		// call, skipping the full-vector staging entirely.
 		switch builtin {
 		case MeasureGeometric, MeasureGeometricMemo:
-			top, err = core.SingleSourceGeometricTopKWS(ctx, st.kernelBackward(), q, kk, e.cfg.coreOptions(), ws, sc.scores, dst, sc.exclude...)
+			opt := e.cfg.coreOptions()
+			opt.Trace = kt
+			top, err = core.SingleSourceGeometricTopKWS(ctx, st.kernelBackward(), q, kk, opt, ws, sc.scores, dst, sc.exclude...)
 		case MeasureExponential, MeasureExponentialMemo:
-			top, err = core.SingleSourceExponentialTopKWS(ctx, st.kernelBackward(), q, kk, e.cfg.coreOptions(), ws, sc.scores, dst, sc.exclude...)
+			opt := e.cfg.coreOptions()
+			opt.Trace = kt
+			top, err = core.SingleSourceExponentialTopKWS(ctx, st.kernelBackward(), q, kk, opt, ws, sc.scores, dst, sc.exclude...)
 		case MeasureRWR:
-			top, err = rwr.SingleSourceTopKWS(ctx, st.kernelForward(), q, kk, e.cfg.rwrOptions(), ws, sc.scores, dst, sc.exclude...)
+			opt := e.cfg.rwrOptions()
+			opt.Trace = kt
+			top, err = rwr.SingleSourceTopKWS(ctx, st.kernelForward(), q, kk, opt, ws, sc.scores, dst, sc.exclude...)
 		}
 	} else {
 		// Under relabeling the tie-break is defined on external ids, so the
 		// vector must be back in external order before selection.
-		if err = e.exactSingleSourceInto(ctx, st, builtin, st.toInternal(q), ws, sc.scores); err == nil {
+		if err = e.exactSingleSourceInto(ctx, st, builtin, st.toInternal(q), ws, sc.scores, kt); err == nil {
 			st.externalize(sc.scores, ws)
 			top = core.TopKInto(sc.scores, kk, dst, sc.exclude...)
 		}
 	}
 	if err != nil {
 		return nil, err
+	}
+	if o != nil {
+		o.recordKernel(kt, time.Since(start))
 	}
 	return &TopKStream{ranked: top}, nil
 }
