@@ -16,7 +16,9 @@
 // ids, across the WithRelabeling layouts, plus the pooled zero-allocation
 // SingleSourceInto loop (with and without a live Observer — the "obs"
 // member reports the instrumentation overhead) and a 64-query blocked
-// batch.
+// batch. The "scaling" member repeats the pooled loop with
+// WithParallelSweeps(-1) to record the intra-query fan-out speedup for
+// the runner's core count.
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/simstar"
 )
 
@@ -48,7 +51,10 @@ type result struct {
 // "serving" member — a cmd/simbench report embedded verbatim (-serving), so
 // one BENCH file carries both the kernel ns/op and the serving-path
 // latency/throughput baselines for the same graph shape; 3 adds the "obs"
-// member bounding the cost of kernel instrumentation.
+// member bounding the cost of kernel instrumentation; 4 adds the "scaling"
+// member recording how the pooled single-source path responds to
+// WithParallelSweeps — serial vs all-core ns/op, the ratio, and both sides'
+// allocs/op (the fan-out must not break the zero-alloc discipline).
 type report struct {
 	Schema  int             `json:"schema"`
 	Go      string          `json:"go"`
@@ -60,7 +66,24 @@ type report struct {
 	Note    string          `json:"note,omitempty"`
 	Results []result        `json:"results"`
 	Obs     *obsJSON        `json:"obs,omitempty"`
+	Scaling *scalingJSON    `json:"scaling,omitempty"`
 	Serving json.RawMessage `json:"serving,omitempty"`
+}
+
+// scalingJSON is the multi-core scaling record: the pooled SingleSourceInto
+// loop at WithParallelSweeps(1) (serial sweeps, the historical baseline)
+// against WithParallelSweeps(-1) (one range per available core). speedup is
+// serial/parallel; on a single-CPU runner it is honestly ~1.0 — the number
+// only means something where workers > 1, which is why CPUs and Workers are
+// part of the record. Both allocs_per_op fields must stay 0: the sweeper's
+// persistent worker pool, not the consumer, absorbs the fan-out cost.
+type scalingJSON struct {
+	Workers           int     `json:"workers"`
+	SerialNsPerOp     float64 `json:"serial_ns_per_op"`
+	ParallelNsPerOp   float64 `json:"parallel_ns_per_op"`
+	Speedup           float64 `json:"speedup"`
+	AllocsPerOpSerial int64   `json:"allocs_per_op_serial"`
+	AllocsPerOpPar    int64   `json:"allocs_per_op_parallel"`
 }
 
 // obsJSON records the observability tax on the hottest zero-alloc path:
@@ -218,7 +241,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema: 3,
+		Schema: 4,
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
@@ -272,6 +295,26 @@ func main() {
 	fmt.Fprintf(os.Stderr, "obs overhead: %+.2f%% (off %.0f ns/op, on %.0f ns/op, allocs off=%d on=%d)\n",
 		rep.Obs.OverheadPct, rep.Obs.ObserverOffNsPerOp, rep.Obs.ObserverOnNsPerOp,
 		rep.Obs.AllocsPerOpOff, rep.Obs.AllocsPerOpOn)
+
+	// Scaling: the same pooled loop, WithParallelSweeps(1) (= the degree
+	// engine's default serial sweeps) against WithParallelSweeps(-1), one
+	// row range per core. measureObs's interleaved-minimum trick applies
+	// unchanged — the sweep fan-out signal rides on the same one-sided
+	// timing noise as the instrumentation tax.
+	fanout := engine(simstar.WithRelabeling(simstar.RelabelDegree), simstar.WithParallelSweeps(-1))
+	sc := measureObs(pooledTimed(degree), pooledTimed(fanout),
+		pooledAllocs(degree), pooledAllocs(fanout))
+	rep.Scaling = &scalingJSON{
+		Workers:           par.Workers(),
+		SerialNsPerOp:     sc.ObserverOffNsPerOp,
+		ParallelNsPerOp:   sc.ObserverOnNsPerOp,
+		Speedup:           sc.ObserverOffNsPerOp / sc.ObserverOnNsPerOp,
+		AllocsPerOpSerial: sc.AllocsPerOpOff,
+		AllocsPerOpPar:    sc.AllocsPerOpOn,
+	}
+	fmt.Fprintf(os.Stderr, "scaling: %.2fx at %d workers (serial %.0f ns/op, parallel %.0f ns/op, allocs serial=%d parallel=%d)\n",
+		rep.Scaling.Speedup, rep.Scaling.Workers, rep.Scaling.SerialNsPerOp,
+		rep.Scaling.ParallelNsPerOp, rep.Scaling.AllocsPerOpSerial, rep.Scaling.AllocsPerOpPar)
 
 	if *serving != "" {
 		raw, err := os.ReadFile(*serving)

@@ -276,6 +276,7 @@ func main() {
 	note := flag.String("note", "", "free-form context recorded in the report")
 	opsFlag := flag.Int("ops", 0, "override the profile's op budget")
 	workersFlag := flag.Int("workers", 0, "override the profile's worker count")
+	sweepsFlag := flag.Int("parallel-sweeps", 0, "WithParallelSweeps for -mode engine: 0/1 serial, n>1 that many workers, -1 all cores")
 	scenariosFlag := flag.String("scenarios", "", "comma-separated scenario filter (default: all)")
 	flag.Parse()
 
@@ -295,10 +296,14 @@ func main() {
 	var t target
 	switch *mode {
 	case "engine":
-		t = newEngineTarget(g, p.tolerance, simstar.WithMiner(simstar.MinerOptions{
-			MinSources: 64, MinTargets: 64, DisablePairMining: true,
-		}))
+		t = newEngineTarget(g, p.tolerance, simstar.WithParallelSweeps(*sweepsFlag),
+			simstar.WithMiner(simstar.MinerOptions{
+				MinSources: 64, MinTargets: 64, DisablePairMining: true,
+			}))
 	case "http":
+		if *sweepsFlag != 0 {
+			fmt.Fprintf(os.Stderr, "simbench: -parallel-sweeps applies to -mode engine only; the server's own configuration wins\n")
+		}
 		ht := newHTTPTarget(*addr, p.tolerance)
 		fmt.Fprintf(os.Stderr, "simbench: loading %d-node graph onto %s\n", p.nodes, *addr)
 		if err := ht.loadGraph(context.Background(), p.nodes, edges); err != nil {

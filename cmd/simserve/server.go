@@ -710,11 +710,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		tr = &obs.Trace{Node: -1, Queries: len(queries), Epoch: eng.Epoch()}
 	}
 	start := time.Now()
+	// The traced variants record the batch planner's per-group routing in
+	// tr.Plan; with tr nil they are exactly BatchTopK/MultiSource.
 	var results []simstar.Result
 	if topk {
-		results = eng.BatchTopK(r.Context(), queries)
+		results = eng.BatchTopKTrace(r.Context(), queries, tr)
 	} else {
-		results = eng.MultiSource(r.Context(), queries)
+		results = eng.MultiSourceTrace(r.Context(), queries, tr)
 	}
 	if tr != nil {
 		tr.AddSpan("batch", time.Since(start))

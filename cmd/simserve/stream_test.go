@@ -9,6 +9,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // ndjsonLines splits a streamed body and asserts every line is a complete
@@ -291,6 +293,48 @@ func TestBatchStreamClientDisconnectMidStream(t *testing.T) {
 	}
 	if got := s.aborted.Value(); got != 1 {
 		t.Fatalf("streamsAborted = %d, want 1", got)
+	}
+}
+
+// A stream that emitted several chunks before the client hung up must
+// record its route latency exactly once — per stream, not per chunk or per
+// time.Now() mark inside the chunk loop — and bump streams_aborted exactly
+// once, no matter how many chunks were in flight when the abort landed.
+func TestAbortedMultiChunkStreamCountsOnce(t *testing.T) {
+	s, h := newTestServer(t)
+	loadTestGraph(t, h)
+	lat := s.reg.Histogram("simserve_request_seconds",
+		"HTTP request latency in seconds, by route.",
+		obs.LatencyBuckets,
+		obs.Label{Name: "route", Value: "topk"})
+	if lat.Count() != 0 {
+		t.Fatalf("latency histogram starts at %d observations", lat.Count())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// k=8 gives header + 8 entry chunks + trailer; hang up after four chunks
+	// have been flushed, so the abort lands mid-stream with several chunks
+	// already timed and emitted.
+	body := `{"measure":"gsimrank*","label":"followup1","k":8,"stream":true}`
+	req := httptest.NewRequest("POST", "/v1/query/topk", strings.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	aw := &abortWriter{header: make(http.Header), cancelAfter: 4, cancel: cancel}
+	h.ServeHTTP(aw, req)
+
+	lines := ndjsonLines(t, aw.buf.String())
+	if len(lines) < 4 {
+		t.Fatalf("only %d lines — the stream never got multi-chunk:\n%s", len(lines), aw.buf.String())
+	}
+	trailer := lines[len(lines)-1]
+	if int(trailer["status"].(float64)) != statusClientClosedRequest {
+		t.Fatalf("trailer = %v, want status %d", trailer, statusClientClosedRequest)
+	}
+	if got := s.aborted.Value(); got != 1 {
+		t.Fatalf("streamsAborted = %d after one aborted stream, want exactly 1", got)
+	}
+	if got := lat.Count(); got != 1 {
+		t.Fatalf("route latency observed %d times for one aborted stream, want exactly 1", got)
 	}
 }
 

@@ -120,11 +120,23 @@ func (ws *approxGeoWS) reset() {
 	}
 }
 
+// scatterSweep runs one frontier sweep dst = mᵀ·src, fanned out across sw's
+// workers when a Sweeper is set (bitwise-identical to the serial scatter —
+// see Sweeper.ScatterMulT) and serially otherwise.
+func scatterSweep(sw *sparse.Sweeper, m *sparse.CSR, dst, src *sparse.Frontier) {
+	if sw != nil {
+		sw.ScatterMulT(m, dst, src)
+		return
+	}
+	m.ScatterMulT(dst, src)
+}
+
 func (ws *approxGeoWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol float64) ([]float64, float64, error) {
 	ws.reset()
 	k, opt := ws.k, ws.opt
 	half := opt.C / 2
 	tr := opt.Trace
+	sw := opt.Parallel
 	// K backward sieve points plus K Horner sieve points.
 	budget := sparse.NewCertBudget(tol, 2*k)
 	budget.Trace = tr
@@ -139,7 +151,7 @@ func (ws *approxGeoWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol f
 				return nil, 0, err
 			}
 			next.Reset()
-			qm.ScatterMulT(next, cur) // next = Qᵀ·cur
+			scatterSweep(sw, qm, next, cur) // next = Qᵀ·cur
 			cur, next = next, cur
 			budget.SieveMass(cur, ws.weights[beta])
 			if tr != nil {
@@ -162,7 +174,7 @@ func (ws *approxGeoWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol f
 			return nil, 0, err
 		}
 		zbuf.Reset()
-		qt.ScatterMulT(zbuf, z) // zbuf = Q·z
+		scatterSweep(sw, qt, zbuf, z) // zbuf = Q·z
 		z, zbuf = zbuf, z
 		z.AddScaled(1, ws.y[alpha])
 		budget.SievePeak(z, 1-opt.C)
@@ -174,6 +186,9 @@ func (ws *approxGeoWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol f
 	cert := budget.Certificate()
 	if tr != nil {
 		tr.Certificate = cert
+		if sw != nil {
+			tr.AddParSweeps(sw.TakeParSweeps(), sw.Workers())
+		}
 	}
 	return z.Dense(1 - opt.C), cert, nil
 }
@@ -247,6 +262,7 @@ func (ws *approxExpWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol f
 	k := ws.k
 	scale := math.Exp(-ws.opt.C)
 	tr := ws.opt.Trace
+	sw := ws.opt.Parallel
 	budget := sparse.NewCertBudget(tol, 2*k)
 	budget.Trace = tr
 
@@ -264,7 +280,7 @@ func (ws *approxExpWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol f
 			break
 		}
 		next.Reset()
-		qm.ScatterMulT(next, cur)
+		scatterSweep(sw, qm, next, cur)
 		cur, next = next, cur
 		budget.SieveMass(cur, scale*ws.suffix[0]*ws.suffix[j+1])
 		if tr != nil {
@@ -285,7 +301,7 @@ func (ws *approxExpWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol f
 			break
 		}
 		fnext.Reset()
-		qt.ScatterMulT(fnext, fcur) // fnext = Q·fcur
+		scatterSweep(sw, qt, fnext, fcur) // fnext = Q·fcur
 		fcur, fnext = fnext, fcur
 		budget.SievePeak(fcur, scale*ws.suffix[i+1])
 		if tr != nil {
@@ -296,6 +312,9 @@ func (ws *approxExpWS) run(ctx context.Context, qm, qt *sparse.CSR, q int, tol f
 	cert := budget.Certificate()
 	if tr != nil {
 		tr.Certificate = cert
+		if sw != nil {
+			tr.AddParSweeps(sw.TakeParSweeps(), sw.Workers())
+		}
 	}
 	return ws.s.Dense(scale), cert, nil
 }

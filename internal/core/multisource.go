@@ -23,6 +23,19 @@ import (
 // serialise the block, whereas qt lets the backward sweeps use the same
 // row-parallel gather SpMM as the forward sweeps.
 
+// denseSweep runs one block sweep c = m·b. With a Sweeper the fan-out width
+// is the sweeper's configured worker count; without one the serial kernel's
+// own par.For fans out across all cores — the default the engine preserves
+// when no explicit parallelism was requested. Both forms are
+// bitwise-identical for any worker count.
+func denseSweep(sw *sparse.Sweeper, m *sparse.CSR, c, b *dense.Matrix) {
+	if sw != nil {
+		sw.MulDenseInto(m, c, b)
+		return
+	}
+	m.MulDenseInto(c, b)
+}
+
 // MultiSourceGeometricFromTransition answers one geometric SimRank*
 // single-source query per entry of nodes, against a pre-built backward
 // transition matrix qm and its transpose qt. Result i is exactly
@@ -54,7 +67,7 @@ func MultiSourceGeometricFromTransition(ctx context.Context, qm, qt *sparse.CSR,
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			qt.MulDenseInto(tmp, cur)
+			denseSweep(opt.Parallel, qt, tmp, cur)
 			cur, tmp = tmp, cur
 		}
 		for alpha := 0; alpha+beta <= k; alpha++ {
@@ -72,7 +85,7 @@ func MultiSourceGeometricFromTransition(ctx context.Context, qm, qt *sparse.CSR,
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		qm.MulDenseInto(zbuf, z)
+		denseSweep(opt.Parallel, qm, zbuf, z)
 		z, zbuf = zbuf, z
 		dense.Axpy(z.Data, 1, y[alpha].Data)
 	}
@@ -112,7 +125,7 @@ func MultiSourceExponentialFromTransition(ctx context.Context, qm, qt *sparse.CS
 		if j == k {
 			break
 		}
-		qt.MulDenseInto(tmp, cur)
+		denseSweep(opt.Parallel, qt, tmp, cur)
 		cur, tmp = tmp, cur
 		coef *= opt.C / (2 * float64(j+1))
 	}
@@ -128,7 +141,7 @@ func MultiSourceExponentialFromTransition(ctx context.Context, qm, qt *sparse.CS
 		if i == k {
 			break
 		}
-		qm.MulDenseInto(tmp, v)
+		denseSweep(opt.Parallel, qm, tmp, v)
 		v, tmp = tmp, v
 		coef *= opt.C / (2 * float64(i+1))
 	}

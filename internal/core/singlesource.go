@@ -75,6 +75,10 @@ func SingleSourceGeometricWS(ctx context.Context, qm *sparse.CSR, q int, opt Opt
 		panic("core: SingleSourceGeometricWS workspace dimension mismatch")
 	}
 	ws.Reset()
+	// Backward sweeps parallelise as gathers over the materialised
+	// transpose; without it only the forward (Horner) sweeps fan out.
+	sw := opt.Parallel
+	qt := opt.Transposed
 
 	// y_α accumulates Σ_β (C/2)^{α+β} binom(α+β, α) w_β; each walk vector
 	// w_β = (Qᵀ)^β e_q folds into every y_α it contributes to as soon as it
@@ -90,7 +94,11 @@ func SingleSourceGeometricWS(ctx context.Context, qm *sparse.CSR, q int, opt Opt
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			qm.MulVecTInto(next, cur)
+			if sw != nil && qt != nil {
+				sw.MulVecInto(qt, next, cur)
+			} else {
+				qm.MulVecTInto(next, cur)
+			}
 			sweeps++
 			cur, next = next, cur
 		}
@@ -108,7 +116,11 @@ func SingleSourceGeometricWS(ctx context.Context, qm *sparse.CSR, q int, opt Opt
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		qm.MulVecAddInto(next, z, y[alpha])
+		if sw != nil {
+			sw.MulVecAddInto(qm, next, z, y[alpha])
+		} else {
+			qm.MulVecAddInto(next, z, y[alpha])
+		}
 		sweeps++
 		z, next = next, z
 	}
@@ -118,12 +130,19 @@ func SingleSourceGeometricWS(ctx context.Context, qm *sparse.CSR, q int, opt Opt
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		qm.MulVecAddScaleInto(dst, z, y[0], 1-opt.C)
+		if sw != nil {
+			sw.MulVecAddScaleInto(qm, dst, z, y[0], 1-opt.C)
+		} else {
+			qm.MulVecAddScaleInto(dst, z, y[0], 1-opt.C)
+		}
 		sweeps++
 	}
 	applySieveVec(dst, opt.Sieve)
 	if tr := opt.Trace; tr != nil {
 		tr.AddSweeps(sweeps)
+		if sw != nil {
+			tr.AddParSweeps(sw.TakeParSweeps(), sw.Workers())
+		}
 	}
 	return nil
 }
@@ -170,6 +189,8 @@ func SingleSourceExponentialWS(ctx context.Context, qm *sparse.CSR, q int, opt O
 		panic("core: SingleSourceExponentialWS workspace dimension mismatch")
 	}
 	ws.Reset()
+	sw := opt.Parallel
+	qt := opt.Transposed
 
 	// v = T_Kᵀ e_q = Σ_j (C/2)ʲ/j!·(Qᵀ)ʲ e_q.
 	v := ws.Take()
@@ -186,7 +207,11 @@ func SingleSourceExponentialWS(ctx context.Context, qm *sparse.CSR, q int, opt O
 		if j == k {
 			break
 		}
-		qm.MulVecTInto(next, cur)
+		if sw != nil && qt != nil {
+			sw.MulVecInto(qt, next, cur)
+		} else {
+			qm.MulVecTInto(next, cur)
+		}
 		sweeps++
 		cur, next = next, cur
 		coef *= opt.C / (2 * float64(j+1))
@@ -204,7 +229,11 @@ func SingleSourceExponentialWS(ctx context.Context, qm *sparse.CSR, q int, opt O
 		if i == k {
 			break
 		}
-		qm.MulVecInto(fnext, fcur)
+		if sw != nil {
+			sw.MulVecInto(qm, fnext, fcur)
+		} else {
+			qm.MulVecInto(fnext, fcur)
+		}
 		sweeps++
 		fcur, fnext = fnext, fcur
 		coef *= opt.C / (2 * float64(i+1))
@@ -213,6 +242,9 @@ func SingleSourceExponentialWS(ctx context.Context, qm *sparse.CSR, q int, opt O
 	applySieveVec(dst, opt.Sieve)
 	if tr := opt.Trace; tr != nil {
 		tr.AddSweeps(sweeps)
+		if sw != nil {
+			tr.AddParSweeps(sw.TakeParSweeps(), sw.Workers())
+		}
 	}
 	return nil
 }

@@ -22,7 +22,13 @@ import (
 //     package-level variable,
 //   - sending it on a channel,
 //   - capturing it in a goroutine launched with `go` (the goroutine can
-//     outlive the Put that follows).
+//     outlive the Put that follows),
+//   - capturing it in a closure handed to one of the internal/par loop
+//     drivers (For, ForEach, ForEachCtx): the loop body runs on several
+//     goroutines at once, so a single shared workspace races with itself
+//     even though every worker finishes before the Put. Each worker must
+//     own its arena (Get inside the closure, or a per-worker pool like
+//     sparse.Sweeper's).
 //
 // Passing the value to an ordinary call is allowed — that is exactly what
 // the `defer pool.Put(v)` pattern and the kernel invocations do. Methods of
@@ -38,6 +44,12 @@ var DefaultArenaTypes = []string{
 // arenaHandoutMethods are the method names through which an arena lends out
 // its buffers.
 var arenaHandoutMethods = map[string]bool{"Take": true, "Raw": true, "TakeVecs": true}
+
+// parLoopPkg and parLoopFuncs name the parallel loop drivers whose closure
+// arguments run concurrently on multiple goroutines.
+const parLoopPkg = "repro/internal/par"
+
+var parLoopFuncs = map[string]bool{"For": true, "ForEach": true, "ForEachCtx": true}
 
 // NewPoolescape returns a poolescape analyzer treating the given arena
 // types (in addition to sync.Pool) as pool sources.
@@ -234,9 +246,57 @@ func (p *poolescapePass) checkFunc(fn *ast.FuncDecl) {
 				p.Reportf(stmt.Pos(), "pooled value captured by a goroutine that may outlive its release; Get inside the goroutine instead")
 			}
 			return false
+		case *ast.CallExpr:
+			if !p.isParLoop(stmt) {
+				return true
+			}
+			for _, arg := range stmt.Args {
+				fl, ok := arg.(*ast.FuncLit)
+				if !ok || !p.capturesTracked(fl, tracked) {
+					continue
+				}
+				p.Reportf(fl.Pos(), "pooled value captured by a parallel loop closure; the workers race on one arena — give each worker its own (Get inside the closure)")
+			}
 		}
 		return true
 	})
+}
+
+// capturesTracked reports whether fl references a tracked pooled value it
+// did not obtain itself: a worker borrowing its own arena inside the
+// closure is the sanctioned per-worker pattern, only captures of the
+// enclosing frame's loan are an escape.
+func (p *poolescapePass) capturesTracked(fl *ast.FuncLit, tracked map[types.Object]bool) bool {
+	local := make(map[types.Object]bool)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil && tracked[obj] && !local[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isParLoop reports whether call invokes one of the internal/par loop
+// drivers, whose closure arguments fan out across goroutines.
+func (p *poolescapePass) isParLoop(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !parLoopFuncs[sel.Sel.Name] {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == parLoopPkg
 }
 
 // escapingLHS reports whether assigning to lhs stores the value beyond the

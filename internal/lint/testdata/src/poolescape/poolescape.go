@@ -6,6 +6,7 @@ package poolescape
 import (
 	"sync"
 
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
 
@@ -69,6 +70,48 @@ type holder struct{ v []float64 }
 func (h *holder) TakeAndLeak(ws *sparse.Workspace) {
 	v := ws.Take()
 	h.v = v // want `pooled value v is stored in a struct field`
+}
+
+// FanOutShared captures one pooled buffer in a parallel loop closure: every
+// worker scribbles on the same arena concurrently, a race the goroutine
+// check alone cannot see (the loop joins before the Put).
+func FanOutShared(ws *sparse.Workspace) {
+	buf := ws.Take()
+	par.For(len(buf), 0, func(lo, hi int) { // want `pooled value captured by a parallel loop closure`
+		for i := lo; i < hi; i++ {
+			buf[i] = 0
+		}
+	})
+}
+
+// FanOutPool does the same through sync.Pool, via the other loop drivers.
+func FanOutPool() {
+	buf := pool.Get().([]float64)
+	defer pool.Put(buf)
+	par.ForEach(len(buf), 0, func(i int) { // want `pooled value captured by a parallel loop closure`
+		buf[i] = 0
+	})
+}
+
+// FanOutPerWorker is the sanctioned shape: each closure invocation borrows
+// its own arena and releases it before returning — nothing shared, nothing
+// flagged.
+func FanOutPerWorker(n int) {
+	par.ForEach(n, 0, func(i int) {
+		buf := pool.Get().([]float64)
+		defer pool.Put(buf)
+		buf[0] = float64(i)
+	})
+}
+
+// FanOutUnpooled captures an ordinary local in the loop closure; only
+// pooled loans are the analyzer's business.
+func FanOutUnpooled(dst []float64) {
+	par.For(len(dst), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = 1
+		}
+	})
 }
 
 // Retire intentionally removes a buffer from pool circulation; the

@@ -16,7 +16,10 @@ func Workers() int { return runtime.GOMAXPROCS(0) }
 
 // For splits [0, n) into contiguous chunks, one per worker, and runs fn on
 // each chunk concurrently. fn must be safe to call concurrently on disjoint
-// ranges. With workers <= 1 or tiny n it runs inline.
+// ranges. With workers <= 1 or tiny n it runs inline. The final chunk always
+// runs on the caller's goroutine — the caller would otherwise idle in
+// wg.Wait while a spawned goroutine does its work, so this saves one
+// spawn+wake per call on the kernel hot path.
 func For(n, workers int, fn func(lo, hi int)) {
 	if workers <= 0 {
 		workers = Workers()
@@ -32,17 +35,15 @@ func For(n, workers int, fn func(lo, hi int)) {
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+	lo := 0
+	for ; lo+chunk < n; lo += chunk {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
 			fn(lo, hi)
-		}(lo, hi)
+		}(lo, lo+chunk)
 	}
+	fn(lo, n)
 	wg.Wait()
 }
 

@@ -1,8 +1,12 @@
 package par
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"runtime"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -20,6 +24,92 @@ func TestForCoversRange(t *testing.T) {
 				if c != 1 {
 					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
 				}
+			}
+		}
+	}
+}
+
+// goid extracts the current goroutine's id from runtime.Stack. Test-only:
+// the production code never needs goroutine identity, but pinning "the final
+// chunk runs on the caller's goroutine" does.
+func goid() uint64 {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	// "goroutine 123 [running]:"
+	buf = bytes.TrimPrefix(buf, []byte("goroutine "))
+	if i := bytes.IndexByte(buf, ' '); i >= 0 {
+		buf = buf[:i]
+	}
+	id, _ := strconv.ParseUint(string(buf), 10, 64)
+	return id
+}
+
+// TestForClampTable pins the documented clamp behaviour: n == 0 never calls
+// fn, workers > n clamps to n (never an empty chunk), workers <= 0 defaults
+// to Workers(), and every chunk is non-empty with lo < hi.
+func TestForClampTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		n, workers int
+		wantCalls  int // -1: only bounds-checked, not pinned
+	}{
+		{"zero_n", 0, 4, 0},
+		{"zero_n_zero_workers", 0, 0, 0},
+		{"workers_gt_n", 3, 100, 3},
+		{"workers_eq_n", 4, 4, 4},
+		{"single_worker", 10, 1, 1},
+		{"negative_workers_serial_fallback", 1, -3, 1},
+		{"default_workers", 64, 0, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var mu sync.Mutex
+			var calls int
+			For(tc.n, tc.workers, func(lo, hi int) {
+				if lo >= hi || lo < 0 || hi > tc.n {
+					t.Errorf("chunk [%d,%d) out of bounds for n=%d", lo, hi, tc.n)
+				}
+				mu.Lock()
+				calls++
+				mu.Unlock()
+			})
+			if tc.wantCalls >= 0 && calls != tc.wantCalls {
+				t.Fatalf("n=%d workers=%d: fn called %d times, want %d", tc.n, tc.workers, calls, tc.wantCalls)
+			}
+		})
+	}
+}
+
+// TestForLastChunkOnCaller pins the hot-path spawn saving: the chunk holding
+// index n-1 must execute on the caller's goroutine, and each earlier chunk
+// on a spawned one.
+func TestForLastChunkOnCaller(t *testing.T) {
+	caller := goid()
+	for _, tc := range []struct{ n, workers int }{
+		{1000, 4}, {5, 5}, {7, 2}, {1, 1}, {3, 100},
+	} {
+		var mu sync.Mutex
+		chunks := make(map[int]uint64) // lo -> goroutine id
+		lastLo := -1
+		For(tc.n, tc.workers, func(lo, hi int) {
+			id := goid()
+			mu.Lock()
+			chunks[lo] = id
+			if hi == tc.n {
+				lastLo = lo
+			}
+			mu.Unlock()
+		})
+		if lastLo < 0 {
+			t.Fatalf("n=%d workers=%d: no chunk ended at n", tc.n, tc.workers)
+		}
+		for lo, id := range chunks {
+			onCaller := id == caller
+			if lo == lastLo && !onCaller {
+				t.Fatalf("n=%d workers=%d: final chunk lo=%d ran on goroutine %d, not the caller", tc.n, tc.workers, lo, id)
+			}
+			if lo != lastLo && onCaller {
+				t.Fatalf("n=%d workers=%d: non-final chunk lo=%d ran on the caller's goroutine", tc.n, tc.workers, lo)
 			}
 		}
 	}

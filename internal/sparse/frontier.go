@@ -1,5 +1,7 @@
 package sparse
 
+import "slices"
+
 // Frontier is a sparse non-negative vector accumulator over a fixed
 // dimension: a dense scratch array plus the list of touched indices. It is
 // the substrate of the threshold-sieved approximate kernels — a propagation
@@ -121,6 +123,13 @@ func (f *Frontier) Sieve(tau float64) (dropped, maxDropped float64) {
 // (the backward transition matrix) this is one sparse backward sweep; with
 // m = Qᵀ materialised it computes Q·src, one sparse forward sweep. dst and
 // src must be distinct frontiers of matching dimensions.
+//
+// The touched list of dst comes back sorted ascending. First-touch order is
+// an artefact of src's traversal order, and everything downstream of a sweep
+// (later sweeps, sieve compaction, dropped-mass summation) iterates the
+// touched list — canonicalising it here is what makes the parallel sweep
+// form (Sweeper.ScatterMulT), which discovers first touches per output
+// range, bitwise-identical to this serial form, certificates included.
 func (m *CSR) ScatterMulT(dst, src *Frontier) {
 	if src.Dim() != m.R || dst.Dim() != m.C {
 		panic("sparse: ScatterMulT dimension mismatch")
@@ -132,4 +141,5 @@ func (m *CSR) ScatterMulT(dst, src *Frontier) {
 			dst.Add(c, vals[k]*xi)
 		}
 	}
+	slices.Sort(dst.idx)
 }

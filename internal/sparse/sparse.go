@@ -156,7 +156,16 @@ func (m *CSR) MulVec(x []float64) []float64 {
 //
 //simstar:noalloc
 func (m *CSR) MulVecInto(y, x []float64) {
-	for i := 0; i < m.R; i++ {
+	m.mulVecRange(y, x, 0, m.R)
+}
+
+// mulVecRange computes y[i] = (m·x)[i] for i in [lo, hi). The per-row dot
+// products are independent, so any row partition of [0, R) reproduces
+// MulVecInto bitwise.
+//
+//simstar:noalloc
+func (m *CSR) mulVecRange(y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		cols, vals := m.RowView(i)
 		var s float64
 		for k, c := range cols {
@@ -220,7 +229,14 @@ func (m *CSR) MulVecAddInto(y, x, add []float64) {
 	if len(x) != m.C || len(y) != m.R || len(add) != m.R {
 		panic("sparse: MulVecAddInto dimension mismatch")
 	}
-	for i := 0; i < m.R; i++ {
+	m.mulVecAddRange(y, x, add, 0, m.R)
+}
+
+// mulVecAddRange is the row-range body of MulVecAddInto (see mulVecRange).
+//
+//simstar:noalloc
+func (m *CSR) mulVecAddRange(y, x, add []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		cols, vals := m.RowView(i)
 		var s float64
 		for k, c := range cols {
@@ -239,7 +255,15 @@ func (m *CSR) MulVecAddScaleInto(y, x, add []float64, scale float64) {
 	if len(x) != m.C || len(y) != m.R || len(add) != m.R {
 		panic("sparse: MulVecAddScaleInto dimension mismatch")
 	}
-	for i := 0; i < m.R; i++ {
+	m.mulVecAddScaleRange(y, x, add, scale, 0, m.R)
+}
+
+// mulVecAddScaleRange is the row-range body of MulVecAddScaleInto (see
+// mulVecRange).
+//
+//simstar:noalloc
+func (m *CSR) mulVecAddScaleRange(y, x, add []float64, scale float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		cols, vals := m.RowView(i)
 		var s float64
 		for k, c := range cols {
@@ -258,15 +282,16 @@ func (m *CSR) MulDense(b *dense.Matrix) *dense.Matrix {
 	return c
 }
 
-// panelMaxCols is the widest right-hand side the register-blocked panel SpMM
+// PanelMaxCols is the widest right-hand side the register-blocked panel SpMM
 // handles; wider blocks stream better through the axpy form. The crossover
 // was measured with BenchmarkMulDenseWidth (panel wins up to ~1.8× at width
 // 4–16, loses ~25% at 32+), so small query batches ride the panel kernel and
-// full 64-wide blocks keep the streaming form.
-const panelMaxCols = 16
+// full 64-wide blocks keep the streaming form. Exported because the batch
+// planner uses the same crossover to choose its block width.
+const PanelMaxCols = 16
 
 // MulDenseInto computes c = m·b, overwriting c. c must not alias b. Narrow
-// right-hand sides (≤ panelMaxCols columns — the blocked multi-source path)
+// right-hand sides (≤ PanelMaxCols columns — the blocked multi-source path)
 // go through a register-blocked kernel that accumulates 4-column panels in
 // registers, reading each sparse row once per panel instead of re-streaming
 // the B-wide accumulator row per nonzero; wide ones use the scaled-copy +
@@ -278,7 +303,7 @@ func (m *CSR) MulDenseInto(c, b *dense.Matrix) {
 		panic(fmt.Sprintf("sparse: MulDense shape mismatch (%dx%d)·(%dx%d)→(%dx%d)",
 			m.R, m.C, b.Rows, b.Cols, c.Rows, c.Cols))
 	}
-	if b.Cols <= panelMaxCols {
+	if b.Cols <= PanelMaxCols {
 		m.mulDensePanelsInto(c, b)
 		return
 	}
@@ -289,58 +314,71 @@ func (m *CSR) MulDenseInto(c, b *dense.Matrix) {
 // contiguous row of b into the accumulator row.
 func (m *CSR) mulDenseAxpyInto(c, b *dense.Matrix) {
 	par.For(m.R, 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c.Row(i)
-			cols, vals := m.RowView(i)
-			if len(cols) == 0 {
-				dense.ZeroVec(ci)
-				continue
-			}
-			// First source: scaled copy instead of zero-then-axpy, saving a
-			// full pass over the row.
-			dense.ScaledCopy(ci, vals[0], b.Row(int(cols[0])))
-			for k := 1; k < len(cols); k++ {
-				dense.Axpy(ci, vals[k], b.Row(int(cols[k])))
-			}
-		}
+		m.mulDenseAxpyRange(c, b, lo, hi)
 	})
+}
+
+// mulDenseAxpyRange computes rows [lo, hi) of the axpy-form SpMM. Split out
+// of mulDenseAxpyInto so the Sweeper can drive the same body from its
+// persistent workers.
+func (m *CSR) mulDenseAxpyRange(c, b *dense.Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ci := c.Row(i)
+		cols, vals := m.RowView(i)
+		if len(cols) == 0 {
+			dense.ZeroVec(ci)
+			continue
+		}
+		// First source: scaled copy instead of zero-then-axpy, saving a
+		// full pass over the row.
+		dense.ScaledCopy(ci, vals[0], b.Row(int(cols[0])))
+		for k := 1; k < len(cols); k++ {
+			dense.Axpy(ci, vals[k], b.Row(int(cols[k])))
+		}
+	}
 }
 
 // mulDensePanelsInto is the narrow-block SpMM: 4-column panels held in
 // registers while sweeping the sparse row, plus a scalar tail for the
 // remaining columns.
 func (m *CSR) mulDensePanelsInto(c, b *dense.Matrix) {
-	w := b.Cols
 	par.For(m.R, 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c.Row(i)
-			cols, vals := m.RowView(i)
-			if len(cols) == 0 {
-				dense.ZeroVec(ci)
-				continue
-			}
-			j := 0
-			for ; j+4 <= w; j += 4 {
-				var s0, s1, s2, s3 float64
-				for k, cc := range cols {
-					br := b.Row(int(cc))
-					v := vals[k]
-					s0 += v * br[j]
-					s1 += v * br[j+1]
-					s2 += v * br[j+2]
-					s3 += v * br[j+3]
-				}
-				ci[j], ci[j+1], ci[j+2], ci[j+3] = s0, s1, s2, s3
-			}
-			for ; j < w; j++ {
-				var s float64
-				for k, cc := range cols {
-					s += vals[k] * b.Row(int(cc))[j]
-				}
-				ci[j] = s
-			}
-		}
+		m.mulDensePanelsRange(c, b, lo, hi)
 	})
+}
+
+// mulDensePanelsRange computes rows [lo, hi) of the panel-form SpMM (see
+// mulDenseAxpyRange for why the body is range-shaped).
+func (m *CSR) mulDensePanelsRange(c, b *dense.Matrix, lo, hi int) {
+	w := b.Cols
+	for i := lo; i < hi; i++ {
+		ci := c.Row(i)
+		cols, vals := m.RowView(i)
+		if len(cols) == 0 {
+			dense.ZeroVec(ci)
+			continue
+		}
+		j := 0
+		for ; j+4 <= w; j += 4 {
+			var s0, s1, s2, s3 float64
+			for k, cc := range cols {
+				br := b.Row(int(cc))
+				v := vals[k]
+				s0 += v * br[j]
+				s1 += v * br[j+1]
+				s2 += v * br[j+2]
+				s3 += v * br[j+3]
+			}
+			ci[j], ci[j+1], ci[j+2], ci[j+3] = s0, s1, s2, s3
+		}
+		for ; j < w; j++ {
+			var s float64
+			for k, cc := range cols {
+				s += vals[k] * b.Row(int(cc))[j]
+			}
+			ci[j] = s
+		}
+	}
 }
 
 // ToDense materialises the matrix densely (test/diagnostic use).

@@ -2,9 +2,14 @@ package simstar
 
 import (
 	"context"
+	"fmt"
+	"math"
 	"runtime"
+	"sort"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rwr"
 	"repro/internal/sparse"
@@ -78,6 +83,10 @@ func (r *Result) Stream() *TopKStream {
 //     from a shared counter so one expensive query does not serialise a
 //     chunk of the batch behind it.
 //
+// How each kernel group executes — blocked, sieved, or single-source
+// fan-out, and at what chunk width — is chosen per batch by a greedy cost
+// heuristic (see planGroup); the plan changes the cost, never the answer.
+//
 // Each query may carry Opts overriding the engine's parameters for that
 // query alone. Cancellation is two-level: ctx aborts the kernels of queries
 // already running (they return ctx's error in their Result) and stops
@@ -86,7 +95,7 @@ func (r *Result) Stream() *TopKStream {
 // every entry's scores are identical to what SingleSource returns for that
 // query — batching changes the cost, never the answer.
 func (e *Engine) MultiSource(ctx context.Context, queries []Query) []Result {
-	return e.batch(ctx, queries, false)
+	return e.batch(ctx, queries, false, nil)
 }
 
 // BatchTopK is MultiSource for ranked queries: it answers each Query with
@@ -95,7 +104,22 @@ func (e *Engine) MultiSource(ctx context.Context, queries []Query) []Result {
 // Boundary semantics per query follow TopK: K <= 0 yields an empty Top,
 // K larger than the candidate count yields every candidate.
 func (e *Engine) BatchTopK(ctx context.Context, queries []Query) []Result {
-	return e.batch(ctx, queries, true)
+	return e.batch(ctx, queries, true, nil)
+}
+
+// MultiSourceTrace is MultiSource with the batch planner's decisions
+// recorded into the caller's trace: tr.Plan lists, per kernel group, the
+// route chosen and the chunk width (sorted for determinism). The caller
+// owns every other trace field, including the Finish stamp; a nil tr makes
+// it exactly MultiSource.
+func (e *Engine) MultiSourceTrace(ctx context.Context, queries []Query, tr *obs.Trace) []Result {
+	return e.batch(ctx, queries, false, tr)
+}
+
+// BatchTopKTrace is BatchTopK with the batch planner's decisions recorded
+// into the caller's trace, exactly as MultiSourceTrace records them.
+func (e *Engine) BatchTopKTrace(ctx context.Context, queries []Query, tr *obs.Trace) []Result {
+	return e.batch(ctx, queries, true, tr)
 }
 
 // blockColumns caps the width of one blocked-kernel invocation. Each column
@@ -129,10 +153,133 @@ func blockKernelFor(builtin string) blockKernel {
 	return blockNone
 }
 
+// groupRoute is the execution strategy the batch planner picks for one
+// kernel group.
+type groupRoute int
+
+const (
+	// routeFanout answers the group's queries through the pooled
+	// single-source fast path on the worker pool, cache-probe-first: each
+	// query re-probes the result cache at dispatch, catching entries
+	// populated after the batch's phase-1 probe.
+	routeFanout groupRoute = iota
+	// routeBlocked stacks the group into n×B dense blocks and runs the
+	// exact blocked SpMM kernels.
+	routeBlocked
+	// routeSieved runs the threshold-sieved approximate kernels, chunked
+	// across the worker pool.
+	routeSieved
+)
+
+func (r groupRoute) String() string {
+	switch r {
+	case routeFanout:
+		return "fanout"
+	case routeBlocked:
+		return "blocked"
+	case routeSieved:
+		return "sieved"
+	}
+	return "?"
+}
+
+// groupPlan is the planner's decision for one kernel group: the route, the
+// chunk width one kernel invocation covers, and a human-readable note for
+// the query trace.
+type groupPlan struct {
+	route groupRoute
+	chunk int
+	note  string
+}
+
+// planGroup is the greedy cost heuristic behind MultiSource and BatchTopK:
+// given one kernel group's parameters, its width b (distinct query nodes),
+// the graph shape (n nodes, m edges), the batch worker budget, and the
+// result cache's lifetime hit rate, pick how the group executes. The
+// signals, in the order they gate:
+//
+//   - Tolerance: sieved groups always stay sieved — the MaxError
+//     certificate is part of the answer, so rerouting to an exact kernel
+//     would change what the query returns, not just its cost. The chunk
+//     width comes from the expected frontier growth d̄ᵏ (d̄ = m/n): a
+//     frontier that saturates the graph makes every query cost a
+//     dense-like sweep, so saturating groups split ~4× finer than the
+//     worker count for load balance, while cheap sparse-frontier groups
+//     split once per worker to minimise per-chunk workspace setup.
+//   - Width: a group of one — or of ≤ 2 when the result cache has been
+//     absorbing at least half of recent lookups — cannot amortise a
+//     blocked run's transpose access and O(K·n·B) workspace, so it routes
+//     to the pooled zero-alloc single-source path, which also re-probes
+//     the cache right before computing.
+//   - Block width: everything else runs blocked, chunked at the dense
+//     panel-kernel crossover (sparse.PanelMaxCols, the width
+//     BenchmarkMulDenseWidth measures the panel kernel to win from) when
+//     the group fits one panel chunk, at blockColumns otherwise to bound
+//     workspace memory.
+//
+// The plan is pure — same inputs, same decision — and changes only the
+// execution schedule, never any result.
+func planGroup(cfg config, b, n, m, workers int, hitRate float64) groupPlan {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if cfg.tolerance >= MinTolerance {
+		growth := 1.0
+		if n > 0 {
+			growth = float64(m) / float64(n)
+		}
+		est := math.Pow(growth, float64(cfg.iterationsOrDefault()))
+		saturates := est >= float64(n)/2
+		chunk := (b + workers - 1) / workers
+		if saturates {
+			chunk = (b + 4*workers - 1) / (4 * workers)
+		}
+		chunk = max(1, min(chunk, blockColumns))
+		return groupPlan{
+			route: routeSieved,
+			chunk: chunk,
+			note:  fmt.Sprintf("sieved b=%d chunk=%d sat=%t", b, chunk, saturates),
+		}
+	}
+	if b == 1 || (b <= 2 && hitRate >= 0.5) {
+		return groupPlan{route: routeFanout, chunk: 1, note: fmt.Sprintf("fanout b=%d", b)}
+	}
+	chunk := blockColumns
+	if b <= sparse.PanelMaxCols {
+		chunk = sparse.PanelMaxCols
+	}
+	return groupPlan{
+		route: routeBlocked,
+		chunk: chunk,
+		note:  fmt.Sprintf("blocked b=%d chunk=%d", b, chunk),
+	}
+}
+
+// iterationsOrDefault resolves the effective iteration count with the
+// kernels' own default (K=5) applied, so the planner's frontier estimate
+// uses the truncation depth the sweeps will actually run.
+func (cfg config) iterationsOrDefault() int {
+	if k := cfg.iterations(); k > 0 {
+		return k
+	}
+	return 5
+}
+
+// hitRate is the result cache's lifetime hit fraction, the planner's
+// "cache is hot" signal; 0 before any lookup.
+func (e *Engine) hitRate() float64 {
+	s := e.cache.snapshot()
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
 // batch is the shared implementation of MultiSource and BatchTopK. The
 // engine state is pinned once at entry, so the whole batch answers against
 // one graph epoch even while ApplyEdits streams mutations concurrently.
-func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result {
+// tr, when non-nil, receives the planner's per-group routing notes.
+func (e *Engine) batch(ctx context.Context, queries []Query, topk bool, tr *obs.Trace) []Result {
 	st := e.load()
 	if o := e.cfg.observer; o != nil {
 		o.qBatch.Add(uint64(len(queries)))
@@ -210,13 +357,17 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 		g.keys = append(g.keys, key)
 	}
 
-	// Phase 2: one blocked run per group, deduplicating nodes repeated
-	// within the group and chunked to bound workspace memory. The exact
-	// blocked kernels are row-parallel internally, so their groups run
-	// sequentially; the sieved approximate kernels process a chunk serially
-	// on one workspace, so approximate groups instead split into per-worker
-	// chunks and spread across the pool — each chunk touches a disjoint set
-	// of result slots, so the writes never race.
+	// Phase 2: plan, then run, each kernel group. The planner routes a
+	// group to one of three executions — blocked (exact dense SpMM, groups
+	// run sequentially, the kernels fan rows out internally), sieved (the
+	// approximate kernels process a chunk serially on one workspace, so
+	// chunks spread across the pool — each touches a disjoint set of
+	// result slots, so the writes never race), or single-source fan-out
+	// (the group joins phase 3's pool) — and picks the chunk width.
+	// Deduplication is per group: nodes repeated within a group compute
+	// once.
+	hitRate := e.hitRate()
+	var planNotes []string
 	for gk, g := range groups {
 		// Distinct nodes in first-appearance order; queryOf[node] lists the
 		// group positions wanting that node.
@@ -229,17 +380,15 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 			}
 			queryOf[node] = append(queryOf[node], pos)
 		}
-		approx := g.eng.cfg.tolerance >= MinTolerance
-		chunk := blockColumns
-		if approx {
-			workers := e.cfg.workers
-			if workers <= 0 {
-				workers = runtime.NumCPU()
-			}
-			if chunk = (len(nodes) + workers - 1) / workers; chunk > blockColumns {
-				chunk = blockColumns
-			}
+		plan := planGroup(g.eng.cfg, len(nodes), st.g.N(), st.g.M(), e.cfg.workers, hitRate)
+		if tr != nil {
+			planNotes = append(planNotes, plan.note)
 		}
+		if plan.route == routeFanout {
+			rest = append(rest, g.idx...)
+			continue
+		}
+		chunk := plan.chunk
 		nChunks := (len(nodes) + chunk - 1) / chunk
 		process := func(ci int) {
 			lo, hi := ci*chunk, (ci+1)*chunk
@@ -273,7 +422,7 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 				}
 			}
 		}
-		if approx {
+		if plan.route == routeSieved {
 			// Chunks the pool never dispatches (cancelled mid-batch) leave
 			// their queries !done; the catch-all below answers them.
 			par.ForEachCtx(ctx, nChunks, e.cfg.workers, process)
@@ -282,6 +431,11 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool) []Result
 				process(ci)
 			}
 		}
+	}
+	if tr != nil && len(planNotes) > 0 {
+		// The group map iterates in random order; sort for a stable trace.
+		sort.Strings(planNotes)
+		tr.Plan = strings.Join(planNotes, "; ")
 	}
 
 	// Phase 3: fan the unblockable remainder across the worker pool. Like
@@ -352,17 +506,32 @@ func (e *Engine) runBlock(ctx context.Context, st *engineState, kernel blockKern
 }
 
 // runBlockKernel dispatches one chunk to its kernel in the state's layout.
+// Under WithParallelSweeps(n > 1) the chunk borrows a sweeper, so its sweeps
+// — sparse scatters on the sieved paths, dense SpMM panels on the blocked
+// ones — fan out at exactly the configured width; otherwise the blocked
+// kernels keep their own internal all-core row fan-out (the default) and
+// the sieved kernels run serially per chunk.
 func (e *Engine) runBlockKernel(ctx context.Context, st *engineState, kernel blockKernel, nodes []int) ([][]float64, []float64, error) {
+	sw := st.sweeperFor(e.cfg)
+	if sw != nil {
+		defer st.putSweeper(sw)
+	}
 	if tol := e.cfg.tolerance; tol >= MinTolerance {
 		switch kernel {
 		case blockGeometric:
 			backwardT, _ := st.kernelTransposed()
-			return core.ApproxMultiSourceGeometricFromTransition(ctx, st.kernelBackward(), backwardT, nodes, tol, e.cfg.coreOptions())
+			opt := e.cfg.coreOptions()
+			opt.Parallel = sw
+			return core.ApproxMultiSourceGeometricFromTransition(ctx, st.kernelBackward(), backwardT, nodes, tol, opt)
 		case blockExponential:
 			backwardT, _ := st.kernelTransposed()
-			return core.ApproxMultiSourceExponentialFromTransition(ctx, st.kernelBackward(), backwardT, nodes, tol, e.cfg.coreOptions())
+			opt := e.cfg.coreOptions()
+			opt.Parallel = sw
+			return core.ApproxMultiSourceExponentialFromTransition(ctx, st.kernelBackward(), backwardT, nodes, tol, opt)
 		case blockRWR:
-			return rwr.ApproxMultiSourceFromTransition(ctx, st.kernelForward(), nodes, tol, e.cfg.rwrOptions())
+			opt := e.cfg.rwrOptions()
+			opt.Parallel = sw
+			return rwr.ApproxMultiSourceFromTransition(ctx, st.kernelForward(), nodes, tol, opt)
 		}
 		panic("simstar: unreachable block kernel")
 	}
@@ -375,13 +544,19 @@ func (e *Engine) runBlockKernel(ctx context.Context, st *engineState, kernel blo
 	}
 	switch kernel {
 	case blockGeometric:
-		scores, err := core.MultiSourceGeometricFromTransition(ctx, st.kernelBackward(), backwardT, nodes, e.cfg.coreOptions())
+		opt := e.cfg.coreOptions()
+		opt.Parallel = sw
+		scores, err := core.MultiSourceGeometricFromTransition(ctx, st.kernelBackward(), backwardT, nodes, opt)
 		return scores, nil, err
 	case blockExponential:
-		scores, err := core.MultiSourceExponentialFromTransition(ctx, st.kernelBackward(), backwardT, nodes, e.cfg.coreOptions())
+		opt := e.cfg.coreOptions()
+		opt.Parallel = sw
+		scores, err := core.MultiSourceExponentialFromTransition(ctx, st.kernelBackward(), backwardT, nodes, opt)
 		return scores, nil, err
 	case blockRWR:
-		scores, err := rwr.MultiSourceFromTransition(ctx, st.kernelForward(), forwardT, nodes, e.cfg.rwrOptions())
+		opt := e.cfg.rwrOptions()
+		opt.Parallel = sw
+		scores, err := rwr.MultiSourceFromTransition(ctx, st.kernelForward(), forwardT, nodes, opt)
 		return scores, nil, err
 	}
 	panic("simstar: unreachable block kernel")

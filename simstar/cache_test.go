@@ -2,6 +2,8 @@ package simstar_test
 
 import (
 	"context"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/simstar"
@@ -190,6 +192,117 @@ func TestCacheInvalidatedByRegistryOverride(t *testing.T) {
 }
 
 // PurgeCache empties the cache and resets the counters.
+// Counter coherence under churn: with queries, PurgeCache and ApplyEdits
+// (epoch hot-swap) racing, the shared Observer's cache counters must be
+// monotone — every lookup counted exactly once, never lost to a purge or a
+// swap, never double-counted — while CacheStats may reset (purge zeroes it
+// by documented contract) but must always read a coherent snapshot. Run
+// under -race in CI.
+func TestCacheCountersUnderPurgeChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const n = 40
+	edges := randomEdges(rng, n, 200)
+	set := make(map[[2]int]bool)
+	var dedup [][2]int
+	for _, e := range edges {
+		if !set[e] {
+			set[e] = true
+			dedup = append(dedup, e)
+		}
+	}
+	o := simstar.NewObserver(nil)
+	eng := simstar.NewEngine(simstar.GraphFromEdges(n, dedup),
+		simstar.WithK(3), simstar.WithObserver(o))
+	// The registry hands back the very counters the engine increments.
+	hits := o.Registry().Counter("simstar_cache_hits_total",
+		"Single-source result-cache hits, exact-donor hits included.")
+	misses := o.Registry().Counter("simstar_cache_misses_total",
+		"Single-source result-cache misses.")
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Monitor: observer counters never go backwards, and each snapshot of
+	// CacheStats is internally coherent.
+	var monitor sync.WaitGroup
+	monitor.Add(1)
+	go func() {
+		defer monitor.Done()
+		var lastHits, lastMisses uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h, m := hits.Value(), misses.Value()
+			if h < lastHits || m < lastMisses {
+				t.Errorf("observer counters went backwards: hits %d->%d misses %d->%d",
+					lastHits, h, lastMisses, m)
+				return
+			}
+			lastHits, lastMisses = h, m
+			st := eng.CacheStats()
+			if st.Size < 0 || (st.Capacity > 0 && st.Size > st.Capacity) {
+				t.Errorf("incoherent CacheStats snapshot: %+v", st)
+				return
+			}
+		}
+	}()
+
+	// Queriers: a mix guaranteed to produce both hits and misses.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 150; i++ {
+				m := simstar.MeasureGeometric
+				if i%2 == 1 {
+					m = simstar.MeasureRWR
+				}
+				if _, err := eng.SingleSource(ctx, m, rng.Intn(8)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(7 + r))
+	}
+
+	// Purger and editor: churn the cache and hot-swap epochs underneath.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		editRng := rand.New(rand.NewSource(77))
+		for i := 0; i < 30; i++ {
+			eng.PurgeCache()
+			if i%5 == 4 {
+				if _, err := eng.ApplyEdits(churn(editRng, n, set, 4)...); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Wait for workers, then stop the monitor.
+	wg.Wait()
+	close(stop)
+	monitor.Wait()
+
+	// Every lookup of the run is in the observer exactly once; the cache's
+	// own stats cover at most the lookups since the last purge.
+	h, m := hits.Value(), misses.Value()
+	if h+m < 3*150 {
+		t.Fatalf("observer lost lookups: hits+misses = %d, want >= %d", h+m, 3*150)
+	}
+	st := eng.CacheStats()
+	if st.Hits+st.Misses > h+m {
+		t.Fatalf("cache stats (%d lookups) exceed observer totals (%d)", st.Hits+st.Misses, h+m)
+	}
+}
+
 func TestCachePurge(t *testing.T) {
 	g := toyGraph(t)
 	ctx := context.Background()

@@ -103,6 +103,14 @@ type engineState struct {
 	// — the scores under selection cannot share it.
 	streamPool sync.Pool
 
+	// sweepers recycles the intra-query sweep-parallelism worker pools
+	// (sparse.Sweeper) queries borrow under WithParallelSweeps. One sweeper
+	// is owned by exactly one query for its whole run — its workers and
+	// per-worker arenas are private to that borrow — and returns here with
+	// its goroutines still parked, so steady-state parallel queries spawn
+	// nothing and allocate nothing.
+	sweepers sync.Pool
+
 	// transitionTime is what building (epoch 0) or incrementally refreshing
 	// (later epochs) the two transition matrices cost.
 	transitionTime time.Duration
@@ -123,6 +131,7 @@ func newEngineState(g *Graph, epoch uint64, o *Observer) *engineState {
 		return sparse.NewWorkspace(n)
 	}
 	st.streamPool.New = func() any { return &streamScratch{scores: make([]float64, n)} }
+	st.sweepers.New = func() any { return sparse.NewSweeper(1) }
 	return st
 }
 
@@ -273,6 +282,26 @@ func (st *engineState) externalize(scores []float64, ws *sparse.Workspace) {
 // getWS borrows a kernel workspace from the state's pool; putWS returns it.
 func (st *engineState) getWS() *sparse.Workspace   { return st.pool.Get().(*sparse.Workspace) }
 func (st *engineState) putWS(ws *sparse.Workspace) { st.pool.Put(ws) }
+
+// getSweeper borrows a sweep-parallelism worker pool; putSweeper returns it.
+func (st *engineState) getSweeper() *sparse.Sweeper   { return st.sweepers.Get().(*sparse.Sweeper) }
+func (st *engineState) putSweeper(sw *sparse.Sweeper) { st.sweepers.Put(sw) }
+
+// sweeperFor borrows a sweeper configured to cfg's WithParallelSweeps
+// setting, or nil when the query should run its sweeps serially (the
+// default). A non-nil return is owned by the calling query until it is
+// handed back with putSweeper — the single-borrower rule the kernels'
+// Options document.
+func (st *engineState) sweeperFor(cfg config) *sparse.Sweeper {
+	w := cfg.sweepWorkers()
+	if w <= 1 {
+		return nil
+	}
+	sw := st.getSweeper()
+	sw.Configure(w)
+	//simstar:lint-ignore poolescape configuring accessor: callers own the loan and defer putSweeper on every non-nil return
+	return sw
+}
 
 // compHolder defers the biclique mining of a refreshed epoch until a memo
 // query needs it: mining is the expensive part of preprocessing, and the
@@ -533,6 +562,7 @@ func (e *Engine) singleSourceObs(ctx context.Context, st *engineState, measureNa
 		if tr != nil {
 			tr.Cached = true
 			tr.MaxError = maxErr
+			tr.Plan = "cache"
 		}
 		return scores, maxErr, true, nil
 	}
@@ -557,6 +587,11 @@ func (e *Engine) singleSourceObs(ctx context.Context, st *engineState, measureNa
 	if tr != nil {
 		tr.AddSpan("kernel", kernelTime)
 		tr.MaxError = maxErr
+		if e.cfg.tolerance >= MinTolerance && fastPathKernel(builtinFor(measureName)) {
+			tr.Plan = "sieved"
+		} else {
+			tr.Plan = "exact"
+		}
 	}
 	e.cache.put(key, scores, maxErr)
 	return scores, maxErr, false, nil
@@ -585,6 +620,10 @@ func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measu
 	qi := st.toInternal(q)
 	ws := st.getWS()
 	defer st.putWS(ws)
+	sw := st.sweeperFor(e.cfg)
+	if sw != nil {
+		defer st.putSweeper(sw)
+	}
 	if tol >= MinTolerance {
 		var (
 			scores []float64
@@ -596,15 +635,18 @@ func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measu
 			backwardT, _ := st.kernelTransposed()
 			opt := e.cfg.coreOptions()
 			opt.Trace = kt
+			opt.Parallel = sw
 			scores, maxErr, err = core.ApproxSingleSourceGeometricFromTransition(ctx, st.kernelBackward(), backwardT, qi, tol, opt)
 		case MeasureExponential, MeasureExponentialMemo:
 			backwardT, _ := st.kernelTransposed()
 			opt := e.cfg.coreOptions()
 			opt.Trace = kt
+			opt.Parallel = sw
 			scores, maxErr, err = core.ApproxSingleSourceExponentialFromTransition(ctx, st.kernelBackward(), backwardT, qi, tol, opt)
 		case MeasureRWR:
 			opt := e.cfg.rwrOptions()
 			opt.Trace = kt
+			opt.Parallel = sw
 			scores, maxErr, err = rwr.ApproxSingleSourceFromTransition(ctx, st.kernelForward(), qi, tol, opt)
 		}
 		if err != nil {
@@ -615,7 +657,7 @@ func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measu
 	}
 	dst := make([]float64, st.g.N())
 	grew := ws.Grows()
-	if err := e.exactSingleSourceInto(ctx, st, builtin, qi, ws, dst, kt); err != nil {
+	if err := e.exactSingleSourceInto(ctx, st, builtin, qi, ws, sw, dst, kt); err != nil {
 		return nil, 0, err
 	}
 	if kt != nil {
@@ -630,22 +672,37 @@ func (e *Engine) computeSingleSource(ctx context.Context, st *engineState, measu
 // the allocation-free core of the serving path. qi is a kernel-layout node
 // id; callers translate the result back with externalize. kt (nilable)
 // threads kernel-level tracing through the options structs — a plain field
-// copy here, with the kernels guarding their own hook sites.
+// copy here, with the kernels guarding their own hook sites. sw (nilable)
+// likewise threads the borrowed sweep-parallelism pool, plus the
+// materialised transpose the backward sweeps gather over; the transpose
+// build is a once-per-epoch cost paid only by queries that parallelise.
 //
 //simstar:noalloc
-func (e *Engine) exactSingleSourceInto(ctx context.Context, st *engineState, builtin string, qi int, ws *sparse.Workspace, dst []float64, kt *obs.KernelTrace) error {
+func (e *Engine) exactSingleSourceInto(ctx context.Context, st *engineState, builtin string, qi int, ws *sparse.Workspace, sw *sparse.Sweeper, dst []float64, kt *obs.KernelTrace) error {
 	switch builtin {
 	case MeasureGeometric, MeasureGeometricMemo:
 		opt := e.cfg.coreOptions()
 		opt.Trace = kt
+		if sw != nil {
+			opt.Parallel = sw
+			opt.Transposed, _ = st.kernelTransposed()
+		}
 		return core.SingleSourceGeometricWS(ctx, st.kernelBackward(), qi, opt, ws, dst)
 	case MeasureExponential, MeasureExponentialMemo:
 		opt := e.cfg.coreOptions()
 		opt.Trace = kt
+		if sw != nil {
+			opt.Parallel = sw
+			opt.Transposed, _ = st.kernelTransposed()
+		}
 		return core.SingleSourceExponentialWS(ctx, st.kernelBackward(), qi, opt, ws, dst)
 	case MeasureRWR:
 		opt := e.cfg.rwrOptions()
 		opt.Trace = kt
+		if sw != nil {
+			opt.Parallel = sw
+			_, opt.Transposed = st.kernelTransposed()
+		}
 		return rwr.SingleSourceWS(ctx, st.kernelForward(), qi, opt, ws, dst)
 	}
 	panic("simstar: unreachable fast-path kernel")
@@ -680,6 +737,10 @@ func (e *Engine) SingleSourceInto(ctx context.Context, measureName string, q int
 		o := e.cfg.observer
 		ws := st.getWS()
 		defer st.putWS(ws)
+		sw := st.sweeperFor(e.cfg)
+		if sw != nil {
+			defer st.putSweeper(sw)
+		}
 		// With an observer on, the kernel trace lives inside the pooled
 		// workspace — &ws.Trace is a borrow, not an allocation — so the
 		// zero-alloc contract holds with observation on or off.
@@ -690,7 +751,7 @@ func (e *Engine) SingleSourceInto(ctx context.Context, measureName string, q int
 			kt.Reset()
 		}
 		start := time.Now()
-		if err := e.exactSingleSourceInto(ctx, st, builtin, st.toInternal(q), ws, dst, kt); err != nil {
+		if err := e.exactSingleSourceInto(ctx, st, builtin, st.toInternal(q), ws, sw, dst, kt); err != nil {
 			return nil, err
 		}
 		st.externalize(dst, ws)

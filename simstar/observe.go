@@ -33,6 +33,7 @@ type Observer struct {
 	cacheMisses *obs.Counter
 
 	sweeps     *obs.Counter
+	parSweeps  *obs.Counter
 	sieveSpend *obs.FloatCounter
 	poolMisses *obs.Counter
 
@@ -47,6 +48,7 @@ type Observer struct {
 //	simstar_cache_hits_total               counter   result-cache hits
 //	simstar_cache_misses_total             counter   result-cache misses
 //	simstar_kernel_sweeps_total            counter   kernel matrix sweeps
+//	simstar_parallel_sweeps_total          counter   sweeps fanned out across workers
 //	simstar_sieve_spend_total              counter   certified sieve error mass
 //	simstar_workspace_pool_misses_total    counter   pool-miss workspace builds
 //	simstar_kernel_seconds                 histogram kernel wall time per query
@@ -69,6 +71,8 @@ func NewObserver(reg *obs.Registry) *Observer {
 		"Single-source result-cache misses.")
 	o.sweeps = reg.Counter("simstar_kernel_sweeps_total",
 		"Matrix-sweep iterations the single-source kernels ran.")
+	o.parSweeps = reg.Counter("simstar_parallel_sweeps_total",
+		"Kernel sweeps row-range partitioned across the WithParallelSweeps worker pool.")
 	o.sieveSpend = reg.FloatCounter("simstar_sieve_spend_total",
 		"Certified error mass the approximate kernels' sieves dropped.")
 	o.poolMisses = reg.Counter("simstar_workspace_pool_misses_total",
@@ -91,6 +95,9 @@ func (o *Observer) recordKernel(kt *obs.KernelTrace, d time.Duration) {
 	if kt != nil {
 		if kt.Sweeps > 0 {
 			o.sweeps.Add(uint64(kt.Sweeps))
+		}
+		if kt.ParSweeps > 0 {
+			o.parSweeps.Add(uint64(kt.ParSweeps))
 		}
 		if kt.SieveSpend > 0 {
 			o.sieveSpend.Add(kt.SieveSpend)

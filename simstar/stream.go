@@ -125,6 +125,10 @@ func (e *Engine) TopKStream(ctx context.Context, measureName string, q, k int, e
 	defer st.putStream(sc)
 	ws := st.getWS()
 	defer st.putWS(ws)
+	sw := st.sweeperFor(e.cfg)
+	if sw != nil {
+		defer st.putSweeper(sw)
+	}
 
 	sc.exclude = append(sc.exclude[:0], q)
 	sc.exclude = append(sc.exclude, exclude...)
@@ -154,20 +158,32 @@ func (e *Engine) TopKStream(ctx context.Context, measureName string, q, k int, e
 		case MeasureGeometric, MeasureGeometricMemo:
 			opt := e.cfg.coreOptions()
 			opt.Trace = kt
+			if sw != nil {
+				opt.Parallel = sw
+				opt.Transposed, _ = st.kernelTransposed()
+			}
 			top, err = core.SingleSourceGeometricTopKWS(ctx, st.kernelBackward(), q, kk, opt, ws, sc.scores, dst, sc.exclude...)
 		case MeasureExponential, MeasureExponentialMemo:
 			opt := e.cfg.coreOptions()
 			opt.Trace = kt
+			if sw != nil {
+				opt.Parallel = sw
+				opt.Transposed, _ = st.kernelTransposed()
+			}
 			top, err = core.SingleSourceExponentialTopKWS(ctx, st.kernelBackward(), q, kk, opt, ws, sc.scores, dst, sc.exclude...)
 		case MeasureRWR:
 			opt := e.cfg.rwrOptions()
 			opt.Trace = kt
+			if sw != nil {
+				opt.Parallel = sw
+				_, opt.Transposed = st.kernelTransposed()
+			}
 			top, err = rwr.SingleSourceTopKWS(ctx, st.kernelForward(), q, kk, opt, ws, sc.scores, dst, sc.exclude...)
 		}
 	} else {
 		// Under relabeling the tie-break is defined on external ids, so the
 		// vector must be back in external order before selection.
-		if err = e.exactSingleSourceInto(ctx, st, builtin, st.toInternal(q), ws, sc.scores, kt); err == nil {
+		if err = e.exactSingleSourceInto(ctx, st, builtin, st.toInternal(q), ws, sw, sc.scores, kt); err == nil {
 			st.externalize(sc.scores, ws)
 			top = core.TopKInto(sc.scores, kk, dst, sc.exclude...)
 		}
