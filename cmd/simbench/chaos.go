@@ -1,0 +1,223 @@
+package main
+
+// Chaos mode (-chaos): one closed-loop pass of the mixed workload run under
+// fault injection, scored not on speed but on the resilience contract:
+//
+//	availability  — the process under test keeps answering /healthz while
+//	                kernels panic and sleep underneath it;
+//	honesty       — overload is shed with 429/503 + Retry-After and deadline
+//	                misses answer 504, never a hang or a junk 200;
+//	certification — every 2xx tolerance answer is exact-or-certified: its
+//	                maxError is within the requested ceiling AND its scores
+//	                are within maxError of an independently-computed exact
+//	                oracle.
+//
+// Every op error is classified into the chaos ledger below; anything that
+// does not match an expected failure shape counts as an unexpected error,
+// and violations() turns the ledger into a nonzero exit for CI.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/simstar"
+)
+
+// chaosDeadlineMS is the per-op budget stamped onto every chaosDeadlineEvery-th
+// single/tolerance op: tight enough that injected kernel.slow delays and
+// admission queueing push some ops over it, long enough that an unloaded
+// query never trips it by accident.
+const (
+	chaosDeadlineMS    = 5
+	chaosDeadlineEvery = 5
+	certSamples        = 24
+	healthProbePause   = 5 * time.Millisecond
+)
+
+// chaosJSON is the per-scenario resilience ledger in the report row.
+type chaosJSON struct {
+	// Shed429/Shed503 count requests admission control refused (queue full /
+	// queue timeout or draining); RetryAfterMissing counts those that
+	// arrived without the Retry-After header the contract promises.
+	Shed429           int `json:"shed_429"`
+	Shed503           int `json:"shed_503"`
+	RetryAfterMissing int `json:"retry_after_missing"`
+	// Server500 counts kernel panics the server isolated into a 500 answer;
+	// KernelPanics counts the same fault surfaced in-process (engine mode,
+	// or inside a batch slot). Deadline504/DeadlineExceeded likewise split
+	// deadline misses by surface.
+	Server500        int `json:"server_500"`
+	KernelPanics     int `json:"kernel_panics"`
+	Deadline504      int `json:"deadline_504"`
+	DeadlineExceeded int `json:"deadline_exceeded"`
+	// UnexpectedErrors is everything that matched no expected failure shape
+	// — a connection refused, a malformed answer, a crash. Always a
+	// violation.
+	UnexpectedErrors int `json:"unexpected_errors"`
+	// Healthz prober results: the liveness endpoint must answer 200 for the
+	// whole run (http mode only).
+	HealthzProbes   int `json:"healthz_probes,omitempty"`
+	HealthzFailures int `json:"healthz_failures,omitempty"`
+	// Certificate audit: CertChecks tolerance answers were cross-checked
+	// against an exact oracle; CertSkipped were shed or faulted before
+	// answering (only 2xx answers owe a certificate).
+	CertChecks   int `json:"cert_checks"`
+	CertSkipped  int `json:"cert_skipped,omitempty"`
+	CertFailures int `json:"cert_failures"`
+}
+
+func (c *chaosJSON) add(o chaosJSON) {
+	c.Shed429 += o.Shed429
+	c.Shed503 += o.Shed503
+	c.RetryAfterMissing += o.RetryAfterMissing
+	c.Server500 += o.Server500
+	c.KernelPanics += o.KernelPanics
+	c.Deadline504 += o.Deadline504
+	c.DeadlineExceeded += o.DeadlineExceeded
+	c.UnexpectedErrors += o.UnexpectedErrors
+}
+
+// violations lists the invariant breaches that must fail the run.
+func (c *chaosJSON) violations() []string {
+	var out []string
+	if c.UnexpectedErrors > 0 {
+		out = append(out, fmt.Sprintf("%d errors matched no expected failure shape", c.UnexpectedErrors))
+	}
+	if c.RetryAfterMissing > 0 {
+		out = append(out, fmt.Sprintf("%d shed responses lacked a Retry-After header", c.RetryAfterMissing))
+	}
+	if c.HealthzFailures > 0 {
+		out = append(out, fmt.Sprintf("%d/%d healthz probes failed", c.HealthzFailures, c.HealthzProbes))
+	}
+	if c.CertFailures > 0 {
+		out = append(out, fmt.Sprintf("%d/%d certificate checks failed", c.CertFailures, c.CertChecks))
+	}
+	return out
+}
+
+// decorateChaos stamps the deadline budget onto every chaosDeadlineEvery-th
+// single/tolerance op of a pre-generated stream. Deadlines ride outside the
+// workload checksum: the sampled ops are identical to the mixed scenario's,
+// chaos only decorates them.
+func decorateChaos(ops []op) {
+	for i := range ops {
+		if i%chaosDeadlineEvery == 0 && (ops[i].kind == opSingle || ops[i].kind == opTolerance) {
+			ops[i].deadlineMS = chaosDeadlineMS
+		}
+	}
+}
+
+// classifyChaosErr sorts one failed op into the ledger. The string matches
+// are for failure text that crossed a serialization boundary — a batch
+// slot's error field, an HTTP body — where the sentinel error values are no
+// longer Is-able.
+func classifyChaosErr(err error, cj *chaosJSON) {
+	var se *statusError
+	switch {
+	case errors.As(err, &se):
+		switch se.code {
+		case http.StatusTooManyRequests:
+			cj.Shed429++
+			if !se.retryAfter {
+				cj.RetryAfterMissing++
+			}
+		case http.StatusServiceUnavailable:
+			cj.Shed503++
+			if !se.retryAfter {
+				cj.RetryAfterMissing++
+			}
+		case http.StatusInternalServerError:
+			cj.Server500++
+		case http.StatusGatewayTimeout:
+			cj.Deadline504++
+		default:
+			cj.UnexpectedErrors++
+		}
+	case errors.Is(err, simstar.ErrKernelPanic):
+		cj.KernelPanics++
+	case errors.Is(err, context.DeadlineExceeded):
+		cj.DeadlineExceeded++
+	case strings.Contains(err.Error(), "kernel panic"):
+		cj.KernelPanics++
+	case strings.Contains(err.Error(), context.DeadlineExceeded.Error()):
+		cj.DeadlineExceeded++
+	default:
+		cj.UnexpectedErrors++
+	}
+}
+
+// healthProber is the optional target surface the chaos scenario polls for
+// liveness; only httpTarget implements it (an in-process engine's liveness
+// is the process itself).
+type healthProber interface {
+	probeHealth(ctx context.Context) error
+}
+
+type proberOut struct{ probes, failures int }
+
+// runHealthProber polls the target's liveness endpoint until stopped. The
+// control plane is exempt from admission control, so under full queues and
+// kernel faults every probe must still answer.
+func runHealthProber(ctx context.Context, hp healthProber, stop <-chan struct{}) proberOut {
+	var out proberOut
+	for {
+		select {
+		case <-stop:
+			return out
+		default:
+		}
+		out.probes++
+		if err := hp.probeHealth(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: healthz probe failed: %v\n", err)
+			out.failures++
+		}
+		time.Sleep(healthProbePause)
+	}
+}
+
+// verifyCertificates audits the exact-or-certified contract after the chaos
+// run: certSamples fresh tolerance queries go through the (still faulted)
+// target, and every one that answers must carry maxError within the
+// requested ceiling AND scores within maxError of the oracle — an engine
+// built from the same graph with no faults and no tolerance. Queries the
+// faults or the admission gate refused are skipped: only answers owe a
+// certificate.
+func verifyCertificates(ctx context.Context, t target, oracle *simstar.Engine, p profile, seed int64, cj *chaosJSON) {
+	rng := rand.New(rand.NewSource(seed*86_243 + 11))
+	zipf := rand.NewZipf(rng, p.zipfS, p.zipfV, uint64(p.nodes-1))
+	const slack = 1e-12
+	for i := 0; i < certSamples; i++ {
+		node := int(zipf.Uint64())
+		scores, maxErr, err := t.certFetch(ctx, tolMeasure, node, p.tolerance)
+		if err != nil {
+			cj.CertSkipped++
+			continue
+		}
+		cj.CertChecks++
+		if maxErr < 0 || maxErr > p.tolerance+slack {
+			cj.CertFailures++
+			fmt.Fprintf(os.Stderr, "simbench: cert: node %d maxError %g outside ceiling %g\n", node, maxErr, p.tolerance)
+			continue
+		}
+		exact, err := oracle.SingleSource(ctx, tolMeasure, node)
+		if err != nil || len(exact) != len(scores) {
+			cj.CertFailures++
+			fmt.Fprintf(os.Stderr, "simbench: cert: node %d oracle mismatch (%v, %d vs %d scores)\n", node, err, len(exact), len(scores))
+			continue
+		}
+		for j := range exact {
+			if math.Abs(scores[j]-exact[j]) > maxErr+slack {
+				cj.CertFailures++
+				fmt.Fprintf(os.Stderr, "simbench: cert: node %d score[%d] off by %g, certificate %g\n", node, j, math.Abs(scores[j]-exact[j]), maxErr)
+				break
+			}
+		}
+	}
+}

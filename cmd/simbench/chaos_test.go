@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/simstar"
+)
+
+// TestChaosEngineMode runs the chaos scenario against an in-process engine
+// with a deterministic fault schedule: the first two kernel invocations
+// panic. The ledger must classify every failure as an expected shape (no
+// unexpected errors), the run must survive, and the result checksum must be
+// withheld (which op a fault eats is schedule-dependent).
+func TestChaosEngineMode(t *testing.T) {
+	p := tinyProfile(120)
+	g, _ := benchGraph(p.nodes, p.deg)
+	injector, err := fault.Parse(7, "kernel.panic:x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := newEngineTarget(g, p.tolerance, simstar.WithFaultHook(injector.Hook()))
+
+	row := runScenario(tgt, p, scenario{name: "chaos", chaos: true}, 1, false)
+	cj := row.Chaos
+	if cj == nil {
+		t.Fatal("chaos scenario produced no chaos ledger")
+	}
+	if cj.KernelPanics < 1 || cj.KernelPanics > 2 {
+		t.Errorf("kernel panics = %d, want 1 or 2 (x2 schedule, possibly both in one batch op)", cj.KernelPanics)
+	}
+	if cj.UnexpectedErrors != 0 {
+		t.Errorf("%d unexpected errors under a pure kernel.panic schedule", cj.UnexpectedErrors)
+	}
+	if classified := cj.Shed429 + cj.Shed503 + cj.Server500 + cj.KernelPanics +
+		cj.Deadline504 + cj.DeadlineExceeded + cj.UnexpectedErrors; classified != row.Errors {
+		t.Errorf("ledger classified %d errors, row counted %d", classified, row.Errors)
+	}
+	if row.ResultChecksum != "" {
+		t.Errorf("chaos row must withhold the result checksum, got %q", row.ResultChecksum)
+	}
+	if row.Ops != p.ops {
+		t.Errorf("chaos run completed %d/%d ops", row.Ops, p.ops)
+	}
+
+	// The audit against a fault-free oracle: the x2 schedule is exhausted,
+	// so every sample must answer with a valid certificate.
+	oracle := simstar.NewEngine(g)
+	verifyCertificates(context.Background(), tgt, oracle, p, 1, cj)
+	if cj.CertChecks != certSamples || cj.CertFailures != 0 {
+		t.Errorf("cert audit: %d checks (%d failed, %d skipped), want %d clean",
+			cj.CertChecks, cj.CertFailures, cj.CertSkipped, certSamples)
+	}
+	if len(cj.violations()) != 0 {
+		t.Errorf("violations on a clean run: %v", cj.violations())
+	}
+}
+
+// TestChaosDeadlineClassified: an op with a deadline budget smaller than an
+// injected kernel.slow delay must fail with context.DeadlineExceeded and be
+// ledgered as a deadline miss, not an unexpected error.
+func TestChaosDeadlineClassified(t *testing.T) {
+	p := tinyProfile(8)
+	g, _ := benchGraph(p.nodes, p.deg)
+	injector, err := fault.Parse(3, "kernel.slow:x1:50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := newEngineTarget(g, p.tolerance, simstar.WithFaultHook(injector.Hook()))
+
+	_, runErr := tgt.run(context.Background(),
+		op{kind: opSingle, measure: simstar.MeasureGeometric, node: 0, deadlineMS: 1})
+	if runErr == nil {
+		t.Fatal("50ms injected delay beat a 1ms deadline")
+	}
+	if !errors.Is(runErr, context.DeadlineExceeded) {
+		t.Fatalf("deadline miss surfaced as %v, want context.DeadlineExceeded", runErr)
+	}
+	var cj chaosJSON
+	classifyChaosErr(runErr, &cj)
+	if cj.DeadlineExceeded != 1 || cj.UnexpectedErrors != 0 {
+		t.Errorf("deadline miss ledgered as %+v", cj)
+	}
+}
+
+func TestDecorateChaos(t *testing.T) {
+	ops := []op{
+		{kind: opSingle}, {kind: opTopK}, {kind: opBatch}, {kind: opStream}, {kind: opTolerance},
+		{kind: opTolerance}, {kind: opSingle},
+	}
+	decorateChaos(ops)
+	for i, o := range ops {
+		want := 0
+		if i%chaosDeadlineEvery == 0 && (o.kind == opSingle || o.kind == opTolerance) {
+			want = chaosDeadlineMS
+		}
+		if o.deadlineMS != want {
+			t.Errorf("op %d (%s): deadlineMS = %d, want %d", i, o.kind, o.deadlineMS, want)
+		}
+	}
+}
+
+func TestClassifyChaosErr(t *testing.T) {
+	read := func(c chaosJSON) [8]int {
+		return [8]int{c.Shed429, c.Shed503, c.RetryAfterMissing, c.Server500,
+			c.KernelPanics, c.Deadline504, c.DeadlineExceeded, c.UnexpectedErrors}
+	}
+	cases := []struct {
+		name string
+		err  error
+		want [8]int
+	}{
+		{"429+retry-after", &statusError{code: 429, retryAfter: true}, [8]int{1, 0, 0, 0, 0, 0, 0, 0}},
+		{"429 bare", &statusError{code: 429}, [8]int{1, 0, 1, 0, 0, 0, 0, 0}},
+		{"503 bare", &statusError{code: 503}, [8]int{0, 1, 1, 0, 0, 0, 0, 0}},
+		{"500", &statusError{code: 500}, [8]int{0, 0, 0, 1, 0, 0, 0, 0}},
+		{"504", &statusError{code: 504}, [8]int{0, 0, 0, 0, 0, 1, 0, 0}},
+		{"418", &statusError{code: 418}, [8]int{0, 0, 0, 0, 0, 0, 0, 1}},
+		{"kernel panic sentinel", simstar.ErrKernelPanic, [8]int{0, 0, 0, 0, 1, 0, 0, 0}},
+		{"deadline sentinel", context.DeadlineExceeded, [8]int{0, 0, 0, 0, 0, 0, 1, 0}},
+		{"panic over the wire", errors.New("batch slot 3: simstar: kernel panic: boom"), [8]int{0, 0, 0, 0, 1, 0, 0, 0}},
+		{"deadline over the wire", errors.New("batch slot 1: context deadline exceeded"), [8]int{0, 0, 0, 0, 0, 0, 1, 0}},
+		{"connection refused", errors.New("dial tcp: connection refused"), [8]int{0, 0, 0, 0, 0, 0, 0, 1}},
+	}
+	for _, tc := range cases {
+		var cj chaosJSON
+		classifyChaosErr(tc.err, &cj)
+		if got := read(cj); got != tc.want {
+			t.Errorf("%s: ledger %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/simstar"
 )
 
@@ -54,6 +55,7 @@ type workerOut struct {
 	resHash   uint64
 	errs      int
 	kinds     [opKindCount]int
+	chaos     chaosJSON // chaos scenarios: this worker's failure ledger
 }
 
 // runWorker executes one worker's pre-generated op stream. In closed-loop
@@ -63,6 +65,9 @@ type workerOut struct {
 // quietly slowing the load down.
 func runWorker(ctx context.Context, t target, p profile, sc scenario, seed int64, worker int, start time.Time, digest bool) workerOut {
 	ops := genOps(p, sc.name, seed, worker)
+	if sc.chaos {
+		decorateChaos(ops)
+	}
 	out := workerOut{durations: make([]time.Duration, 0, len(ops))}
 	const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
 	fold := uint64(fnvOffset)
@@ -80,6 +85,9 @@ func runWorker(ctx context.Context, t target, p profile, sc scenario, seed int64
 		out.kinds[o.kind]++
 		if err != nil {
 			out.errs++
+			if sc.chaos {
+				classifyChaosErr(err, &out.chaos)
+			}
 			continue
 		}
 		fold = (fold ^ dg) * fnvPrime
@@ -149,6 +157,17 @@ func runScenario(t target, p profile, sc scenario, seed int64, measureAllocs boo
 	if sc.churn {
 		go func() { churnCh <- runChurn(ctx, t, p, seed, stop) }()
 	}
+	// Chaos scenarios poll liveness for the whole run when the target has a
+	// health endpoint (http mode): the server must answer /healthz however
+	// badly the query plane is faulted.
+	proberCh := make(chan proberOut, 1)
+	probing := false
+	if sc.chaos {
+		if hp, ok := t.(healthProber); ok {
+			probing = true
+			go func() { proberCh <- runHealthProber(ctx, hp, stop) }()
+		}
+	}
 
 	outs := make([]workerOut, p.workers)
 	start := time.Now()
@@ -157,15 +176,17 @@ func runScenario(t target, p profile, sc scenario, seed int64, measureAllocs boo
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			outs[w] = runWorker(ctx, t, p, sc, seed, w, start, !sc.churn)
+			// Result digests are meaningless under churn (epoch-dependent)
+			// and under chaos (which answers a given op is fault-dependent).
+			outs[w] = runWorker(ctx, t, p, sc, seed, w, start, !sc.churn && !sc.chaos)
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	close(stop)
 
 	var churn *churnJSON
 	if sc.churn {
-		close(stop)
 		co := <-churnCh
 		cj := co.cj
 		churn = &cj
@@ -195,13 +216,25 @@ func runScenario(t target, p profile, sc scenario, seed int64, measureAllocs boo
 			}
 		}
 	}
+	if sc.chaos {
+		cj := chaosJSON{}
+		for _, o := range outs {
+			cj.add(o.chaos)
+		}
+		if probing {
+			po := <-proberCh
+			cj.HealthzProbes = po.probes
+			cj.HealthzFailures = po.failures
+		}
+		row.Chaos = &cj
+	}
 	row.Ops = len(durations)
 	row.Latency = summarizeLatency(durations)
 	if elapsed > 0 {
 		row.ThroughputOpsSec = float64(row.Ops) / elapsed.Seconds()
 	}
 	row.WorkloadChecksum = checksumHex(workloadChecksum(p, sc.name, seed))
-	if !sc.churn {
+	if !sc.churn && !sc.chaos {
 		row.ResultChecksum = checksumHex(resSum)
 	}
 	if cacheOK {
@@ -278,6 +311,9 @@ func main() {
 	workersFlag := flag.Int("workers", 0, "override the profile's worker count")
 	sweepsFlag := flag.Int("parallel-sweeps", 0, "WithParallelSweeps for -mode engine: 0/1 serial, n>1 that many workers, -1 all cores")
 	scenariosFlag := flag.String("scenarios", "", "comma-separated scenario filter (default: all)")
+	chaosFlag := flag.Bool("chaos", false, "run the chaos scenario instead: the mixed workload with per-op deadlines, scored on the resilience contract (nonzero exit on violations)")
+	faultSpec := flag.String("fault", "", "fault-injection spec for -chaos -mode engine, e.g. 'kernel.panic:0.02,kernel.slow:0.05:2ms' (for -mode http start simserve with -fault instead)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault schedule")
 	flag.Parse()
 
 	p, ok := profiles[*profileFlag]
@@ -293,16 +329,37 @@ func main() {
 	}
 
 	g, edges := benchGraph(p.nodes, p.deg)
+	// engineOpts is the measured engine configuration; the chaos oracle is
+	// built with the same options (minus faults) so certificates are checked
+	// against the exact kernel the target actually deviates from.
+	engineOpts := []simstar.Option{
+		simstar.WithParallelSweeps(*sweepsFlag),
+		simstar.WithMiner(simstar.MinerOptions{
+			MinSources: 64, MinTargets: 64, DisablePairMining: true,
+		}),
+	}
 	var t target
 	switch *mode {
 	case "engine":
-		t = newEngineTarget(g, p.tolerance, simstar.WithParallelSweeps(*sweepsFlag),
-			simstar.WithMiner(simstar.MinerOptions{
-				MinSources: 64, MinTargets: 64, DisablePairMining: true,
-			}))
+		opts := engineOpts
+		if *faultSpec != "" {
+			injector, err := fault.Parse(*faultSeed, *faultSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+				os.Exit(2)
+			}
+			if injector != nil {
+				fmt.Fprintf(os.Stderr, "simbench: fault injection armed: %s (seed %d)\n", injector, *faultSeed)
+				opts = append(opts[:len(opts):len(opts)], simstar.WithFaultHook(injector.Hook()))
+			}
+		}
+		t = newEngineTarget(g, p.tolerance, opts...)
 	case "http":
 		if *sweepsFlag != 0 {
 			fmt.Fprintf(os.Stderr, "simbench: -parallel-sweeps applies to -mode engine only; the server's own configuration wins\n")
+		}
+		if *faultSpec != "" {
+			fmt.Fprintf(os.Stderr, "simbench: -fault applies to -mode engine only; start simserve with -fault to inject server-side\n")
 		}
 		ht := newHTTPTarget(*addr, p.tolerance)
 		fmt.Fprintf(os.Stderr, "simbench: loading %d-node graph onto %s\n", p.nodes, *addr)
@@ -316,13 +373,35 @@ func main() {
 		os.Exit(2)
 	}
 
+	scs := filterScenarios(scenariosFor(p), *scenariosFlag)
+	var oracle *simstar.Engine
+	if *chaosFlag {
+		// Chaos replaces the benchmark scenarios with one resilience pass,
+		// and needs an exact, fault-free oracle for the certificate audit.
+		scs = []scenario{{name: "chaos", chaos: true}}
+		if *mode == "engine" {
+			oracle = simstar.NewEngine(g, engineOpts...)
+		} else {
+			oracle = simstar.NewEngine(g)
+		}
+	}
+
 	rep := newReport(p.name, *seed, *mode, g.N(), g.M(), *note)
-	for _, sc := range filterScenarios(scenariosFor(p), *scenariosFlag) {
+	for _, sc := range scs {
 		fmt.Fprintf(os.Stderr, "simbench: scenario %s (%d ops, %d workers, churn=%v)\n",
 			sc.name, p.ops, p.workers, sc.churn)
 		row := runScenario(t, p, sc, *seed, *mode == "engine")
 		fmt.Fprintf(os.Stderr, "simbench:   %.0f ops/s, p50 %.0fµs p99 %.0fµs, %d errors\n",
 			row.ThroughputOpsSec, row.Latency.P50Us, row.Latency.P99Us, row.Errors)
+		if sc.chaos && row.Chaos != nil {
+			verifyCertificates(context.Background(), t, oracle, p, *seed, row.Chaos)
+			cj := row.Chaos
+			fmt.Fprintf(os.Stderr, "simbench:   chaos: shed %d/%d, 500s %d, panics %d, deadline misses %d, cert %d ok / %d failed / %d skipped, healthz %d/%d ok\n",
+				cj.Shed429, cj.Shed503, cj.Server500, cj.KernelPanics,
+				cj.Deadline504+cj.DeadlineExceeded,
+				cj.CertChecks-cj.CertFailures, cj.CertFailures, cj.CertSkipped,
+				cj.HealthzProbes-cj.HealthzFailures, cj.HealthzProbes)
+		}
 		rep.Scenarios = append(rep.Scenarios, row)
 	}
 
@@ -334,11 +413,27 @@ func main() {
 	raw = append(raw, '\n')
 	if *out == "-" {
 		os.Stdout.Write(raw)
-		return
+	} else {
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "simbench: wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, raw, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "simbench: writing %s: %v\n", *out, err)
+
+	// Chaos runs gate CI: any breach of the resilience contract is a
+	// nonzero exit, after the report (the evidence) is safely written.
+	failed := false
+	for _, row := range rep.Scenarios {
+		if row.Chaos == nil {
+			continue
+		}
+		for _, v := range row.Chaos.violations() {
+			fmt.Fprintf(os.Stderr, "simbench: chaos invariant violated (%s): %s\n", row.Name, v)
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "simbench: wrote %s\n", *out)
 }

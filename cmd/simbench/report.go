@@ -11,7 +11,8 @@ import (
 // serving-path behaviour under load, the counterpart of cmd/benchjson's
 // kernel ns/op. Checked-in BENCH_<pr>.json files embed it under "serving"
 // (see benchjson -serving). Schema history: 1 = latency/cache/churn rows;
-// 2 adds per-scenario "server_metrics" counter deltas.
+// 2 adds per-scenario "server_metrics" counter deltas; 3 adds the chaos
+// ledger ("chaos") on -chaos runs.
 type benchReport struct {
 	Schema    int            `json:"schema"`
 	Tool      string         `json:"tool"`
@@ -81,11 +82,15 @@ type scenarioJSON struct {
 	// run. Gauges and zero deltas are elided so the member stays a
 	// cross-checkable statement of what the workload exercised.
 	ServerMetrics map[string]float64 `json:"server_metrics,omitempty"`
+	// Chaos is the -chaos mode resilience ledger: how every injected fault
+	// and shed request was answered, the healthz availability record, and
+	// the exact-or-certified audit results.
+	Chaos *chaosJSON `json:"chaos,omitempty"`
 }
 
 func newReport(profile string, seed int64, mode string, nodes, edges int, note string) benchReport {
 	return benchReport{
-		Schema:  2,
+		Schema:  3,
 		Tool:    "simbench",
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,

@@ -13,6 +13,7 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 	"repro/simstar"
@@ -37,7 +38,21 @@ type target interface {
 	// HTTP — keyed like obs.Registry.Snapshot. Scenario rows record the
 	// delta of the counter families across the run.
 	metricsSnapshot() (map[string]float64, bool)
+	// certFetch answers one certified tolerance query — scores plus the
+	// maxError certificate — for the chaos mode's exact-or-certified audit.
+	certFetch(ctx context.Context, measure string, node int, tol float64) (scores []float64, maxErr float64, err error)
 }
+
+// statusError is a non-200 HTTP answer with enough structure for the chaos
+// classifier: the status code, and whether the contract's Retry-After header
+// came with a shed response.
+type statusError struct {
+	code       int
+	retryAfter bool
+	msg        string
+}
+
+func (e *statusError) Error() string { return e.msg }
 
 type churnDelta struct {
 	epoch     uint64
@@ -99,6 +114,9 @@ func (t *engineTarget) run(ctx context.Context, o op) (uint64, error) {
 		eng := t.eng
 		if o.kind == opTolerance {
 			eng = t.tol
+		}
+		if o.deadlineMS > 0 {
+			eng = eng.With(simstar.WithDeadline(time.Duration(o.deadlineMS) * time.Millisecond))
 		}
 		scores, err := eng.SingleSource(ctx, o.measure, o.node)
 		if err != nil {
@@ -170,6 +188,15 @@ func (t *engineTarget) metricsSnapshot() (map[string]float64, bool) {
 	return t.obsv.Registry().Snapshot(), true
 }
 
+// certFetch answers through the engine's batch path, which carries the
+// MaxError certificate alongside the scores. In chaos mode the engine still
+// has the fault hook installed — an injected panic or deadline surfaces as
+// the Result's error and the audit skips the sample.
+func (t *engineTarget) certFetch(ctx context.Context, measure string, node int, tol float64) ([]float64, float64, error) {
+	res := t.eng.With(simstar.WithTolerance(tol)).MultiSource(ctx, []simstar.Query{{Measure: measure, Node: node}})[0]
+	return res.Scores, res.MaxError, res.Err
+}
+
 // httpTarget drives a running simserve over its v1 wire protocol, streaming
 // NDJSON for opStream ops. Request bodies mirror cmd/simserve's queryJSON.
 type httpTarget struct {
@@ -186,16 +213,24 @@ func newHTTPTarget(addr string, tolerance float64) *httpTarget {
 	}
 }
 
-// httpError is the decoded {"error": ...} payload of a non-200 answer.
+// httpError is the decoded {"error": ...} payload of a non-200 answer,
+// carried as a statusError so the chaos classifier can see the status code
+// and the Retry-After header.
 func httpError(resp *http.Response) error {
+	se := &statusError{
+		code:       resp.StatusCode,
+		retryAfter: resp.Header.Get("Retry-After") != "",
+	}
 	var e struct {
 		Error string `json:"error"`
 	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		se.msg = fmt.Sprintf("%s: %s", resp.Status, e.Error)
+	} else {
+		se.msg = fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(body))
 	}
-	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+	return se
 }
 
 func (t *httpTarget) post(ctx context.Context, path string, body, out any) error {
@@ -221,11 +256,12 @@ func (t *httpTarget) post(ctx context.Context, path string, body, out any) error
 
 // wireQuery mirrors simserve's queryJSON request shape.
 type wireQuery struct {
-	Measure   string   `json:"measure"`
-	Node      *int     `json:"node,omitempty"`
-	K         int      `json:"k,omitempty"`
-	Tolerance *float64 `json:"tolerance,omitempty"`
-	Stream    bool     `json:"stream,omitempty"`
+	Measure    string   `json:"measure"`
+	Node       *int     `json:"node,omitempty"`
+	K          int      `json:"k,omitempty"`
+	Tolerance  *float64 `json:"tolerance,omitempty"`
+	Stream     bool     `json:"stream,omitempty"`
+	DeadlineMS int      `json:"deadline_ms,omitempty"`
 }
 
 // wireRanked mirrors simserve's rankedJSON.
@@ -239,7 +275,7 @@ func (t *httpTarget) run(ctx context.Context, o op) (uint64, error) {
 	node := o.node
 	switch o.kind {
 	case opSingle, opTolerance:
-		q := wireQuery{Measure: o.measure, Node: &node}
+		q := wireQuery{Measure: o.measure, Node: &node, DeadlineMS: o.deadlineMS}
 		if o.kind == opTolerance {
 			tol := t.tolerance
 			q.Tolerance = &tol
@@ -406,6 +442,40 @@ func (t *httpTarget) metricsSnapshot() (map[string]float64, bool) {
 		return nil, false
 	}
 	return vals, true
+}
+
+// certFetch answers a certified tolerance query over the wire, for the
+// chaos mode's audit of the server's maxError certificates.
+func (t *httpTarget) certFetch(ctx context.Context, measure string, node int, tol float64) ([]float64, float64, error) {
+	q := wireQuery{Measure: measure, Node: &node, Tolerance: &tol}
+	var out struct {
+		Scores   []float64 `json:"scores"`
+		MaxError float64   `json:"maxError"`
+	}
+	if err := t.post(ctx, "/v1/query/single", q, &out); err != nil {
+		return nil, 0, err
+	}
+	return out.Scores, out.MaxError, nil
+}
+
+// probeHealth is one GET /healthz liveness probe (see healthProber). The
+// control plane is exempt from admission control, so it must answer 200
+// however overloaded or faulted the query plane is.
+func (t *httpTarget) probeHealth(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz answered %s", resp.Status)
+	}
+	return nil
 }
 
 // loadGraph installs the benchmark graph on the remote server so both modes

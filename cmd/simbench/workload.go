@@ -57,6 +57,10 @@ type op struct {
 	node    int
 	k       int
 	batch   []batchItem // opBatch only
+	// deadlineMS is the op's deadline budget, stamped on by the chaos
+	// scenario (see decorateChaos). Not part of the workload checksum: the
+	// sampled stream is the mixed scenario's, chaos only decorates it.
+	deadlineMS int
 }
 
 // opMeasures are the measures the mix samples from — the fast-path kernels a
@@ -134,6 +138,7 @@ type scenario struct {
 	name  string
 	churn bool    // race a concurrent edit stream against the queries
 	rate  float64 // > 0: open loop at this many ops/sec overall
+	chaos bool    // decorate ops with deadlines and keep the chaos ledger
 }
 
 // scenariosFor lists the profile's scenarios: the closed-loop baseline, the

@@ -145,7 +145,7 @@ func TestSnapshotEndpointAndWarmRestart(t *testing.T) {
 	}
 
 	// Warm restart: the loader main uses resumes graph AND epoch.
-	g, epoch, err := loadSnapshot(s.snapPath)
+	g, epoch, err := loadSnapshot(s.snapPath, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

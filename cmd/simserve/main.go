@@ -53,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/simstar"
 )
 
@@ -65,7 +66,17 @@ func main() {
 	cacheSize := flag.Int("cache", 0, "result-cache capacity in entries (0 = default, negative = disabled)")
 	epochEvery := flag.Int("epoch-interval", 0, "edits buffered before materialising a graph epoch (<=1 = every mutation request)")
 	drain := flag.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight requests")
+	drainGrace := flag.Duration("drain-grace", time.Second, "after the drain window, how long force-closed NDJSON streams get to emit their 499 trailer before connections are cut")
 	pprofAddr := flag.String("pprof", "", "optional listen address for net/http/pprof (e.g. localhost:6060); profiling is off when empty")
+	admitLimit := flag.Int("admit-limit", 0, "admission concurrency limit in weight tokens for the query endpoints (0 = no admission control)")
+	admitQueue := flag.Int("admit-queue", 64, "bounded admission queue: requests past this depth shed with 429")
+	admitWait := flag.Duration("admit-wait", 100*time.Millisecond, "max time a request may wait in the admission queue before shedding with 503")
+	degradeHigh := flag.Int("degrade-high", 0, "queue depth at which the governor degrades eligible exact queries to the certified approximate path (0 = never degrade)")
+	degradeLow := flag.Int("degrade-low", 0, "queue depth at which the governor exits degraded mode (hysteresis)")
+	degradeTol := flag.Float64("degrade-tolerance", 1e-3, "certified error ceiling for degraded queries")
+	faultSpec := flag.String("fault", "", "fault-injection spec, e.g. 'kernel.panic:0.02,kernel.slow:0.1:2ms,snapshot.err:x2' (empty = no injection)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault schedule")
+	snapRetries := flag.Int("snapshot-retries", 2, "startup snapshot read retries before giving up")
 	flag.Parse()
 
 	// Opt-in profiling sidecar: the pprof handlers live on their own
@@ -80,9 +91,28 @@ func main() {
 		}()
 	}
 
+	injector, err := fault.Parse(*faultSeed, *faultSpec)
+	if err != nil {
+		log.Fatalf("simserve: %v", err)
+	}
+	if injector != nil {
+		log.Printf("simserve: fault injection armed: %s (seed %d)", injector, *faultSeed)
+	}
+
 	srv := newServer()
 	srv.snapPath = *snapPath
 	srv.logRequests = true
+	srv.faultHook = injector.Hook()
+	if *admitLimit > 0 {
+		srv.adm = newAdmission(admissionConfig{
+			Limit:            *admitLimit,
+			Queue:            *admitQueue,
+			Wait:             *admitWait,
+			DegradeHigh:      *degradeHigh,
+			DegradeLow:       *degradeLow,
+			DegradeTolerance: *degradeTol,
+		})
+	}
 	opts := func() []simstar.Option {
 		var opts []simstar.Option
 		if *c > 0 {
@@ -112,7 +142,7 @@ func main() {
 			err   error
 		)
 		if *snapPath != "" {
-			g, epoch, err = loadSnapshot(*snapPath)
+			g, epoch, err = loadSnapshot(*snapPath, injector, *snapRetries)
 			src = *snapPath
 			if err != nil && !os.IsNotExist(err) {
 				log.Fatalf("simserve: %s: %v", *snapPath, err)
@@ -134,7 +164,7 @@ func main() {
 		}
 	}
 
-	runServer(srv, *addr, *drain)
+	runServer(srv, *addr, *drain, *drainGrace)
 }
 
 // loadEdgeList reads a startup graph in the text edge-list format.
@@ -147,19 +177,51 @@ func loadEdgeList(path string) (*simstar.Graph, error) {
 	return simstar.ReadGraph(f)
 }
 
-// loadSnapshot reads a warm-restart binary snapshot; a missing file is
-// reported with os.IsNotExist so the caller can fall back to -graph.
-func loadSnapshot(path string) (*simstar.Graph, uint64, error) {
+// loadSnapshot reads a warm-restart binary snapshot with bounded
+// retry-and-backoff: a transient read failure (flaky disk, fault injection)
+// re-opens the file up to retries more times, doubling a 50ms backoff
+// between attempts, while a missing file is reported immediately with
+// os.IsNotExist so the caller can fall back to -graph. The strict snapshot
+// framing makes the retry safe — a partially-read or corrupt image can
+// never validate, so the only snapshot a retry can load is a whole one.
+func loadSnapshot(path string, injector *fault.Injector, retries int) (*simstar.Graph, uint64, error) {
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			log.Printf("simserve: %s: retrying snapshot read in %v (attempt %d/%d): %v",
+				path, backoff, attempt+1, retries+1, lastErr)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		g, epoch, err := readSnapshotOnce(path, injector)
+		if err == nil {
+			return g, epoch, nil
+		}
+		if os.IsNotExist(err) {
+			return nil, 0, err
+		}
+		lastErr = err
+	}
+	return nil, 0, fmt.Errorf("snapshot read failed after %d attempts: %w", retries+1, lastErr)
+}
+
+// readSnapshotOnce is one snapshot read attempt, with the fault injector's
+// reader wrapped around the file when injection is armed.
+func readSnapshotOnce(path string, injector *fault.Injector) (*simstar.Graph, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer f.Close()
-	return simstar.ReadSnapshot(f)
+	return simstar.ReadSnapshot(injector.Reader(f))
 }
 
-// runServer serves until SIGINT/SIGTERM, then drains.
-func runServer(srv *server, addr string, drain time.Duration) {
+// runServer serves until SIGINT/SIGTERM, then drains in three stages: shed
+// new query work immediately, wait up to drain for in-flight requests, and
+// past that force-close NDJSON streams (in-band 499 trailer) with grace to
+// flush before connections are cut.
+func runServer(srv *server, addr string, drain, grace time.Duration) {
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           srv.handler(),
@@ -178,15 +240,23 @@ func runServer(srv *server, addr string, drain time.Duration) {
 	case <-ctx.Done():
 	}
 	log.Printf("simserve: shutting down (draining up to %v)", drain)
+	// Stage 1: shed all new query work so the drain window belongs to the
+	// requests already in flight.
+	srv.beginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		// Drain window exhausted: cut the stragglers' connections, which
-		// cancels their request contexts and thereby their kernels.
-		httpSrv.Close()
 		if !errors.Is(err, context.DeadlineExceeded) {
+			httpSrv.Close()
 			log.Fatalf("simserve: shutdown: %v", err)
 		}
-		fmt.Fprintln(os.Stderr, "simserve: drain window exhausted, connections closed")
+		// Stage 2: drain window exhausted. Force NDJSON streams to end
+		// themselves with an in-band 499 trailer, give them grace to flush
+		// it, then cut whatever is left — cancelling the stragglers'
+		// request contexts and thereby their kernels.
+		fmt.Fprintln(os.Stderr, "simserve: drain window exhausted, force-closing streams")
+		srv.forceDrain()
+		time.Sleep(grace)
+		httpSrv.Close()
 	}
 }

@@ -8,6 +8,8 @@ package main
 // per-graph result cache keeps dying with its engine.
 
 import (
+	"errors"
+	"fmt"
 	"log"
 	"net/http"
 	"time"
@@ -68,12 +70,55 @@ func (s *server) initMetrics() {
 			}
 			return 0
 		})
+	// Resilience instruments: registered unconditionally (even when the
+	// admission gate is off) so the chaos CI job can assert on their
+	// presence and dashboards never branch on series absence.
+	s.shedByReason = make(map[string]*obs.Counter)
+	for _, reason := range []string{shedQueueFull, shedQueueTimeout, shedDraining} {
+		s.shedByReason[reason] = s.reg.Counter("simstar_shed_total",
+			"Query requests shed by admission control, by reason.",
+			obs.Label{Name: "reason", Value: reason})
+	}
+	s.degradedTotal = s.reg.Counter("simstar_degraded_total",
+		"Exact queries the overload governor downgraded to the certified approximate path.")
+	s.queueWait = s.reg.Histogram("simstar_queue_wait_seconds",
+		"Time query requests spent in the admission queue (admitted or shed).",
+		obs.LatencyBuckets)
+	s.panicsRecovered = s.reg.Counter("simserve_panics_recovered_total",
+		"Handler panics caught by the per-request isolation barrier.")
+	s.reg.GaugeFunc("simserve_admission_queue_depth",
+		"Requests currently waiting in the admission queue.",
+		func() float64 { return float64(s.adm.queueDepth()) })
+	s.reg.GaugeFunc("simserve_degraded_mode",
+		"Whether the overload governor has the server in degraded mode (1) or not (0).",
+		func() float64 {
+			if s.adm.isDegraded() {
+				return 1
+			}
+			return 0
+		})
 }
 
-// engineOptions appends the server's shared observer to a request's engine
-// options. It goes last so nothing on the wire can detach the metrics.
+// shedTotal resolves the shed counter for a reason; unknown reasons fall
+// back to on-demand registration rather than a nil dereference.
+func (s *server) shedTotal(reason string) *obs.Counter {
+	if c, ok := s.shedByReason[reason]; ok {
+		return c
+	}
+	return s.reg.Counter("simstar_shed_total",
+		"Query requests shed by admission control, by reason.",
+		obs.Label{Name: "reason", Value: reason})
+}
+
+// engineOptions appends the server's shared observer — and, under -fault,
+// the injector's hook — to a request's engine options. They go last so
+// nothing on the wire can detach the metrics or dodge the fault schedule.
 func (s *server) engineOptions(opts []simstar.Option) []simstar.Option {
-	return append(opts, simstar.WithObserver(s.obsv))
+	opts = append(opts, simstar.WithObserver(s.obsv))
+	if s.faultHook != nil {
+		opts = append(opts, simstar.WithFaultHook(s.faultHook))
+	}
+	return opts
 }
 
 // statusWriter records the response status and size for the route
@@ -137,7 +182,7 @@ func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		s.inflight.Inc()
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
-		h(sw, r)
+		s.serveRecovered(route, sw, r, h)
 		d := time.Since(start)
 		s.inflight.Dec()
 		reqs.Inc()
@@ -150,6 +195,33 @@ func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 				r.Method, route, sw.status(), float64(d.Microseconds())/1e3, sw.bytes)
 		}
 	}
+}
+
+// serveRecovered runs one route handler behind the per-request panic
+// barrier: a panic anywhere in the serving layer answers 500 (when the
+// status line is still open) and is counted, instead of net/http tearing
+// down the connection — one poisoned request must not look like a crash to
+// the client or take out keep-alive neighbours. http.ErrAbortHandler is the
+// deliberate abort idiom and passes through untouched. Engine kernels have
+// their own recovery (simstar.ErrKernelPanic) and normally never reach
+// this; the barrier is the serving layer's own last line.
+func (s *server) serveRecovered(route string, sw *statusWriter, r *http.Request, h http.HandlerFunc) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+			panic(rec)
+		}
+		s.panicsRecovered.Inc()
+		log.Printf("simserve: route=%s recovered panic: %v", route, rec)
+		if sw.code == 0 {
+			writeError(sw, http.StatusInternalServerError,
+				fmt.Errorf("internal error: recovered panic serving %s", route))
+		}
+	}()
+	h(sw, r)
 }
 
 // handleMetrics serves the registry in the Prometheus text exposition

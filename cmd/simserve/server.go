@@ -51,6 +51,27 @@ type server struct {
 	// logRequests turns on the per-request access log line; main() sets it,
 	// tests leave it off.
 	logRequests bool
+
+	// adm is the admission gate in front of the query routes; nil when the
+	// server runs without -admit-limit (queries run unthrottled and the
+	// degradation governor never engages). See admission.go.
+	adm *admission
+	// draining sheds all new query work with 503 once shutdown begins;
+	// drainForced additionally makes NDJSON emission loops abort at their
+	// next iteration when the drain window is exhausted.
+	draining    atomic.Bool
+	drainForced atomic.Bool
+	// faultHook, when simserve runs with -fault, is attached to every
+	// engine the server builds so the injector's kernel faults fire inside
+	// real queries.
+	faultHook func(site string)
+
+	// Resilience instruments (registered unconditionally in initMetrics so
+	// the chaos CI job can assert on their presence even at zero).
+	shedByReason    map[string]*obs.Counter
+	degradedTotal   *obs.Counter
+	queueWait       *obs.Histogram
+	panicsRecovered *obs.Counter
 }
 
 func newServer() *server {
@@ -88,9 +109,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/edges", s.instrument("edges", s.handleEditEdges))
 	mux.HandleFunc("DELETE /v1/edges", s.instrument("edges_delete", s.handleDeleteEdges))
 	mux.HandleFunc("POST /v1/snapshot", s.instrument("snapshot", s.handleSnapshot))
-	mux.HandleFunc("POST /v1/query/single", s.instrument("single", s.handleSingle))
-	mux.HandleFunc("POST /v1/query/topk", s.instrument("topk", s.handleTopK))
-	mux.HandleFunc("POST /v1/query/batch", s.instrument("batch", s.handleBatch))
+	// Only the query routes sit behind the admission gate: control-plane
+	// and mutation endpoints stay reachable on an overloaded server.
+	mux.HandleFunc("POST /v1/query/single", s.instrument("single", s.admit(weightSingle, s.handleSingle)))
+	mux.HandleFunc("POST /v1/query/topk", s.instrument("topk", s.admit(weightTopK, s.handleTopK)))
+	mux.HandleFunc("POST /v1/query/batch", s.instrument("batch", s.admit(weightBatch, s.handleBatch)))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.served.Add(1)
 		mux.ServeHTTP(w, r)
@@ -114,9 +137,9 @@ type errorResponse struct {
 }
 
 // writeError maps an error to a JSON error payload: context cancellation
-// (client gone), deadline overrun and oversized bodies get their own
-// statuses so operators can tell load problems from bad requests in access
-// logs.
+// (client gone), deadline overrun, recovered kernel panics and oversized
+// bodies get their own statuses so operators can tell load problems from
+// bad requests in access logs.
 func writeError(w http.ResponseWriter, code int, err error) {
 	var tooBig *http.MaxBytesError
 	switch {
@@ -124,6 +147,11 @@ func writeError(w http.ResponseWriter, code int, err error) {
 		code = statusClientClosedRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
+	case errors.Is(err, simstar.ErrKernelPanic):
+		// A fault inside the kernel is the server's problem, not the
+		// request's — and it was isolated, so the process answers 500 and
+		// keeps serving.
+		code = http.StatusInternalServerError
 	case errors.As(err, &tooBig):
 		code = http.StatusRequestEntityTooLarge
 	}
@@ -406,6 +434,10 @@ type queryJSON struct {
 	Exclude   []int        `json:"exclude,omitempty"`
 	Tolerance *float64     `json:"tolerance,omitempty"`
 	Options   *optionsJSON `json:"options,omitempty"`
+	// DeadlineMS is the query's compute budget in milliseconds: when it
+	// expires the engine aborts the kernels mid-sweep and the request
+	// answers 504.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 	// Stream switches the topk endpoint to the chunked NDJSON response
 	// (see stream.go); the single endpoint rejects it.
 	Stream bool `json:"stream,omitempty"`
@@ -449,6 +481,9 @@ func (q *queryJSON) toQuery(g *simstar.Graph) (simstar.Query, error) {
 	if q.Tolerance != nil {
 		// The shorthand goes first so an explicit options.tolerance wins.
 		opts = append(opts, simstar.WithTolerance(*q.Tolerance))
+	}
+	if q.DeadlineMS > 0 {
+		opts = append(opts, simstar.WithDeadline(time.Duration(q.DeadlineMS)*time.Millisecond))
 	}
 	opts = append(opts, q.Options.options()...)
 	return simstar.Query{
@@ -494,6 +529,10 @@ type singleResponse struct {
 	// requested tolerance for approximate ones.
 	MaxError float64   `json:"maxError"`
 	Scores   []float64 `json:"scores"`
+	// Degraded marks an exact query the overload governor downgraded to
+	// the certified approximate path; MaxError then carries the
+	// certificate bounding how approximate (see admission.go).
+	Degraded bool `json:"degraded,omitempty"`
 	// Trace is the per-query stage trace, present under ?trace=1.
 	Trace *obs.Trace `json:"trace,omitempty"`
 }
@@ -511,6 +550,7 @@ func (s *server) handleSingle(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("stream is only supported on the topk and batch endpoints"))
 		return
 	}
+	degraded := s.maybeDegrade(&q, qj.wantsTolerance())
 	if traceWanted(r) {
 		qe := eng
 		if len(q.Opts) > 0 {
@@ -528,6 +568,7 @@ func (s *server) handleSingle(w http.ResponseWriter, r *http.Request) {
 			Cached:   tr.Cached,
 			MaxError: tr.MaxError,
 			Scores:   scores,
+			Degraded: degraded,
 			Trace:    tr,
 		})
 		return
@@ -545,6 +586,7 @@ func (s *server) handleSingle(w http.ResponseWriter, r *http.Request) {
 		Cached:   res.Cached,
 		MaxError: res.MaxError,
 		Scores:   res.Scores,
+		Degraded: degraded,
 	})
 }
 
@@ -579,6 +621,9 @@ type topKResponse struct {
 	// either order.
 	MaxError float64      `json:"maxError"`
 	Top      []rankedJSON `json:"top"`
+	// Degraded marks a query the overload governor downgraded to the
+	// certified approximate path (see singleResponse.Degraded).
+	Degraded bool `json:"degraded,omitempty"`
 	// Trace is the per-query stage trace, present under ?trace=1.
 	Trace *obs.Trace `json:"trace,omitempty"`
 }
@@ -592,8 +637,9 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	degraded := s.maybeDegrade(&q, qj.wantsTolerance())
 	if qj.Stream {
-		s.streamTopK(w, r, eng, q, qj.wantsTolerance(), traceWanted(r))
+		s.streamTopK(w, r, eng, q, qj.wantsTolerance() || degraded, degraded, traceWanted(r))
 		return
 	}
 	if traceWanted(r) {
@@ -613,6 +659,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			Cached:   tr.Cached,
 			MaxError: tr.MaxError,
 			Top:      rankedList(eng.Graph(), top),
+			Degraded: degraded,
 			Trace:    tr,
 		})
 		return
@@ -629,6 +676,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		Cached:   res.Cached,
 		MaxError: res.MaxError,
 		Top:      rankedList(eng.Graph(), res.Top),
+		Degraded: degraded,
 	})
 }
 
@@ -638,6 +686,10 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 type batchRequest struct {
 	Mode    string      `json:"mode,omitempty"`
 	Queries []queryJSON `json:"queries"`
+	// DeadlineMS is a budget for the whole batch in milliseconds (on top
+	// of any per-query deadline_ms): when it expires the engine call is
+	// cancelled and the request answers 504.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 	// Stream switches the response to chunked NDJSON: one line per query
 	// result instead of one enveloping JSON document (see stream.go).
 	Stream bool `json:"stream,omitempty"`
@@ -653,7 +705,10 @@ type batchResultJSON struct {
 	MaxError float64      `json:"maxError,omitempty"`
 	Scores   []float64    `json:"scores,omitempty"`
 	Top      []rankedJSON `json:"top,omitempty"`
-	Error    string       `json:"error,omitempty"`
+	// Degraded marks a slot the overload governor downgraded to the
+	// certified approximate path (see singleResponse.Degraded).
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 type batchResponse struct {
@@ -687,6 +742,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
 		return
 	}
+	// The batch-level budget rides the request context so it also bounds
+	// response assembly and streaming, not just the engine call.
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
 	// Queries that fail wire-level resolution (unknown label, missing
 	// measure) answer in their own slot and never reach the engine — no
 	// spurious cache misses, no made-up node ids in the response.
@@ -694,12 +757,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	resp := batchResponse{Results: make([]batchResultJSON, len(req.Queries))}
 	queries := make([]simstar.Query, 0, len(req.Queries))
 	slot := make([]int, 0, len(req.Queries))
+	degraded := make([]bool, 0, len(req.Queries))
 	for i := range req.Queries {
 		q, err := req.Queries[i].toQuery(g)
 		if err != nil {
 			resp.Results[i] = batchResultJSON{Label: req.Queries[i].Label, Error: err.Error()}
 			continue
 		}
+		degraded = append(degraded, s.maybeDegrade(&q, req.Queries[i].wantsTolerance()))
 		queries = append(queries, q)
 		slot = append(slot, i)
 	}
@@ -714,21 +779,22 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// tr.Plan; with tr nil they are exactly BatchTopK/MultiSource.
 	var results []simstar.Result
 	if topk {
-		results = eng.BatchTopKTrace(r.Context(), queries, tr)
+		results = eng.BatchTopKTrace(ctx, queries, tr)
 	} else {
-		results = eng.MultiSourceTrace(r.Context(), queries, tr)
+		results = eng.MultiSourceTrace(ctx, queries, tr)
 	}
 	if tr != nil {
 		tr.AddSpan("batch", time.Since(start))
 	}
-	// The whole batch answers 200 unless the request itself died: per-query
-	// failures ride in their result slot.
-	if err := r.Context().Err(); err != nil {
+	// The whole batch answers 200 unless the request itself died (client
+	// gone, batch deadline overrun): per-query failures ride in their
+	// result slot.
+	if err := ctx.Err(); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	t1 := time.Now()
-	assembleBatchResults(g, resp.Results, queries, slot, results)
+	assembleBatchResults(g, resp.Results, queries, slot, degraded, results)
 	if tr != nil {
 		tr.AddSpan("assemble", time.Since(t1))
 	}
@@ -746,7 +812,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // assembleBatchResults fills each computed query's slot of dst; slots of
 // queries that failed wire-level resolution were answered at decode time.
-func assembleBatchResults(g *simstar.Graph, dst []batchResultJSON, queries []simstar.Query, slot []int, results []simstar.Result) {
+// degraded runs parallel to queries and marks the slots the overload
+// governor downgraded.
+func assembleBatchResults(g *simstar.Graph, dst []batchResultJSON, queries []simstar.Query, slot []int, degraded []bool, results []simstar.Result) {
 	for j, res := range results {
 		node := queries[j].Node
 		out := batchResultJSON{Node: &node}
@@ -758,6 +826,7 @@ func assembleBatchResults(g *simstar.Graph, dst []batchResultJSON, queries []sim
 			out.MaxError = res.MaxError
 			out.Scores = res.Scores
 			out.Top = rankedList(g, res.Top)
+			out.Degraded = degraded[j]
 		}
 		dst[slot[j]] = out
 	}

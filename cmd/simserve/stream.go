@@ -33,6 +33,9 @@ type streamHeaderJSON struct {
 	Cached  bool   `json:"cached"`
 	// MaxError certifies the underlying score vector (see topKResponse).
 	MaxError float64 `json:"maxError"`
+	// Degraded marks a stream the overload governor downgraded to the
+	// certified approximate path (see singleResponse.Degraded).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // streamEntryJSON is one ranked entry line. MaxError is repeated per chunk
@@ -121,7 +124,7 @@ func (s *server) abort(sw *streamWriter, count int, err error) {
 // lazy TopKStream — the serving path never materialises the O(n) score
 // vector. Errors before the first byte map to ordinary JSON error
 // responses; after that the stream owns the connection.
-func (s *server) streamTopK(w http.ResponseWriter, r *http.Request, eng *simstar.Engine, q simstar.Query, tolerance, traced bool) {
+func (s *server) streamTopK(w http.ResponseWriter, r *http.Request, eng *simstar.Engine, q simstar.Query, tolerance, degraded, traced bool) {
 	qe := eng
 	if len(q.Opts) > 0 {
 		qe = eng.With(q.Opts...)
@@ -156,6 +159,7 @@ func (s *server) streamTopK(w http.ResponseWriter, r *http.Request, eng *simstar
 		K:        q.K,
 		Cached:   st.Cached(),
 		MaxError: st.MaxError(),
+		Degraded: degraded,
 	}) {
 		s.aborted.Inc()
 		return
@@ -163,6 +167,12 @@ func (s *server) streamTopK(w http.ResponseWriter, r *http.Request, eng *simstar
 	count := 0
 	emit := time.Now()
 	for {
+		// The drain hard cap force-closes even a healthy stream: the 499
+		// trailer tells the client the server, not the network, ended it.
+		if s.drainForced.Load() {
+			s.abort(sw, count, errDraining)
+			return
+		}
 		if err := r.Context().Err(); err != nil {
 			s.abort(sw, count, err)
 			return
@@ -202,6 +212,10 @@ func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, results []b
 	count := 0
 	emit := time.Now()
 	for i := range results {
+		if s.drainForced.Load() {
+			s.abort(sw, count, errDraining)
+			return
+		}
 		if err := r.Context().Err(); err != nil {
 			s.abort(sw, count, err)
 			return

@@ -30,6 +30,12 @@ import (
 // amortise the CSR construction across queries; the context is checked
 // between sweeps so deadlines and cancellation abort long runs.
 
+// foldPollStride is how many fold-loop Axpys run between amortised context
+// checks (see sparse.CtxPoll): small enough that a per-query deadline lands
+// within a few O(n) vector ops, large enough that the poll stays off the
+// fold's critical path.
+const foldPollStride = 8
+
 // SingleSourceGeometric returns the geometric SimRank* scores between q and
 // every node, identical to row q of Geometric(g, opt).
 func SingleSourceGeometric(g *graph.Graph, q int, opt Options) []float64 {
@@ -89,6 +95,11 @@ func SingleSourceGeometricWS(ctx context.Context, qm *sparse.CSR, q int, opt Opt
 	next := ws.Raw()
 	half := opt.C / 2
 	sweeps := 0
+	// The fold runs O(K²) dense Axpys between backward sweeps; the amortised
+	// poller bounds cancellation latency there to foldPollStride Axpys, so a
+	// deadline firing mid-fold aborts the query without waiting for the next
+	// sweep boundary.
+	poll := sparse.PollEvery(ctx, foldPollStride)
 	for beta := 0; beta <= k; beta++ {
 		if beta > 0 {
 			if err := ctx.Err(); err != nil {
@@ -103,6 +114,9 @@ func SingleSourceGeometricWS(ctx context.Context, qm *sparse.CSR, q int, opt Opt
 			cur, next = next, cur
 		}
 		for alpha := 0; alpha+beta <= k; alpha++ {
+			if err := poll.Check(); err != nil {
+				return err
+			}
 			coef := math.Pow(half, float64(alpha+beta)) * binom(alpha+beta, alpha)
 			dense.Axpy(y[alpha], coef, cur)
 		}

@@ -1,0 +1,153 @@
+package dyngraph
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// validSnapshotBytes serialises a small store snapshot for the corruption
+// tests to mutate.
+func validSnapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	s := New(baseGraph())
+	if _, err := s.Apply([]Edit{Insert(4, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A warm restart must reject every corrupted snapshot — truncations, bad
+// magic, flipped structure bytes, trailing garbage — rather than serve a
+// graph that happens to parse from the wreckage.
+func TestReadSnapshotRejectsCorruption(t *testing.T) {
+	valid := validSnapshotBytes(t)
+	if _, err := ReadSnapshot(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	// Offsets of structural regions: the dyngraph header (magic + epoch),
+	// then the graph payload (its own magic + flags/n/m header + arrays).
+	graphStart := len(snapshotMagic) + 8
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "snapshot header"},
+		{"truncated header", func(b []byte) []byte { return b[:graphStart-3] }, "snapshot header"},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}, "bad snapshot magic"},
+		{"truncated graph header", func(b []byte) []byte { return b[:graphStart+4] }, "binary header"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-5] }, "binary snapshot"},
+		{"unknown flags", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[graphStart+len("SIMGRB1\n")] |= 0x80
+			return c
+		}, "unknown binary snapshot flags"},
+		{"corrupt offsets", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			// First outOff entry must be 0; stamping it breaks the span check.
+			copy(c[graphStart+len("SIMGRB1\n")+20:], []byte{0xFF, 0xFF, 0xFF, 0x7F})
+			return c
+		}, "offsets"},
+		{"trailing garbage", func(b []byte) []byte { return append(append([]byte(nil), b...), 0xAB) }, "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSnapshot(bytes.NewReader(tc.mutate(valid)))
+			if err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// flakyReader fails with a transport error partway through the payload —
+// the short-read shape a fault-injected or overloaded filesystem produces.
+type flakyReader struct {
+	data []byte
+	pos  int
+	fail int // byte offset at which reads start failing
+}
+
+func (r *flakyReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	if r.pos >= r.fail {
+		return 0, errors.New("disk: injected short read")
+	}
+	n := copy(p, r.data[r.pos:min(len(r.data), r.fail)])
+	r.pos += n
+	return n, nil
+}
+
+func TestReadSnapshotShortRead(t *testing.T) {
+	valid := validSnapshotBytes(t)
+	for _, fail := range []int{3, len(snapshotMagic) + 4, len(valid) / 2, len(valid) - 1} {
+		if _, err := ReadSnapshot(&flakyReader{data: valid, fail: fail}); err == nil {
+			t.Fatalf("short read at byte %d accepted", fail)
+		}
+	}
+	// The same reader with the failure point past the payload succeeds: the
+	// retry path re-opens and gets a clean stream.
+	if _, err := ReadSnapshot(&flakyReader{data: valid, fail: len(valid)}); err != nil {
+		t.Fatalf("full stream rejected: %v", err)
+	}
+}
+
+// FuzzReadSnapshot hammers the warm-restart loader: no input may panic, and
+// accepted snapshots must re-serialise bit-for-bit — the format is strictly
+// framed (no trailing data, no unknown flags), so acceptance implies
+// canonical form.
+func FuzzReadSnapshot(f *testing.F) {
+	s := New(baseGraph())
+	if _, err := s.Apply([]Edit{Insert(4, 0)}); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, s.Snapshot()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(append(append([]byte(nil), valid...), 0x00))
+	f.Add([]byte("SIMSNP1\n"))
+	f.Add([]byte("SIMSNP1\n\x01\x00\x00\x00\x00\x00\x00\x00SIMGRB1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input
+		}
+		var out bytes.Buffer
+		if err := WriteSnapshot(&out, snap); err != nil {
+			t.Fatalf("re-serialising accepted snapshot: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("accepted snapshot is not canonical: %d bytes in, %d out", len(data), out.Len())
+		}
+		// And the graph inside honours the package contract.
+		var gbuf bytes.Buffer
+		if _, err := snap.Graph.WriteTo(&gbuf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := graph.ReadFrom(bytes.NewReader(gbuf.Bytes())); err != nil {
+			t.Fatalf("embedded graph does not round-trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	bad := []string{
+		"kernel.panic",             // no rate
+		"kernel.panic:2",           // probability out of range
+		"kernel.panic:-0.1",        // negative
+		"kernel.panic:x0",          // zero token trigger
+		"kernel.panic:xq",          // malformed token trigger
+		"nodot:0.5",                // point without a site.action dot
+		"kernel.slow:0.5:nonsense", // bad delay
+		"kernel.slow:0.5:1ms:extra",
+		"kernel.panic:0.5,kernel.panic:0.5", // duplicate
+	}
+	for _, spec := range bad {
+		if _, err := Parse(1, spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestParseEmptyIsInert(t *testing.T) {
+	in, err := Parse(1, "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in != nil {
+		t.Fatalf("empty spec should yield a nil injector, got %v", in)
+	}
+	// Every method must be a no-op on nil.
+	if fired, _ := in.Fire(PointKernelPanic); fired {
+		t.Fatal("nil injector fired")
+	}
+	if in.Hook() != nil {
+		t.Fatal("nil injector returned a hook")
+	}
+	r := strings.NewReader("data")
+	if in.Reader(r) != io.Reader(r) {
+		t.Fatal("nil injector wrapped a reader")
+	}
+	if in.Counts() != nil {
+		t.Fatal("nil injector reported counts")
+	}
+	if in.String() != "<no faults>" {
+		t.Fatalf("nil String = %q", in.String())
+	}
+}
+
+func TestFireIsDeterministic(t *testing.T) {
+	draw := func() []bool {
+		in, err := Parse(42, "kernel.panic:0.3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i], _ = in.Fire(PointKernelPanic)
+		}
+		return out
+	}
+	a, b := draw(), b2(draw)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identical injectors", i)
+		}
+	}
+	anyFired := false
+	for _, f := range a {
+		anyFired = anyFired || f
+	}
+	if !anyFired {
+		t.Fatal("rate 0.3 never fired in 64 draws")
+	}
+}
+
+// b2 exists only to keep the two draw sequences visually symmetric.
+func b2(f func() []bool) []bool { return f() }
+
+func TestSeedMovesTheSchedule(t *testing.T) {
+	seq := func(seed uint64) string {
+		in, _ := Parse(seed, "kernel.panic:0.5")
+		var sb strings.Builder
+		for i := 0; i < 64; i++ {
+			if f, _ := in.Fire(PointKernelPanic); f {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		return sb.String()
+	}
+	if seq(1) == seq(2) {
+		t.Fatal("different seeds produced the identical 64-draw schedule")
+	}
+}
+
+func TestTokenTriggerFiresFirstN(t *testing.T) {
+	in, err := Parse(7, "snapshot.err:x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		fired, _ := in.Fire(PointSnapshotErr)
+		if want := i < 2; fired != want {
+			t.Fatalf("draw %d: fired=%v, want %v", i, fired, want)
+		}
+	}
+	if got := in.Counts()[PointSnapshotErr]; got != 2 {
+		t.Fatalf("fired count = %d, want 2", got)
+	}
+}
+
+func TestHookPanicsAndSleeps(t *testing.T) {
+	in, err := Parse(3, "kernel.panic:x1,kernel.slow:x1:1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := in.Hook()
+	start := time.Now()
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("hook did not panic on a fired kernel.panic")
+			}
+		}()
+		hook("kernel")
+	}()
+	if time.Since(start) < time.Millisecond {
+		t.Error("hook did not sleep through kernel.slow")
+	}
+	// Both token triggers are spent: the next call is clean.
+	hook("kernel")
+}
+
+func TestReaderInjectsAndRecovers(t *testing.T) {
+	in, err := Parse(9, "snapshot.err:x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("snapshot payload bytes")
+	// The first two wrapped readers fail on their first Read; the third
+	// succeeds end to end — the retry-path schedule warm restart uses.
+	for attempt := 0; attempt < 3; attempt++ {
+		got, rerr := io.ReadAll(in.Reader(bytes.NewReader(payload)))
+		if attempt < 2 {
+			if !errors.Is(rerr, ErrInjected) {
+				t.Fatalf("attempt %d: err = %v, want ErrInjected", attempt, rerr)
+			}
+			continue
+		}
+		if rerr != nil {
+			t.Fatalf("attempt %d: %v", attempt, rerr)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("attempt %d read %q", attempt, got)
+		}
+	}
+}
+
+func TestStringListsPoints(t *testing.T) {
+	in, _ := Parse(1, "kernel.slow:0.1:1ms,kernel.panic:0.2")
+	if got := in.String(); got != "kernel.panic,kernel.slow" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -143,6 +143,12 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: reading binary header: %w", err)
 	}
 	flags := binary.LittleEndian.Uint32(hdr[0:])
+	if flags&^1 != 0 {
+		// Unknown flag bits are a version or corruption signal, not something
+		// to ignore: a snapshot written by a future format revision must fail
+		// loudly here rather than load as a subtly wrong graph.
+		return nil, fmt.Errorf("graph: unknown binary snapshot flags %#x", flags)
+	}
 	n := binary.LittleEndian.Uint64(hdr[4:])
 	m := binary.LittleEndian.Uint64(hdr[12:])
 	const maxBinaryNodes = 1 << 31
@@ -219,6 +225,16 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 				g.byLabel[g.labels[i]] = i
 			}
 		}
+	}
+	// Strict framing: the payload must end exactly where the format says it
+	// does. Trailing bytes mean a corrupt snapshot (a torn write, a
+	// concatenation accident) masquerading as a valid graph — a warm restart
+	// must reject it, not silently serve whatever prefix happened to parse.
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("graph: probing for trailing data: %w", err)
+		}
+		return nil, fmt.Errorf("graph: trailing data after binary snapshot payload")
 	}
 	return g, nil
 }

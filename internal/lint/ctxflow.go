@@ -17,8 +17,9 @@ import (
 //
 //   - In kernel and sweep packages alike: a function that takes a
 //     context.Context and contains loops must reference the context inside
-//     at least one loop — either checking ctx.Err()/ctx.Done() directly or
-//     passing ctx to a callee that does.
+//     at least one loop — either checking ctx.Err()/ctx.Done() directly,
+//     passing ctx to a callee that does, or consulting a local derived from
+//     ctx (e.g. an amortised sparse.CtxPoll built by PollEvery(ctx, n)).
 //   - In kernel packages only: a function without a context.Context whose
 //     body nests loops two deep or more is an iterative kernel that cannot
 //     be cancelled. The fix is a Ctx variant (the loop-free original stays
@@ -114,14 +115,18 @@ func isContextType(t types.Type) bool {
 }
 
 // checkCtxUsedInLoops reports fn if it contains loops but never references
-// its context parameter inside any of them.
+// its context parameter inside any of them. "References" includes locals
+// derived from the context — an amortised poller like
+// `poll := sparse.PollEvery(ctx, n)` carries the cancellation contract, so a
+// loop consulting only poll.Check() still counts as consulting ctx.
 func checkCtxUsedInLoops(pass *Pass, fn *ast.FuncDecl, ctx types.Object) {
+	derived := ctxDerivedLocals(pass, fn, ctx)
 	hasLoop := false
 	used := false
 	var visitLoop func(body ast.Node)
 	visitLoop = func(body ast.Node) {
 		ast.Inspect(body, func(n ast.Node) bool {
-			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == ctx {
+			if id, ok := n.(*ast.Ident); ok && derived[pass.Info.Uses[id]] {
 				used = true
 			}
 			return !used
@@ -151,6 +156,69 @@ func checkCtxUsedInLoops(pass *Pass, fn *ast.FuncDecl, ctx types.Object) {
 		pass.Reportf(fn.Name.Pos(),
 			"%s takes a context.Context but never consults it inside its loops; check ctx.Err() (or pass ctx to the kernel) in the sweep loop", fn.Name.Name)
 	}
+}
+
+// ctxDerivedLocals collects the objects that carry fn's cancellation
+// contract: the ctx parameter itself, plus every local whose declaration or
+// assignment references a carrier on its right-hand side — transitively, in
+// source order (the only order Go locals can be derived in, since a local is
+// declared before its derived use). Function literals are skipped to match
+// the loop scan's scope rules.
+func ctxDerivedLocals(pass *Pass, fn *ast.FuncDecl, ctx types.Object) map[types.Object]bool {
+	derived := map[types.Object]bool{ctx: true}
+	refsCarrier := func(expr ast.Expr) bool {
+		found := false
+		ast.Inspect(expr, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && derived[pass.Info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	mark := func(id *ast.Ident) {
+		if obj := pass.Info.Defs[id]; obj != nil {
+			derived[obj] = true
+		} else if obj := pass.Info.Uses[id]; obj != nil {
+			derived[obj] = true
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			anyRHS := false
+			for _, rhs := range st.Rhs {
+				if refsCarrier(rhs) {
+					anyRHS = true
+					break
+				}
+			}
+			if anyRHS {
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						mark(id)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			anyRHS := false
+			for _, rhs := range st.Values {
+				if refsCarrier(rhs) {
+					anyRHS = true
+					break
+				}
+			}
+			if anyRHS {
+				for _, name := range st.Names {
+					mark(name)
+				}
+			}
+		}
+		return true
+	})
+	return derived
 }
 
 // maxLoopDepth returns the deepest nesting of for/range statements directly

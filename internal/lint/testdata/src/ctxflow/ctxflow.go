@@ -82,6 +82,55 @@ func Batch(m [][]float64) float64 {
 	return s
 }
 
+// poller mimics sparse.CtxPoll: a value derived from the context that
+// carries its cancellation contract into the loop.
+type poller struct{ ctx context.Context }
+
+func (p *poller) check() error { return p.ctx.Err() }
+
+func pollEvery(ctx context.Context, stride int) poller {
+	_ = stride
+	return poller{ctx: ctx}
+}
+
+// SweepPolled consults the context only through a poller derived from it,
+// which carries the cancellation contract: compliant.
+func SweepPolled(ctx context.Context, xs []float64) error {
+	poll := pollEvery(ctx, 8)
+	for range xs {
+		if err := poll.check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SweepTransitive derives the in-loop carrier through two hops (a var
+// declaration then a reassignment): still compliant.
+func SweepTransitive(ctx context.Context, xs []float64) error {
+	var base = pollEvery(ctx, 4)
+	active := base
+	for range xs {
+		if err := active.check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SweepUnrelatedLocal references the context outside its loop and consults
+// only an unrelated local inside it, so the deadline still cannot fire
+// mid-sweep: flagged.
+func SweepUnrelatedLocal(ctx context.Context, xs []float64) float64 { // want `SweepUnrelatedLocal takes a context.Context but never consults it inside its loops`
+	_ = ctx.Err()
+	bound := len(xs)
+	var s float64
+	for i := 0; i < bound; i++ {
+		s += xs[i]
+	}
+	return s
+}
+
 // Nest nests its loops inside a function literal, which belongs to the
 // literal rather than to Nest's own iteration structure: compliant.
 func Nest(m [][]float64) func() float64 {

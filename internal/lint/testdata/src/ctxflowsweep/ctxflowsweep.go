@@ -17,6 +17,24 @@ func MulInto(dst []float64, m [][]float64, x []float64) {
 	}
 }
 
+// poll mimics sparse.CtxPoll in the sweep package itself: deriving it from
+// ctx carries the cancellation contract.
+type poll struct{ ctx context.Context }
+
+func (p *poll) check() error { return p.ctx.Err() }
+
+// SweepPolled consults ctx through a derived poller inside its loop:
+// compliant in sweep packages too.
+func SweepPolled(ctx context.Context, xs []float64) error {
+	p := poll{ctx: ctx}
+	for range xs {
+		if err := p.check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SweepCtx takes a context but never consults it: flagged even in a sweep
 // package, because a threaded-but-ignored context is worse than none.
 func SweepCtx(ctx context.Context, xs []float64) float64 { // want `SweepCtx takes a context.Context but never consults it inside its loops`

@@ -131,3 +131,14 @@ var LatencyBuckets = []float64{
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
 	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
 }
+
+// CancelLatencyBuckets is the bucket layout for cancellation-overrun
+// histograms: how far past its deadline a query kept running before the
+// kernels' amortised cancellation polls observed the cancellation. Much
+// finer at the low end than LatencyBuckets, because a healthy engine
+// overruns by microseconds-to-milliseconds — one poll stride of kernel work
+// — and the histogram exists to catch regressions in that bound.
+var CancelLatencyBuckets = []float64{
+	0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005,
+	0.01, 0.05, 0.1, 0.5, 1,
+}

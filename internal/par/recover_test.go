@@ -1,0 +1,94 @@
+package par
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// catch runs f and returns the panic it raised, failing the test if f
+// returns normally.
+func catch(t *testing.T, f func()) (recovered any) {
+	t.Helper()
+	defer func() { recovered = recover() }()
+	f()
+	t.Fatal("call returned normally, want a re-raised panic")
+	return nil
+}
+
+func TestForWorkerPanicReachesCaller(t *testing.T) {
+	const n, workers = 100, 4
+	var done atomic.Int64
+	r := catch(t, func() {
+		For(n, workers, func(lo, hi int) {
+			if lo == 0 {
+				// A spawned chunk: before this fix the panic crashed the
+				// whole process as an unrecovered goroutine panic.
+				panic("boom in worker chunk")
+			}
+			done.Add(int64(hi - lo))
+		})
+	})
+	if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+		t.Fatalf("recovered %v, want the worker's panic value", r)
+	}
+	// Every non-panicking chunk ran to completion before the re-raise: the
+	// barrier still holds.
+	chunk := (n + workers - 1) / workers
+	if got, want := done.Load(), int64(n-chunk); got != want {
+		t.Fatalf("non-panicking chunks covered %d indices, want %d", got, want)
+	}
+}
+
+func TestForInlinePanicStillWaitsForWorkers(t *testing.T) {
+	const n, workers = 100, 4
+	chunk := (n + workers - 1) / workers
+	var done atomic.Int64
+	catch(t, func() {
+		For(n, workers, func(lo, hi int) {
+			if lo+chunk >= n { // the chunk that runs inline on the caller
+				panic("boom on the caller's chunk")
+			}
+			done.Add(int64(hi - lo))
+		})
+	})
+	// All spawned chunks finished before the panic unwound past For — a
+	// caller that recovers and recycles its buffers must not race them.
+	if got, want := done.Load(), int64(n-chunk); got != want {
+		t.Fatalf("spawned chunks covered %d indices, want %d", got, want)
+	}
+}
+
+func TestForEachCtxWorkerPanicReachesCaller(t *testing.T) {
+	var done atomic.Int64
+	r := catch(t, func() {
+		_ = ForEachCtx(context.Background(), 64, 4, func(i int) {
+			if i == 3 {
+				panic("boom in item 3")
+			}
+			done.Add(1)
+		})
+	})
+	if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+		t.Fatalf("recovered %v, want the worker's panic value", r)
+	}
+	if done.Load() == 0 {
+		t.Fatal("no sibling items completed")
+	}
+}
+
+func TestForSurvivesRepeatedPanics(t *testing.T) {
+	// The helpers hold no global state: a panicking call must leave nothing
+	// behind that corrupts the next one.
+	for round := 0; round < 3; round++ {
+		catch(t, func() {
+			For(64, 4, func(lo, hi int) { panic("boom") })
+		})
+	}
+	var done atomic.Int64
+	For(64, 4, func(lo, hi int) { done.Add(int64(hi - lo)) })
+	if done.Load() != 64 {
+		t.Fatalf("clean run after panics covered %d, want 64", done.Load())
+	}
+}

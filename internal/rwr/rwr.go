@@ -145,8 +145,12 @@ func SingleSourceWS(ctx context.Context, w *sparse.CSR, q int, opt Options, ws *
 	dense.ZeroVec(dst)
 	coef := 1 - opt.C
 	sweeps := 0
+	// Deadlines flow through the amortised poller (stride 1 here: every
+	// iteration is a full O(m) sweep, so each one consults the context) —
+	// the same CtxPoll shape the ctxflow analyzer tracks in the fold loops.
+	poll := sparse.PollEvery(ctx, 1)
 	for k := 0; ; k++ {
-		if err := ctx.Err(); err != nil {
+		if err := poll.Check(); err != nil {
 			return err
 		}
 		dense.Axpy(dst, coef, cur)

@@ -1,0 +1,55 @@
+package sparse
+
+import "context"
+
+// DefaultPollStride is the Check interval PollEvery uses when the caller
+// passes a non-positive stride: frequent enough to bound cancellation
+// latency to a handful of loop iterations, sparse enough that the poll is
+// one counter increment on the iterations in between.
+const DefaultPollStride = 32
+
+// CtxPoll amortises context-cancellation checks across tight kernel loops.
+// ctx.Err() behind a deadline is an atomic load plus a clock read — cheap,
+// but not free at per-iteration kernel frequencies — so the fold and walk
+// loops consult it through a poller: Check reads ctx.Err() on the first call
+// and every stride-th call after that, and answers from a sticky cached
+// error otherwise. Once cancellation is observed every later Check reports
+// it, so a kernel's early-return stays monotone.
+//
+// The poller is a plain value holding the loop's context: deriving it from
+// ctx is what carries the cancellation contract into loops that reference
+// only the poller (the ctxflow analyzer tracks exactly this shape). Not safe
+// for concurrent use; each goroutine's loop builds its own.
+type CtxPoll struct {
+	ctx    context.Context
+	err    error
+	stride uint32
+	n      uint32
+}
+
+// PollEvery returns a poller over ctx that consults ctx.Err() on the first
+// Check and every stride-th Check after that. A non-positive stride selects
+// DefaultPollStride.
+func PollEvery(ctx context.Context, stride int) CtxPoll {
+	if stride <= 0 {
+		stride = DefaultPollStride
+	}
+	return CtxPoll{ctx: ctx, stride: uint32(stride)}
+}
+
+// Check reports the context's cancellation state, consulting ctx.Err() only
+// on the amortisation schedule. The returned error is sticky: after the
+// first non-nil observation every call returns it without touching ctx.
+func (p *CtxPoll) Check() error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.n == 0 {
+		p.err = p.ctx.Err()
+	}
+	p.n++
+	if p.n == p.stride {
+		p.n = 0
+	}
+	return p.err
+}

@@ -1,0 +1,67 @@
+package sparse
+
+import (
+	"context"
+	"testing"
+)
+
+// countingCtx counts Err() consultations.
+type countingCtx struct {
+	context.Context
+	calls int
+}
+
+func (c *countingCtx) Err() error {
+	c.calls++
+	return c.Context.Err()
+}
+
+func TestCtxPollAmortises(t *testing.T) {
+	cc := &countingCtx{Context: context.Background()}
+	p := PollEvery(cc, 8)
+	for i := 0; i < 64; i++ {
+		if err := p.Check(); err != nil {
+			t.Fatalf("check %d: %v", i, err)
+		}
+	}
+	if cc.calls != 8 {
+		t.Fatalf("64 checks at stride 8 consulted ctx %d times, want 8", cc.calls)
+	}
+}
+
+func TestCtxPollStickyCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := PollEvery(ctx, 4)
+	if err := p.Check(); err != nil {
+		t.Fatalf("pre-cancel check: %v", err)
+	}
+	cancel()
+	// The cancellation lands within one stride...
+	sawErr := false
+	for i := 0; i < 4; i++ {
+		if p.Check() != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("cancellation not observed within one stride")
+	}
+	// ...and is sticky from then on, without re-consulting ctx.
+	for i := 0; i < 16; i++ {
+		if p.Check() == nil {
+			t.Fatal("sticky error was dropped")
+		}
+	}
+}
+
+func TestCtxPollDefaultStride(t *testing.T) {
+	cc := &countingCtx{Context: context.Background()}
+	p := PollEvery(cc, 0)
+	for i := 0; i < DefaultPollStride*3; i++ {
+		p.Check()
+	}
+	if cc.calls != 3 {
+		t.Fatalf("default stride consulted ctx %d times over 3 strides, want 3", cc.calls)
+	}
+}

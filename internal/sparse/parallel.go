@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"repro/internal/dense"
+	"repro/internal/par"
 )
 
 // sweepKind selects the kernel body a sweepTask runs.
@@ -55,6 +56,7 @@ type sweepTask struct {
 	seg      *[]int32
 	lo, hi   int
 	wg       *sync.WaitGroup
+	pan      *par.PanicBox
 }
 
 // run executes the task's range. Every branch writes only to the task's own
@@ -81,9 +83,26 @@ func (t *sweepTask) run() {
 // closes (the owning Sweeper was collected).
 func sweepWorker(ch chan sweepTask) {
 	for t := range ch {
-		t.run()
-		t.wg.Done()
+		runSweepTask(t)
 	}
+}
+
+// runSweepTask runs one task with panic isolation: a panicking kernel range
+// (a bug, or an injected fault) is recorded in the dispatching Sweeper's
+// panic box and re-raised on the borrowing query's goroutine — a raw panic
+// here would kill the process, since pool workers have no caller to unwind
+// into. The WaitGroup is released on every path so the barrier never hangs.
+func runSweepTask(t sweepTask) {
+	defer func() {
+		if r := recover(); r != nil {
+			if t.pan == nil {
+				panic(r)
+			}
+			t.pan.Record(r)
+		}
+		t.wg.Done()
+	}()
+	t.run()
 }
 
 // sweeperChans holds the worker channels behind a pointer shared between the
@@ -102,6 +121,7 @@ type Sweeper struct {
 	box       *sweeperChans
 	segs      [][]int32 // per-worker first-touch scratch for gather sweeps
 	wg        sync.WaitGroup
+	pan       par.PanicBox
 	workers   int
 	parSweeps int
 }
@@ -169,6 +189,7 @@ func (s *Sweeper) dispatch(t sweepTask, n int) {
 		return
 	}
 	t.wg = &s.wg
+	t.pan = &s.pan
 	chunk := (n + workers - 1) / workers
 	s.wg.Add(workers - 1)
 	lo := chunk
@@ -183,9 +204,21 @@ func (s *Sweeper) dispatch(t sweepTask, n int) {
 		lo = hi
 	}
 	t.lo, t.hi = 0, chunk
-	t.run()
-	s.wg.Wait()
+	s.runCallerChunk(t)
 	s.parSweeps++
+}
+
+// runCallerChunk runs the caller's inline range of a fanned-out sweep. The
+// deferred barrier runs even when the inline range panics — the workers are
+// still writing into the sweep's buffers and must finish before the caller
+// unwinds and recycles them — and a panic recorded by a worker is re-raised
+// here, on the borrowing goroutine, where the serving layers recover it.
+func (s *Sweeper) runCallerChunk(t sweepTask) {
+	defer func() {
+		s.wg.Wait()
+		s.pan.Rethrow()
+	}()
+	t.run()
 }
 
 // MulVecInto is the parallel form of m.MulVecInto: y = m·x, row-range
@@ -258,7 +291,7 @@ func (s *Sweeper) ScatterMulT(m *CSR, dst, src *Frontier) {
 	if src.Dim() != m.R || dst.Dim() != m.C {
 		panic("sparse: ScatterMulT dimension mismatch")
 	}
-	t := sweepTask{kind: sweepGather, m: m, dst: dst, src: src, wg: &s.wg}
+	t := sweepTask{kind: sweepGather, m: m, dst: dst, src: src, wg: &s.wg, pan: &s.pan}
 	chunk := (m.C + workers - 1) / workers
 	s.wg.Add(workers - 1)
 	lo := chunk
@@ -275,8 +308,7 @@ func (s *Sweeper) ScatterMulT(m *CSR, dst, src *Frontier) {
 	}
 	t.lo, t.hi = 0, chunk
 	t.seg = &s.segs[0]
-	t.run()
-	s.wg.Wait()
+	s.runCallerChunk(t)
 	s.parSweeps++
 	for i := 0; i < workers; i++ {
 		dst.idx = append(dst.idx, s.segs[i]...)

@@ -1,0 +1,69 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSweeperWorkerPanicReachesBorrower pins the recover-and-quarantine
+// contract of the persistent pool: a panic inside a pool worker's row range
+// must re-raise on the goroutine that borrowed the Sweeper — before this
+// fix it was an unrecovered goroutine panic, i.e. process death — and the
+// Sweeper must stay usable afterwards (its WaitGroup and panic box fully
+// drained), since the engine pools Sweepers across queries.
+func TestSweeperWorkerPanicReachesBorrower(t *testing.T) {
+	s := NewSweeper(4)
+	const n = 256
+	// A task with a nil CSR panics in every chunk that runs it — spawned
+	// worker chunks and the caller's inline chunk alike.
+	bad := sweepTask{kind: sweepMulVec, m: nil, y: make([]float64, n), x: make([]float64, n)}
+
+	for round := 0; round < 3; round++ {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("round %d: dispatch returned normally, want a re-raised panic", round)
+				}
+			}()
+			s.dispatch(bad, n)
+		}()
+	}
+
+	// The pool survives: a clean sweep after the panics is bitwise-correct.
+	m := &CSR{R: n, C: n, RowOff: make([]int32, n+1), ColIdx: make([]int32, n), Val: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		m.RowOff[i+1] = int32(i + 1)
+		m.ColIdx[i] = int32(i)
+		m.Val[i] = 1
+	}
+	y, x := make([]float64, n), make([]float64, n)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	s.MulVecInto(m, y, x)
+	for i := range y {
+		if y[i] != x[i] {
+			t.Fatalf("post-panic sweep wrong at %d: got %g want %g", i, y[i], x[i])
+		}
+	}
+}
+
+// TestSweepTaskWithoutBoxReRaises covers the defensive branch: a task
+// dispatched with no panic box (never the case for Sweeper-driven sweeps)
+// must not swallow a panic silently.
+func TestSweepTaskWithoutBoxReRaises(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic was swallowed")
+		}
+		if s, ok := r.(string); ok && strings.Contains(s, "swallowed") {
+			t.Fatal("panic was swallowed")
+		}
+	}()
+	var wgHolder Sweeper
+	task := sweepTask{kind: sweepMulVec, m: nil, y: []float64{0}, x: []float64{0}, wg: &wgHolder.wg, lo: 0, hi: 1}
+	wgHolder.wg.Add(1)
+	runSweepTask(task)
+	panic("swallowed")
+}

@@ -485,7 +485,18 @@ func (e *Engine) batch(ctx context.Context, queries []Query, topk bool, tr *obs.
 // column is translated back out, so callers always see external ids. The
 // maxErrs slice is nil on the exact paths — every query in the block is
 // then certified at 0.
-func (e *Engine) runBlock(ctx context.Context, st *engineState, kernel blockKernel, nodes []int) ([][]float64, []float64, error) {
+func (e *Engine) runBlock(ctx context.Context, st *engineState, kernel blockKernel, nodes []int) (block [][]float64, maxErrs []float64, err error) {
+	ctx, cancel := e.cfg.deadlineCtx(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	defer func() {
+		if err != nil {
+			e.cfg.observer.observeCancel(ctx, err)
+		}
+	}()
+	defer e.recoverKernel(&err)
+	e.cfg.fireFault(FaultPointKernel)
 	if st.layout != nil {
 		internal := make([]int, len(nodes))
 		for i, q := range nodes {
@@ -493,7 +504,7 @@ func (e *Engine) runBlock(ctx context.Context, st *engineState, kernel blockKern
 		}
 		nodes = internal
 	}
-	block, maxErrs, err := e.runBlockKernel(ctx, st, kernel, nodes)
+	block, maxErrs, err = e.runBlockKernel(ctx, st, kernel, nodes)
 	if err != nil || st.layout == nil {
 		return block, maxErrs, err
 	}

@@ -534,8 +534,13 @@ func (e *Engine) singleSourceObs(ctx context.Context, st *engineState, measureNa
 	if count && o != nil {
 		o.qSingle.Inc()
 	}
+	ctx, cancel := e.cfg.deadlineCtx(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
 	t0 := time.Now()
 	if err := st.checkQuery(ctx, q); err != nil {
+		o.observeCancel(ctx, err)
 		return nil, 0, false, err
 	}
 	key := cacheKey{
@@ -576,9 +581,10 @@ func (e *Engine) singleSourceObs(ctx context.Context, st *engineState, measureNa
 		kt = new(obs.KernelTrace)
 	}
 	t0 = time.Now()
-	scores, maxErr, err := e.computeSingleSource(ctx, st, measureName, q, kt)
+	scores, maxErr, err := e.safeComputeSingleSource(ctx, st, measureName, q, kt)
 	kernelTime := time.Since(t0)
 	if err != nil {
+		o.observeCancel(ctx, err)
 		return nil, 0, false, err
 	}
 	if o != nil {
@@ -720,9 +726,18 @@ func (e *Engine) exactSingleSourceInto(ctx context.Context, st *engineState, bui
 // cache included) and copy into dst.
 //
 //simstar:noalloc
-func (e *Engine) SingleSourceInto(ctx context.Context, measureName string, q int, dst []float64) ([]float64, error) {
+func (e *Engine) SingleSourceInto(ctx context.Context, measureName string, q int, dst []float64) (_ []float64, err error) {
 	st := e.load()
+	ctx, cancel := e.cfg.deadlineCtx(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	// Direct method defer — no closure — so panic isolation fits the
+	// zero-alloc contract; a recovered kernel panic surfaces as an
+	// ErrKernelPanic-wrapped err with a nil slice.
+	defer e.recoverKernel(&err)
 	if err := st.checkQuery(ctx, q); err != nil {
+		e.cfg.observer.observeCancel(ctx, err)
 		return nil, err
 	}
 	n := st.g.N()
@@ -751,7 +766,9 @@ func (e *Engine) SingleSourceInto(ctx context.Context, measureName string, q int
 			kt.Reset()
 		}
 		start := time.Now()
+		e.cfg.fireFault(FaultPointKernel)
 		if err := e.exactSingleSourceInto(ctx, st, builtin, st.toInternal(q), ws, sw, dst, kt); err != nil {
+			e.cfg.observer.observeCancel(ctx, err)
 			return nil, err
 		}
 		st.externalize(dst, ws)
@@ -788,7 +805,12 @@ func (e *Engine) TopK(ctx context.Context, measureName string, q, k int, exclude
 // epoch. All-pairs runs always sweep the natural-order matrices — the n×n
 // result is produced directly in graph ids, so WithRelabeling neither helps
 // nor requires translation here.
-func (e *Engine) AllPairs(ctx context.Context, measureName string) (*Scores, error) {
+func (e *Engine) AllPairs(ctx context.Context, measureName string) (_ *Scores, err error) {
+	ctx, cancel := e.cfg.deadlineCtx(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	defer e.recoverKernel(&err)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package simstar
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"repro/internal/obs"
@@ -37,7 +38,10 @@ type Observer struct {
 	sieveSpend *obs.FloatCounter
 	poolMisses *obs.Counter
 
+	deadlineExceeded *obs.Counter
+
 	kernelSeconds *obs.Histogram
+	cancelLatency *obs.Histogram
 }
 
 // NewObserver builds an Observer registering its metric families in reg
@@ -51,7 +55,9 @@ type Observer struct {
 //	simstar_parallel_sweeps_total          counter   sweeps fanned out across workers
 //	simstar_sieve_spend_total              counter   certified sieve error mass
 //	simstar_workspace_pool_misses_total    counter   pool-miss workspace builds
+//	simstar_deadline_exceeded_total        counter   queries aborted by their deadline
 //	simstar_kernel_seconds                 histogram kernel wall time per query
+//	simstar_cancel_latency_seconds         histogram overrun past an expired deadline
 //
 // Registration is idempotent per (name, labels), so two observers over one
 // registry share the underlying counters.
@@ -77,9 +83,14 @@ func NewObserver(reg *obs.Registry) *Observer {
 		"Certified error mass the approximate kernels' sieves dropped.")
 	o.poolMisses = reg.Counter("simstar_workspace_pool_misses_total",
 		"Kernel workspaces allocated because the per-epoch pool had none to reuse.")
+	o.deadlineExceeded = reg.Counter("simstar_deadline_exceeded_total",
+		"Queries aborted because their deadline budget expired mid-run (WithDeadline or a caller deadline).")
 	o.kernelSeconds = reg.Histogram("simstar_kernel_seconds",
 		"Kernel wall time per uncached single-source query, in seconds.",
 		obs.LatencyBuckets)
+	o.cancelLatency = reg.Histogram("simstar_cancel_latency_seconds",
+		"How far past its expired deadline a query kept running before the kernels' amortised cancellation polls aborted it, in seconds.",
+		obs.CancelLatencyBuckets)
 	return o
 }
 
@@ -104,6 +115,22 @@ func (o *Observer) recordKernel(kt *obs.KernelTrace, d time.Duration) {
 		}
 	}
 	o.kernelSeconds.Observe(d.Seconds())
+}
+
+// observeCancel folds a query's deadline outcome into the aggregates: when
+// err is the context's DeadlineExceeded, the abort is counted and the
+// overrun — how far past the deadline the query actually stopped, the
+// latency the amortised kernel polls bound — lands in the cancel-latency
+// histogram. Nil-safe on both the observer and the error, so serving paths
+// call it unconditionally on their error returns.
+func (o *Observer) observeCancel(ctx context.Context, err error) {
+	if o == nil || !errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	o.deadlineExceeded.Inc()
+	if dl, ok := ctx.Deadline(); ok {
+		o.cancelLatency.Observe(time.Since(dl).Seconds())
+	}
 }
 
 // Metrics returns the engine's observer: the one WithObserver configured,

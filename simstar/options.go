@@ -1,6 +1,8 @@
 package simstar
 
 import (
+	"time"
+
 	"repro/internal/biclique"
 	"repro/internal/core"
 	"repro/internal/par"
@@ -40,6 +42,8 @@ type config struct {
 	baseEpoch      uint64
 	relabel        RelabelMode
 	observer       *Observer
+	deadline       time.Duration
+	fault          *faultHook
 }
 
 // cacheParams strips the serving knobs so that two configs computing the
@@ -54,7 +58,7 @@ type config struct {
 // listed must ride into the cache key untouched. Add a field to the list
 // only if it can never change what a query returns.
 //
-//simstar:cachekey-exempt workers parallelSweeps cacheSize epochInterval baseEpoch relabel observer
+//simstar:cachekey-exempt workers parallelSweeps cacheSize epochInterval baseEpoch relabel observer deadline fault
 func (cfg config) cacheParams() config {
 	cfg.workers = 0
 	// Intra-query sweep parallelism is row-range partitioned with per-element
@@ -73,6 +77,14 @@ func (cfg config) cacheParams() config {
 	// serving knob here. The layout *instance* is still versioned, by the
 	// cache key's layout generation (see cacheKey).
 	cfg.relabel = RelabelNone
+	// A deadline bounds how long a query may run, never what it returns when
+	// it completes — a query that beat its budget produced the exact same
+	// scores an unbounded run would have.
+	cfg.deadline = 0
+	// Fault injection perturbs scheduling (delays) or aborts queries
+	// (panics, surfaced as ErrKernelPanic); a query that survives to return
+	// a result returns the unperturbed result.
+	cfg.fault = nil
 	if cfg.tolerance < MinTolerance {
 		cfg.tolerance = 0
 	}
@@ -236,6 +248,41 @@ func WithEpochInterval(n int) Option { return func(cfg *config) { cfg.epochInter
 // warm-started from a persisted snapshot (ReadSnapshot) resumes the version
 // sequence instead of restarting at 0. Fixed at engine construction.
 func WithBaseEpoch(epoch uint64) Option { return func(cfg *config) { cfg.baseEpoch = epoch } }
+
+// WithDeadline gives every query served by an Engine a wall-clock budget:
+// at query entry the engine derives a context.WithTimeout(ctx, d) and the
+// kernels' amortised cancellation polls abort the run once it expires,
+// surfacing context.DeadlineExceeded. The budget is per query (each
+// SingleSource/TopK/stream call, each blocked batch chunk), layered on top
+// of whatever deadline the caller's own context already carries — whichever
+// fires first wins. 0, the default, imposes no engine-side budget. A
+// deadline changes how long a query may run, never what a completed query
+// returns, so it is excluded from result-cache keys.
+func WithDeadline(d time.Duration) Option { return func(cfg *config) { cfg.deadline = d } }
+
+// WithFaultHook installs a fault-injection callback on the engine's kernel
+// entry points, for chaos testing: fn is invoked with the fault site name
+// (FaultPointKernel) immediately before each kernel run, and may sleep (a
+// slow fault) or panic (an injected crash — isolated by the engine and
+// surfaced as an ErrKernelPanic-wrapped error, never a process crash).
+// Typically fn is (*fault.Injector).Hook(). nil removes the hook. Fault
+// injection perturbs scheduling and aborts queries; it never changes what a
+// surviving query returns, so the hook is excluded from result-cache keys.
+func WithFaultHook(fn func(site string)) Option {
+	return func(cfg *config) {
+		if fn == nil {
+			cfg.fault = nil
+			return
+		}
+		cfg.fault = &faultHook{fn: fn}
+	}
+}
+
+// faultHook boxes the WithFaultHook callback behind a pointer so config
+// stays comparable (it is a map key in the result cache and the batch
+// planner's group keys); the hook itself is identity-compared, and
+// cacheParams strips it anyway.
+type faultHook struct{ fn func(site string) }
 
 // WithObserver attaches an Observer: the engine's query, cache, kernel and
 // workspace-pool counters stream into its registry. Without one (the

@@ -1,0 +1,119 @@
+package simstar_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/simstar"
+)
+
+// An injected kernel panic must surface as an ErrKernelPanic-wrapped error
+// on every serving path — never a process crash — and the engine must keep
+// serving correct answers afterwards.
+func TestKernelPanicIsolated(t *testing.T) {
+	g := toyGraph(t)
+	eng := simstar.NewEngine(g)
+	boom := eng.With(simstar.WithFaultHook(func(site string) {
+		if site == simstar.FaultPointKernel {
+			panic("injected kernel fault")
+		}
+	}))
+	ctx := context.Background()
+
+	if _, err := boom.SingleSource(ctx, simstar.MeasureGeometric, 1); !errors.Is(err, simstar.ErrKernelPanic) {
+		t.Fatalf("SingleSource: got %v, want ErrKernelPanic", err)
+	}
+	if _, err := boom.TopKStream(ctx, simstar.MeasureRWR, 1, 3); !errors.Is(err, simstar.ErrKernelPanic) {
+		t.Fatalf("TopKStream: got %v, want ErrKernelPanic", err)
+	}
+	if _, err := boom.SingleSourceInto(ctx, simstar.MeasureExponential, 1, nil); !errors.Is(err, simstar.ErrKernelPanic) {
+		t.Fatalf("SingleSourceInto: got %v, want ErrKernelPanic", err)
+	}
+	res := boom.MultiSource(ctx, []simstar.Query{
+		{Measure: simstar.MeasureGeometric, Node: 0},
+		{Measure: simstar.MeasureGeometric, Node: 1},
+		{Measure: simstar.MeasureRWR, Node: 2},
+	})
+	for i, r := range res {
+		if !errors.Is(r.Err, simstar.ErrKernelPanic) {
+			t.Fatalf("batch result %d: got %v, want ErrKernelPanic", i, r.Err)
+		}
+	}
+
+	// The shared engine (no hook) is unharmed: pooled workspaces and caches
+	// survive the recovered panics and exact serving continues.
+	scores, err := eng.SingleSource(ctx, simstar.MeasureGeometric, 1)
+	if err != nil {
+		t.Fatalf("engine did not survive injected panics: %v", err)
+	}
+	if scores[1] == 0 {
+		t.Fatal("self-similarity vanished after recovered panics")
+	}
+}
+
+// A query whose WithDeadline budget expires mid-kernel must abort with
+// context.DeadlineExceeded, and an attached Observer must count the abort.
+func TestWithDeadlineAbortsSlowQuery(t *testing.T) {
+	g := toyGraph(t)
+	o := simstar.NewObserver(nil)
+	eng := simstar.NewEngine(g, simstar.WithObserver(o)).With(
+		simstar.WithDeadline(time.Millisecond),
+		simstar.WithCacheSize(-1),
+		simstar.WithFaultHook(func(string) { time.Sleep(20 * time.Millisecond) }),
+	)
+	_, err := eng.SingleSource(context.Background(), simstar.MeasureGeometric, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	snap := o.Registry().Snapshot()
+	if got := snap["simstar_deadline_exceeded_total"]; got != 1 {
+		t.Fatalf("simstar_deadline_exceeded_total = %g, want 1", got)
+	}
+	if got := snap["simstar_cancel_latency_seconds_count"]; got != 1 {
+		t.Fatalf("simstar_cancel_latency_seconds count = %g, want 1", got)
+	}
+}
+
+// A generous deadline must not change what a query returns.
+func TestWithDeadlineHarmless(t *testing.T) {
+	g := toyGraph(t)
+	eng := simstar.NewEngine(g)
+	ctx := context.Background()
+	want, err := eng.SingleSource(ctx, simstar.MeasureGeometric, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.With(simstar.WithDeadline(time.Minute), simstar.WithCacheSize(-1)).
+		SingleSource(ctx, simstar.MeasureGeometric, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scores[%d] changed under a deadline: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+// HasCertifiedPath must say yes exactly for the measures whose WithTolerance
+// path produces MaxError certificates.
+func TestHasCertifiedPath(t *testing.T) {
+	for _, name := range []string{
+		simstar.MeasureGeometric, simstar.MeasureGeometricMemo,
+		simstar.MeasureExponential, simstar.MeasureExponentialMemo,
+		simstar.MeasureRWR,
+	} {
+		if !simstar.HasCertifiedPath(name) {
+			t.Errorf("HasCertifiedPath(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{
+		simstar.MeasureSimRank, simstar.MeasurePRank, simstar.MeasureSparse, "no-such-measure",
+	} {
+		if simstar.HasCertifiedPath(name) {
+			t.Errorf("HasCertifiedPath(%q) = true, want false", name)
+		}
+	}
+}

@@ -89,7 +89,7 @@ func (s *TopKStream) Collect() []Ranked {
 // Streams probe the result cache (a SingleSource of the same query makes
 // the stream a hit) but never populate it. Entries, order and tie-breaks
 // are always identical to Engine.TopK at the same parameters.
-func (e *Engine) TopKStream(ctx context.Context, measureName string, q, k int, exclude ...int) (*TopKStream, error) {
+func (e *Engine) TopKStream(ctx context.Context, measureName string, q, k int, exclude ...int) (_ *TopKStream, err error) {
 	st := e.load()
 	o := e.cfg.observer
 	if o != nil {
@@ -100,7 +100,8 @@ func (e *Engine) TopKStream(ctx context.Context, measureName string, q, k int, e
 	}
 	builtin := builtinFor(measureName)
 	if !fastPathKernel(builtin) || e.cfg.tolerance >= MinTolerance {
-		// count=false: already counted under kind=stream above.
+		// count=false: already counted under kind=stream above. The slow path
+		// carries the deadline, fault and panic-isolation wrapping itself.
 		scores, maxErr, cached, err := e.singleSourceObs(ctx, st, measureName, q, false, nil)
 		if err != nil {
 			return nil, err
@@ -108,6 +109,16 @@ func (e *Engine) TopKStream(ctx context.Context, measureName string, q, k int, e
 		top := TopK(scores, k, append([]int{q}, exclude...)...)
 		return &TopKStream{ranked: top, maxErr: maxErr, cached: cached}, nil
 	}
+	ctx, cancel := e.cfg.deadlineCtx(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	defer func() {
+		if err != nil {
+			o.observeCancel(ctx, err)
+		}
+	}()
+	defer e.recoverKernel(&err)
 	key := cacheKey{
 		measure: canonical(measureName),
 		gen:     registryGeneration(),
@@ -146,11 +157,9 @@ func (e *Engine) TopKStream(ctx context.Context, measureName string, q, k int, e
 		kt.Reset()
 	}
 	start := time.Now()
+	e.cfg.fireFault(FaultPointKernel)
 
-	var (
-		top []Ranked
-		err error
-	)
+	var top []Ranked
 	if st.layout == nil {
 		// Kernel order is external order: fuse selection into the kernel
 		// call, skipping the full-vector staging entirely.
